@@ -1,0 +1,62 @@
+//! Experiment-pipeline benchmarks: one Criterion target per paper
+//! artifact family, timing a scaled-down slice of the same code path the
+//! `table*`/`fig*` binaries run at full size. Useful to track simulator
+//! throughput regressions in the exact configurations that matter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcsim_core::MechanismConfig;
+use rcsim_power::area_savings;
+use rcsim_system::{run_sim, SimConfig};
+
+fn tiny(cores: u16, mechanism: MechanismConfig, app: &str) -> SimConfig {
+    SimConfig {
+        cores,
+        mechanism,
+        workload: app.to_owned(),
+        seed: 9,
+        warmup_cycles: 400,
+        measure_cycles: 1_200,
+        small_caches: true,
+    }
+}
+
+/// Table 1 slice: the baseline message mix on a 64-core chip.
+fn table1_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment_slices");
+    g.sample_size(10);
+    g.bench_function("table1_message_mix_64c", |b| {
+        b.iter(|| run_sim(&tiny(64, MechanismConfig::baseline(), "canneal")).expect("runs"))
+    });
+
+    // Table 5 / Figure 6 slice: reservations under Complete_NoAck.
+    g.bench_function("table5_fig6_complete_noack_64c", |b| {
+        b.iter(|| {
+            run_sim(&tiny(64, MechanismConfig::complete_noack(), "canneal")).expect("runs")
+        })
+    });
+
+    // Figure 9 slice: a paired baseline/SlackDelay speedup point.
+    g.bench_function("fig9_speedup_pair_16c", |b| {
+        b.iter(|| {
+            let base = run_sim(&tiny(16, MechanismConfig::baseline(), "fft")).expect("runs");
+            let sd = run_sim(&tiny(16, MechanismConfig::slack_delay(1), "fft")).expect("runs");
+            sd.speedup_over(&base)
+        })
+    });
+    g.finish();
+
+    // Table 6 is analytical: keep it honest by timing the model itself.
+    let mut g = c.benchmark_group("models");
+    g.bench_function("table6_area_model", |b| {
+        b.iter(|| {
+            MechanismConfig::figure6_grid()
+                .iter()
+                .map(|m| area_savings(m, 64))
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table1_slice);
+criterion_main!(benches);

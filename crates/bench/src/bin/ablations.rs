@@ -1,0 +1,167 @@
+//! Ablations beyond the paper's main grid (DESIGN.md §7):
+//!
+//! 1. circuits-per-input sweep (the paper picks 5 experimentally, §4.2);
+//! 2. keep vs undo circuits on L2 miss (§4.4 says keeping wins);
+//! 3. slack sweep (the non-monotone trade-off of §5.2);
+//! 4. load sweep with synthetic traffic — where circuits stop helping
+//!    (§5.5's congestion threshold).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rcsim_bench::{measure_cycles, run_point, save_json, warmup_cycles};
+use rcsim_core::circuit::CircuitKey;
+use rcsim_core::{MechanismConfig, Mesh, MessageClass, NodeId};
+use rcsim_noc::{MessageGroup, Network, NocConfig, PacketSpec};
+
+fn app() -> String {
+    std::env::var("RC_APPS")
+        .ok()
+        .and_then(|s| s.split(',').next().map(str::to_owned))
+        .unwrap_or_else(|| "canneal".to_owned())
+}
+
+fn circuits_per_input_sweep() {
+    println!("== circuits per input port (Complete_NoAck, 64 cores, '{}') ==", app());
+    println!("{:>9} {:>10} {:>10} {:>12}", "entries", "circuit%", "failed%", "storage-fail");
+    let mut rows = Vec::new();
+    for entries in [1u8, 2, 3, 5, 8] {
+        let mut mechanism = MechanismConfig::complete_noack();
+        mechanism.max_circuits_per_input = entries;
+        let r = run_point(64, mechanism, &app(), 1);
+        println!(
+            "{:>9} {:>9.1}% {:>9.1}% {:>12}",
+            entries,
+            100.0 * r.outcomes["circuit"],
+            100.0 * r.outcomes["failed"],
+            r.reservation_failures[0],
+        );
+        rows.push((entries, r.outcomes["circuit"], r.reservation_failures[0]));
+    }
+    println!("(the paper settles on 5: enough entries that storage failures vanish)\n");
+    save_json("ablation_entries", &rows);
+}
+
+fn undo_on_l2_miss() {
+    println!("== keep vs undo circuits on L2 miss (§4.4, 64 cores, '{}') ==", app());
+    let base = run_point(64, MechanismConfig::baseline(), &app(), 1);
+    let keep = run_point(64, MechanismConfig::complete_noack(), &app(), 1);
+    let mut undo_mech = MechanismConfig::complete_noack();
+    undo_mech.undo_on_l2_miss = true;
+    let undo = run_point(64, undo_mech, &app(), 1);
+    println!(
+        "  keep built: speedup {:.3}, circuit {:.1}%",
+        keep.speedup_over(&base),
+        100.0 * keep.outcomes["circuit"]
+    );
+    println!(
+        "  undo at miss: speedup {:.3}, circuit {:.1}%, undone {:.1}%",
+        undo.speedup_over(&base),
+        100.0 * undo.outcomes["circuit"],
+        100.0 * undo.outcomes["undone"]
+    );
+    println!("(the paper found keeping them performs better)\n");
+}
+
+fn scrounger_modes() {
+    println!("== scrounger semantics (64 cores, '{}') ==", app());
+    let base = run_point(64, MechanismConfig::baseline(), &app(), 1);
+    for (name, mechanism) in [
+        ("no reuse", MechanismConfig::complete_noack()),
+        ("consume", MechanismConfig::reuse_noack()),
+        ("borrow", MechanismConfig::reuse_borrow_noack()),
+    ] {
+        let r = run_point(64, mechanism, &app(), 1);
+        println!(
+            "  {:<9} speedup {:.3}, circuit {:>4.1}%, scrounger {:>4.1}%, failed {:>4.1}%",
+            name,
+            r.speedup_over(&base),
+            100.0 * r.outcomes["circuit"],
+            100.0 * r.outcomes["scrounger"],
+            100.0 * r.outcomes["failed"],
+        );
+    }
+    println!("(the paper leaves the borrow-vs-consume choice open; borrowing keeps");
+    println!(" the circuit alive for its own reply, consuming steals it)\n");
+}
+
+fn slack_sweep() {
+    println!("== slack sweep (timed circuits, 64 cores, '{}') ==", app());
+    println!("{:>7} {:>10} {:>10} {:>10}", "slack", "circuit%", "failed%", "undone%");
+    let mut rows = Vec::new();
+    for k in [0u32, 1, 2, 4, 8] {
+        let mechanism = if k == 0 {
+            MechanismConfig::timed_noack()
+        } else {
+            MechanismConfig::slack(k)
+        };
+        let r = run_point(64, mechanism, &app(), 1);
+        println!(
+            "{:>7} {:>9.1}% {:>9.1}% {:>9.1}%",
+            k,
+            100.0 * r.outcomes["circuit"],
+            100.0 * r.outcomes["failed"],
+            100.0 * r.outcomes["undone"],
+        );
+        rows.push((k, r.outcomes["circuit"]));
+    }
+    println!("(small slack loses to delays; large slack re-creates conflicts)\n");
+    save_json("ablation_slack", &rows);
+}
+
+/// Network-only load sweep: circuit-reply latency gain vs injection rate.
+fn load_threshold() {
+    println!("== congestion threshold (synthetic request/reply, 8x8) ==");
+    println!("{:>9} {:>12} {:>12} {:>9}", "rate", "baseline", "complete", "gain");
+    let mut rows = Vec::new();
+    for rate in [0.005, 0.01, 0.02, 0.05, 0.1] {
+        let lat = |mechanism: MechanismConfig| -> f64 {
+            let mesh = Mesh::new(8, 8).expect("valid mesh");
+            let mut net =
+                Network::new(NocConfig::paper_baseline(mesh, mechanism)).expect("valid");
+            let gen = rcsim_noc::traffic::Generator::uniform(rate);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut block = 0;
+            for _ in 0..4_000 {
+                gen.step(&mut net, &mut rng, &mut block);
+                net.tick();
+                for (node, d) in net.take_all_delivered() {
+                    if d.class == MessageClass::L1Request {
+                        let key = CircuitKey {
+                            requestor: d.src,
+                            block: d.block,
+                        };
+                        net.inject(
+                            PacketSpec::new(node, d.src, MessageClass::L2Reply)
+                                .with_block(d.block)
+                                .with_circuit_key(key),
+                        );
+                    }
+                }
+            }
+            net.stats()
+                .network_latency
+                .get(&MessageGroup::CircuitRep)
+                .map_or(0.0, |a| a.mean())
+        };
+        let b = lat(MechanismConfig::baseline());
+        let c = lat(MechanismConfig::complete());
+        println!("{:>9.3} {:>12.1} {:>12.1} {:>8.1}%", rate, b, c, 100.0 * (b - c) / b);
+        rows.push((rate, b, c));
+    }
+    println!("(gains shrink as conflicts prevent circuit construction — §5.5)\n");
+    save_json("ablation_load", &rows);
+}
+
+fn main() {
+    println!(
+        "Ablations (RC_CYCLES={}, RC_WARMUP={})\n",
+        measure_cycles(),
+        warmup_cycles()
+    );
+    circuits_per_input_sweep();
+    undo_on_l2_miss();
+    scrounger_modes();
+    slack_sweep();
+    load_threshold();
+    let _ = NodeId(0);
+}

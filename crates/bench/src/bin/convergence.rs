@@ -1,0 +1,51 @@
+//! Warm-up convergence diagnostic: how the Table 1 message mix approaches
+//! its steady state as the warm-up window grows. The paper warms for
+//! 200 M cycles; this shows where our synthetic workloads converge and
+//! which components of the mix are still settling at the harness default.
+//!
+//! `RC_APPS` picks the workload (first entry; default canneal).
+
+use rcsim_bench::save_json;
+use rcsim_core::MechanismConfig;
+use rcsim_system::{run_sim, SimConfig};
+
+fn main() {
+    let app = std::env::var("RC_APPS")
+        .ok()
+        .and_then(|s| s.split(',').next().map(str::to_owned))
+        .unwrap_or_else(|| "canneal".to_owned());
+    println!("Message-mix convergence vs warm-up ({app}, 64 cores, baseline)\n");
+    println!(
+        "{:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "warmup", "L2_Reply", "DATA_ACK", "WB_ACK", "INV_ACK", "MEMORY", "load"
+    );
+    let mut rows = Vec::new();
+    for warmup in [5_000u64, 20_000, 60_000, 150_000, 400_000] {
+        let cfg = SimConfig {
+            cores: 64,
+            mechanism: MechanismConfig::baseline(),
+            workload: app.clone(),
+            seed: 1,
+            warmup_cycles: warmup,
+            measure_cycles: 30_000,
+            small_caches: false,
+        };
+        let r = run_sim(&cfg).expect("known workload");
+        let total: u64 = r.messages.values().sum::<u64>().max(1);
+        let pct = |k: &str| 100.0 * r.messages.get(k).copied().unwrap_or(0) as f64 / total as f64;
+        println!(
+            "{:>9} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.2}",
+            warmup,
+            pct("L2_Reply"),
+            pct("L1_DATA_ACK"),
+            pct("L2_WB_ACK"),
+            pct("L1_INV_ACK"),
+            pct("MEMORY"),
+            r.load
+        );
+        rows.push((warmup, r.messages.clone(), r.load));
+    }
+    println!("\npaper steady state: L2_Reply 22.6%, L1_DATA_ACK 23.0%, L2_WB_ACK 4.7%,");
+    println!("L1_INV_ACK 1.1%, MEMORY 0.9% (after 200M warm-up cycles)");
+    save_json("convergence", &rows);
+}

@@ -1,0 +1,38 @@
+//! Figure 10 — per-application speedup of timed circuits with slack and
+//! delay of 1 cycle/hop, on the 64-core chip.
+//!
+//! Run with `RC_APPS=all` to sweep all 21 applications plus the mix, as
+//! the paper does.
+
+use rcsim_bench::{experiment_apps, run_point, save_json};
+use rcsim_core::MechanismConfig;
+use rcsim_stats::geometric_mean;
+
+fn main() {
+    println!("Figure 10 — per-application speedup (SlackDelay_1_NoAck, 64 cores)\n");
+    println!("Paper landmarks: half the applications gain over 4.5%, a few gain");
+    println!("more than 10%, at most two show a sub-2% slowdown.\n");
+    println!("{:<18} {:>9} {:>11} {:>9}", "application", "speedup", "circuit%", "load");
+
+    let mechanism = MechanismConfig::slack_delay(1);
+    let mut speedups = Vec::new();
+    let mut raw = Vec::new();
+    for app in experiment_apps() {
+        let base = run_point(64, MechanismConfig::baseline(), &app, 1);
+        let r = run_point(64, mechanism, &app, 1);
+        let s = r.speedup_over(&base);
+        println!(
+            "{:<18} {:>9.3} {:>10.1}% {:>9.2}",
+            app,
+            s,
+            100.0 * r.outcomes["circuit"],
+            r.load
+        );
+        speedups.push(s);
+        raw.push((app.clone(), s));
+    }
+    if let Some(g) = geometric_mean(speedups.iter().copied()) {
+        println!("\ngeometric mean speedup: {g:.3} (paper average: 1.060)");
+    }
+    save_json("fig10", &raw);
+}

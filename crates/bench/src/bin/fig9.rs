@@ -1,0 +1,49 @@
+//! Figure 9 — system speedup per configuration vs the baseline, with
+//! standard error across applications.
+
+use rcsim_bench::{cores_list, experiment_apps, run_point, save_json};
+use rcsim_core::MechanismConfig;
+use rcsim_stats::Accumulator;
+
+fn main() {
+    println!("Figure 9 — system speedup over the baseline\n");
+    println!("Paper landmarks: gains are small (the network is lightly loaded)");
+    println!("but consistent; NoAck versions beat their ack-ful counterparts;");
+    println!("SlackDelay_1 is best (+4.4% @16, +6.0% @64); Complete_NoAck gets");
+    println!("+3.8% / +4.8%; everything sits close to Ideal.\n");
+
+    let mut raw = Vec::new();
+    for cores in cores_list() {
+        println!("== {cores} cores ==");
+        println!("{:<22} {:>10} {:>9}", "configuration", "speedup", "stderr");
+        // One baseline per (app, seed): comparisons stay seed-paired.
+        let points: Vec<(String, u64)> = experiment_apps()
+            .iter()
+            .flat_map(|app| rcsim_bench::seeds().into_iter().map(move |s| (app.clone(), s)))
+            .collect();
+        let baselines: Vec<_> = points
+            .iter()
+            .map(|(app, s)| run_point(cores, MechanismConfig::baseline(), app, *s))
+            .collect();
+        for mechanism in MechanismConfig::key_configs() {
+            if mechanism == MechanismConfig::baseline() {
+                continue;
+            }
+            let mut acc = Accumulator::new();
+            for ((app, s), base) in points.iter().zip(&baselines) {
+                let r = run_point(cores, mechanism, app, *s);
+                acc.add(r.speedup_over(base));
+            }
+            println!(
+                "{:<22} {:>10.3} {:>9.3}  {}",
+                mechanism.label(),
+                acc.mean(),
+                acc.std_err(),
+                rcsim_bench::bar(acc.mean() - 1.0, 0.15, 30),
+            );
+            raw.push((cores, mechanism.label(), acc.mean(), acc.std_err()));
+        }
+        println!();
+    }
+    save_json("fig9", &raw);
+}

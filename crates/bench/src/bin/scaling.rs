@@ -1,0 +1,42 @@
+//! Scalability sweep (the §5.5 discussion): how circuit usage and speedup
+//! evolve with chip size. Longer paths and more concurrent traffic make
+//! complete circuits harder to build — the reason the paper argues for
+//! timed circuits and partitioned usage at larger scales.
+
+use rcsim_bench::{run_point, save_json};
+use rcsim_core::MechanismConfig;
+
+fn main() {
+    let app = std::env::var("RC_APPS")
+        .ok()
+        .and_then(|s| s.split(',').next().map(str::to_owned))
+        .unwrap_or_else(|| "canneal".to_owned());
+    println!("Scalability sweep ('{app}'): circuits get harder to build as chips grow\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "cores", "Complete", "SlackDelay", "circuit%", "sd-circ%", "failed%"
+    );
+    let mut rows = Vec::new();
+    for cores in [16u16, 32, 64] {
+        let base = run_point(cores, MechanismConfig::baseline(), &app, 1);
+        let complete = run_point(cores, MechanismConfig::complete_noack(), &app, 1);
+        let slack = run_point(cores, MechanismConfig::slack_delay(1), &app, 1);
+        println!(
+            "{:<8} {:>11.3}x {:>11.3}x {:>9.1}% {:>9.1}% {:>9.1}%",
+            cores,
+            complete.speedup_over(&base),
+            slack.speedup_over(&base),
+            100.0 * complete.outcomes["circuit"],
+            100.0 * slack.outcomes["circuit"],
+            100.0 * complete.outcomes["failed"],
+        );
+        rows.push((
+            cores,
+            complete.speedup_over(&base),
+            complete.outcomes["circuit"],
+        ));
+    }
+    println!("\n(§5.2: circuit usage falls with chip size; §5.5: timed circuits and");
+    println!(" partitioning — see `examples/partitioned.rs` — are the remedies)");
+    save_json("scaling", &rows);
+}

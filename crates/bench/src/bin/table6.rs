@@ -1,0 +1,41 @@
+//! Table 6 — router area savings per mechanism version (analytical model;
+//! no simulation needed).
+
+use rcsim_bench::save_json;
+use rcsim_core::MechanismConfig;
+use rcsim_power::{area_savings, RouterArea};
+
+fn main() {
+    println!("Table 6 — router area savings vs the baseline 4-VC router\n");
+    let rows: [(&str, MechanismConfig, f64, f64); 3] = [
+        ("Fragmented", MechanismConfig::fragmented(), -19.28, -18.96),
+        ("Complete", MechanismConfig::complete(), 6.21, 5.77),
+        ("Complete Timed", MechanismConfig::timed_noack(), 3.38, 1.09),
+    ];
+
+    println!(
+        "{:<16} {:>18} {:>18}",
+        "version", "16 cores", "64 cores"
+    );
+    println!(
+        "{:<16} {:>9} {:>8} {:>9} {:>8}",
+        "", "paper", "model", "paper", "model"
+    );
+    let mut out = Vec::new();
+    for (name, mechanism, p16, p64) in rows {
+        let m16 = 100.0 * area_savings(&mechanism, 16);
+        let m64 = 100.0 * area_savings(&mechanism, 64);
+        println!(
+            "{:<16} {:>8.2}% {:>7.2}% {:>8.2}% {:>7.2}%",
+            name, p16, m16, p64, m64
+        );
+        out.push((name, m16, m64));
+    }
+
+    println!("\nBaseline router component shares (64 cores):");
+    let base = RouterArea::for_mechanism(&MechanismConfig::baseline(), 64);
+    for (name, share) in base.shares() {
+        println!("  {:<16} {:>5.1}%", name, 100.0 * share);
+    }
+    save_json("table6", &out);
+}

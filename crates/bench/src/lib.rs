@@ -1,0 +1,176 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (§5).
+//!
+//! Each binary (`table1`, `table5`, `table6`, `fig6`, `fig7`, `fig8`,
+//! `fig9`, `fig10`) prints the paper's reported numbers next to the
+//! values measured by this reproduction, and writes the raw rows as JSON
+//! under `target/experiments/`.
+//!
+//! Environment knobs (defaults keep a full figure under a few minutes):
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `RC_APPS` | `all`, or a comma list of workload names | 6 representative apps + mix |
+//! | `RC_CYCLES` | measured cycles per run | 30 000 |
+//! | `RC_WARMUP` | warm-up cycles per run | 60 000 |
+//! | `RC_SEEDS` | seeds averaged per point | 1 |
+//! | `RC_CORES` | comma list of core counts | `16,64` |
+//! | `RC_SMALL_CACHES` | `1` = scaled-down caches (smoke runs) | paper's Table 2 sizes |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rcsim_core::MechanismConfig;
+use rcsim_stats::Accumulator;
+use rcsim_system::{run_sim, RunResult, SimConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The workloads an experiment sweeps (see `RC_APPS`).
+pub fn experiment_apps() -> Vec<String> {
+    match std::env::var("RC_APPS") {
+        Ok(s) if s == "all" => rcsim_workload::workload_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        Ok(s) => s.split(',').map(|a| a.trim().to_owned()).collect(),
+        Err(_) => ["blackscholes", "canneal", "fft", "ocean_cp", "raytrace", "swaptions", "mix"]
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Measured cycles per run (see `RC_CYCLES`).
+pub fn measure_cycles() -> u64 {
+    env_u64("RC_CYCLES", 30_000)
+}
+
+/// Warm-up cycles per run (see `RC_WARMUP`). The default is long enough
+/// for the caches to reach a steady state (the paper warms for 200 M
+/// cycles; the synthetic workloads converge much faster).
+pub fn warmup_cycles() -> u64 {
+    env_u64("RC_WARMUP", 60_000)
+}
+
+/// Workload seeds per (app, configuration) point: `RC_SEEDS=n` averages
+/// over `n` seeds (default 1; figures gain tighter error bars at n× cost).
+pub fn seeds() -> Vec<u64> {
+    let n = env_u64("RC_SEEDS", 1).max(1);
+    (1..=n).collect()
+}
+
+/// Chip sizes to sweep (see `RC_CORES`).
+pub fn cores_list() -> Vec<u16> {
+    match std::env::var("RC_CORES") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|v| v.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![16, 64],
+    }
+}
+
+/// One experiment run with the harness-wide settings applied.
+///
+/// # Panics
+///
+/// Panics when the configuration is invalid (unknown workload etc.) —
+/// experiment binaries fail loudly.
+pub fn run_point(cores: u16, mechanism: MechanismConfig, app: &str, seed: u64) -> RunResult {
+    let cfg = SimConfig {
+        cores,
+        mechanism,
+        workload: app.to_owned(),
+        seed,
+        warmup_cycles: warmup_cycles(),
+        measure_cycles: measure_cycles(),
+        // Experiments default to the paper's Table 2 cache sizes; set
+        // RC_SMALL_CACHES=1 for quick smoke runs.
+        small_caches: std::env::var("RC_SMALL_CACHES").is_ok_and(|v| v == "1"),
+    };
+    run_sim(&cfg).unwrap_or_else(|e| panic!("{app}/{}/{cores}: {e}", mechanism.label()))
+}
+
+/// Runs `mechanism` over all experiment apps (× `RC_SEEDS` seeds);
+/// returns one result per (app, seed). `seed` offsets the seed sequence
+/// so paired comparisons stay paired.
+pub fn run_apps(cores: u16, mechanism: MechanismConfig, seed: u64) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for app in experiment_apps() {
+        for s in seeds() {
+            out.push(run_point(cores, mechanism, &app, seed + s - 1));
+        }
+    }
+    out
+}
+
+/// Mean of a per-run metric across applications, with CI95 half-width.
+pub fn mean_ci<F: Fn(&RunResult) -> f64>(results: &[RunResult], f: F) -> (f64, f64) {
+    let acc: Accumulator = results.iter().map(f).collect();
+    (acc.mean(), acc.ci95_half_width())
+}
+
+/// Writes an experiment's raw rows to `target/experiments/<name>.json`.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Ok(s) = serde_json::to_string_pretty(value) {
+            let _ = std::fs::write(&path, s);
+            eprintln!("(raw rows written to {})", path.display());
+        }
+    }
+}
+
+/// Pretty percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// A terminal bar for figure-style output: `value` rendered against
+/// `max`, `width` characters wide.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round() as usize;
+    "█".repeat(filled.min(width))
+}
+
+/// Aggregates outcome fractions across runs (weighted by replies).
+pub fn mean_outcomes(results: &[RunResult]) -> BTreeMap<String, f64> {
+    let mut sums: BTreeMap<String, Accumulator> = BTreeMap::new();
+    for r in results {
+        for (k, v) in &r.outcomes {
+            sums.entry(k.clone()).or_default().add(*v);
+        }
+    }
+    sums.into_iter().map(|(k, a)| (k, a.mean())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        assert!(!experiment_apps().is_empty());
+        assert!(measure_cycles() > 0);
+        assert!(cores_list().contains(&16));
+    }
+
+    #[test]
+    fn mean_ci_works() {
+        let r: Vec<RunResult> = Vec::new();
+        let (m, ci) = mean_ci(&r, |x| x.instructions as f64);
+        assert_eq!((m, ci), (0.0, 0.0));
+    }
+}

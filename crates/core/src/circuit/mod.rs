@@ -1,0 +1,24 @@
+//! The reactive-circuit reservation engine (the paper's §4).
+//!
+//! A *circuit* is a per-router reservation of the crossbar path and output
+//! virtual channel that a reply will need, written while its request
+//! traverses the network. Three pieces cooperate:
+//!
+//! * [`CircuitKey`] — the identity stored at each router (requestor id +
+//!   cache-line address, §4.1);
+//! * [`CircuitHandle`] — the in-flight record carried in the *request*
+//!   header, accumulating how much of the circuit was built and (for timed
+//!   variants) the injection-window algebra of [`timing`];
+//! * [`RouterCircuits`] — the per-router tables and conflict rules
+//!   ([`RouterCircuits::try_reserve`] is where fragmented/complete/timed/
+//!   ideal differ).
+
+pub mod timing;
+
+mod handle;
+mod table;
+
+pub use handle::{CircuitHandle, CircuitKey, TimingState};
+pub use table::{
+    CircuitEntry, ReserveError, ReserveOutcome, ReserveRequest, RouterCircuits, TableStats,
+};

@@ -1,0 +1,290 @@
+//! 2-D mesh geometry: coordinates, neighbours and distances.
+
+use crate::config::ConfigError;
+use crate::types::{Direction, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An (x, y) tile coordinate; `x` grows east, `y` grows south.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column, `0..width`.
+    pub x: u16,
+    /// Row, `0..height`.
+    pub y: u16,
+}
+
+/// A rectangular mesh of tiles, numbered row-major.
+///
+/// # Examples
+///
+/// ```
+/// use rcsim_core::geometry::Mesh;
+/// use rcsim_core::types::{Direction, NodeId};
+///
+/// let mesh = Mesh::new(4, 4)?;
+/// assert_eq!(mesh.nodes(), 16);
+/// assert_eq!(mesh.neighbor(NodeId(5), Direction::East), Some(NodeId(6)));
+/// assert_eq!(mesh.neighbor(NodeId(3), Direction::East), None); // edge
+/// assert_eq!(mesh.distance(NodeId(0), NodeId(15)), 6);
+/// # Ok::<(), rcsim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptyMesh`] if either dimension is zero, and
+    /// [`ConfigError::MeshTooLarge`] if the node count would not fit the
+    /// 16-bit [`NodeId`] space.
+    pub fn new(width: u16, height: u16) -> Result<Self, ConfigError> {
+        if width == 0 || height == 0 {
+            return Err(ConfigError::EmptyMesh);
+        }
+        if (width as u32) * (height as u32) > u16::MAX as u32 {
+            return Err(ConfigError::MeshTooLarge);
+        }
+        Ok(Self { width, height })
+    }
+
+    /// A square mesh for `cores` tiles (16 → 4×4, 64 → 8×8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NotSquare`] if `cores` is not a perfect
+    /// square, or the errors of [`Mesh::new`].
+    pub fn square(cores: u16) -> Result<Self, ConfigError> {
+        let side = (cores as f64).sqrt().round() as u16;
+        if side * side != cores {
+            return Err(ConfigError::NotSquare(cores));
+        }
+        Mesh::new(side, side)
+    }
+
+    /// The most nearly square mesh with exactly `cores` tiles (e.g.
+    /// 32 → 8×4), used for scalability sweeps between the paper's square
+    /// chip sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::EmptyMesh`] for zero cores and
+    /// [`ConfigError::MeshTooLarge`] past the node-id space.
+    pub fn near_square(cores: u16) -> Result<Self, ConfigError> {
+        if cores == 0 {
+            return Err(ConfigError::EmptyMesh);
+        }
+        let mut best = (cores, 1u16);
+        let mut h = 1u16;
+        while h * h <= cores {
+            if cores % h == 0 {
+                best = (cores / h, h);
+            }
+            h += 1;
+        }
+        Mesh::new(best.0, best.1)
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total number of tiles.
+    pub fn nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Iterator over all node ids, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes() as u16).map(NodeId)
+    }
+
+    /// Coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this mesh.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(
+            node.index() < self.nodes(),
+            "node {node} out of range for {}x{} mesh",
+            self.width,
+            self.height
+        );
+        Coord {
+            x: node.0 % self.width,
+            y: node.0 / self.width,
+        }
+    }
+
+    /// Node at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the mesh.
+    pub fn node(&self, c: Coord) -> NodeId {
+        assert!(c.x < self.width && c.y < self.height, "coord out of range");
+        NodeId(c.y * self.width + c.x)
+    }
+
+    /// The neighbouring node in a direction, or `None` at a mesh edge or
+    /// for `Local`.
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(node);
+        let n = match dir {
+            Direction::North => Coord {
+                x: c.x,
+                y: c.y.checked_sub(1)?,
+            },
+            Direction::South => {
+                if c.y + 1 >= self.height {
+                    return None;
+                }
+                Coord { x: c.x, y: c.y + 1 }
+            }
+            Direction::East => {
+                if c.x + 1 >= self.width {
+                    return None;
+                }
+                Coord { x: c.x + 1, y: c.y }
+            }
+            Direction::West => Coord {
+                x: c.x.checked_sub(1)?,
+                y: c.y,
+            },
+            Direction::Local => return None,
+        };
+        Some(self.node(n))
+    }
+
+    /// Manhattan (hop) distance between two nodes.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as u32
+    }
+
+    /// The tiles holding memory controllers: spread along the top and
+    /// bottom edges, 4 controllers for both 16- and 64-node chips as in the
+    /// paper (Table 2).
+    pub fn memory_controller_tiles(&self) -> Vec<NodeId> {
+        let w = self.width;
+        let h = self.height;
+        let quarter = |i: u16| -> u16 { (w / 4).max(1).min(w - 1) * i % w };
+        vec![
+            self.node(Coord { x: quarter(1), y: 0 }),
+            self.node(Coord {
+                x: (w - 1 - quarter(1)).min(w - 1),
+                y: 0,
+            }),
+            self.node(Coord {
+                x: quarter(1),
+                y: h - 1,
+            }),
+            self.node(Coord {
+                x: (w - 1 - quarter(1)).min(w - 1),
+                y: h - 1,
+            }),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Mesh::new(0, 4).is_err());
+        assert!(Mesh::new(4, 0).is_err());
+        assert!(Mesh::new(300, 300).is_err());
+        assert!(Mesh::square(15).is_err());
+        assert_eq!(Mesh::square(16).unwrap(), Mesh::new(4, 4).unwrap());
+        assert_eq!(Mesh::square(64).unwrap(), Mesh::new(8, 8).unwrap());
+    }
+
+    #[test]
+    fn near_square_factors_sensibly() {
+        assert_eq!(Mesh::near_square(16).unwrap(), Mesh::new(4, 4).unwrap());
+        assert_eq!(Mesh::near_square(32).unwrap(), Mesh::new(8, 4).unwrap());
+        assert_eq!(Mesh::near_square(64).unwrap(), Mesh::new(8, 8).unwrap());
+        assert_eq!(Mesh::near_square(7).unwrap(), Mesh::new(7, 1).unwrap());
+        assert!(Mesh::near_square(0).is_err());
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let m = Mesh::new(5, 3).unwrap();
+        for n in m.iter() {
+            assert_eq!(m.node(m.coord(n)), n);
+        }
+    }
+
+    #[test]
+    fn neighbors_4x4() {
+        let m = Mesh::new(4, 4).unwrap();
+        assert_eq!(m.neighbor(NodeId(0), Direction::North), None);
+        assert_eq!(m.neighbor(NodeId(0), Direction::West), None);
+        assert_eq!(m.neighbor(NodeId(0), Direction::East), Some(NodeId(1)));
+        assert_eq!(m.neighbor(NodeId(0), Direction::South), Some(NodeId(4)));
+        assert_eq!(m.neighbor(NodeId(15), Direction::South), None);
+        assert_eq!(m.neighbor(NodeId(15), Direction::East), None);
+        assert_eq!(m.neighbor(NodeId(5), Direction::Local), None);
+    }
+
+    #[test]
+    fn neighbor_is_symmetric() {
+        let m = Mesh::new(4, 4).unwrap();
+        for n in m.iter() {
+            for d in [Direction::North, Direction::East, Direction::South, Direction::West] {
+                if let Some(nb) = m.neighbor(n, d) {
+                    assert_eq!(m.neighbor(nb, d.opposite()), Some(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances() {
+        let m = Mesh::new(8, 8).unwrap();
+        assert_eq!(m.distance(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.distance(NodeId(0), NodeId(63)), 14);
+        assert_eq!(m.distance(NodeId(0), NodeId(7)), 7);
+        assert_eq!(m.distance(NodeId(7), NodeId(0)), 7);
+    }
+
+    #[test]
+    fn memory_controllers_on_edges() {
+        for cores in [16u16, 64] {
+            let m = Mesh::square(cores).unwrap();
+            let mcs = m.memory_controller_tiles();
+            assert_eq!(mcs.len(), 4);
+            for mc in &mcs {
+                let c = m.coord(*mc);
+                assert!(c.y == 0 || c.y == m.height() - 1, "mc {mc} not on edge");
+            }
+            // All distinct.
+            let mut sorted = mcs.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_out_of_range_panics() {
+        let m = Mesh::new(2, 2).unwrap();
+        m.coord(NodeId(4));
+    }
+}

@@ -1,0 +1,49 @@
+//! Core of the Reactive Circuits reproduction: base types, mesh geometry,
+//! XY/YX dimension-order routing, the mechanism configuration space, and —
+//! the paper's primary contribution — the **circuit reservation engine**.
+//!
+//! The engine ([`circuit::RouterCircuits`]) implements every reservation
+//! flavour evaluated by the paper:
+//!
+//! * *fragmented* circuits (partial reservations kept, 2 circuits/input,
+//!   one per extra circuit VC),
+//! * *complete* circuits (all-or-nothing, buffers removed, 5 circuits/input,
+//!   same-source-per-input and unique-input-per-output conflict rules),
+//! * *timed* complete circuits with the `Slack`, `SlackDelay` and
+//!   `Postponed` variants (window algebra in [`circuit::timing`]),
+//! * the *ideal* upper bound (no conflict rules, unlimited storage).
+//!
+//! Higher layers ([`rcsim-noc`](https://docs.rs/rcsim-noc),
+//! [`rcsim-protocol`](https://docs.rs/rcsim-protocol)) embed one
+//! [`circuit::RouterCircuits`] per router and one
+//! [`circuit::CircuitHandle`] per in-flight request.
+//!
+//! # Examples
+//!
+//! ```
+//! use rcsim_core::geometry::Mesh;
+//! use rcsim_core::routing::{route_path, Routing};
+//! use rcsim_core::types::NodeId;
+//!
+//! let mesh = Mesh::new(4, 4)?;
+//! let req = route_path(&mesh, NodeId(0), NodeId(15), Routing::Xy);
+//! let rep = route_path(&mesh, NodeId(15), NodeId(0), Routing::Yx);
+//! // XY there and YX back cross the same routers, in reverse order.
+//! let mut rev = rep.clone();
+//! rev.reverse();
+//! assert_eq!(req, rev);
+//! # Ok::<(), rcsim_core::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod config;
+pub mod geometry;
+pub mod routing;
+pub mod types;
+
+pub use config::{CircuitMode, ConfigError, MechanismConfig, TimedPolicy};
+pub use geometry::Mesh;
+pub use types::{Cycle, Direction, MessageClass, NodeId, Vnet};

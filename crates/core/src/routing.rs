@@ -1,0 +1,159 @@
+//! Dimension-order routing.
+//!
+//! The paper modifies classic DOR so that requests use XY and replies use
+//! YX (§4.1): the two then traverse the *same* routers in opposite order,
+//! which is what lets a request reserve circuit resources for its reply at
+//! every hop. Different message types travel on different virtual networks,
+//! so the XY/YX mix stays deadlock-free.
+
+use crate::geometry::Mesh;
+use crate::types::{Direction, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Routing {
+    /// X first then Y — used by the request virtual network.
+    Xy,
+    /// Y first then X — used by the reply virtual network.
+    Yx,
+}
+
+impl Routing {
+    /// The routing used by a virtual network.
+    pub fn for_vnet(vnet: crate::types::Vnet) -> Routing {
+        match vnet {
+            crate::types::Vnet::Request => Routing::Xy,
+            crate::types::Vnet::Reply => Routing::Yx,
+        }
+    }
+}
+
+/// The output direction to take at router `at` for a packet heading to
+/// `dst`. Returns [`Direction::Local`] when `at == dst` (eject).
+///
+/// # Examples
+///
+/// ```
+/// use rcsim_core::geometry::Mesh;
+/// use rcsim_core::routing::{next_hop, Routing};
+/// use rcsim_core::types::{Direction, NodeId};
+///
+/// let mesh = Mesh::new(4, 4)?;
+/// // From n0 (0,0) to n5 (1,1): XY goes East first, YX goes South first.
+/// assert_eq!(next_hop(&mesh, NodeId(0), NodeId(5), Routing::Xy), Direction::East);
+/// assert_eq!(next_hop(&mesh, NodeId(0), NodeId(5), Routing::Yx), Direction::South);
+/// # Ok::<(), rcsim_core::ConfigError>(())
+/// ```
+pub fn next_hop(mesh: &Mesh, at: NodeId, dst: NodeId, algo: Routing) -> Direction {
+    let a = mesh.coord(at);
+    let d = mesh.coord(dst);
+    let x_dir = if d.x > a.x {
+        Some(Direction::East)
+    } else if d.x < a.x {
+        Some(Direction::West)
+    } else {
+        None
+    };
+    let y_dir = if d.y > a.y {
+        Some(Direction::South)
+    } else if d.y < a.y {
+        Some(Direction::North)
+    } else {
+        None
+    };
+    match algo {
+        Routing::Xy => x_dir.or(y_dir).unwrap_or(Direction::Local),
+        Routing::Yx => y_dir.or(x_dir).unwrap_or(Direction::Local),
+    }
+}
+
+/// The full sequence of routers a packet visits from `src` to `dst`
+/// (inclusive of both endpoints).
+pub fn route_path(mesh: &Mesh, src: NodeId, dst: NodeId, algo: Routing) -> Vec<NodeId> {
+    let mut path = vec![src];
+    let mut at = src;
+    while at != dst {
+        let dir = next_hop(mesh, at, dst, algo);
+        at = mesh
+            .neighbor(at, dir)
+            .expect("next_hop returned an edge-crossing direction");
+        path.push(at);
+    }
+    path
+}
+
+/// Number of router-to-router hops between `src` and `dst` under DOR
+/// (equals the Manhattan distance — DOR is minimal).
+pub fn hop_count(mesh: &Mesh, src: NodeId, dst: NodeId) -> u32 {
+    mesh.distance(src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn eject_at_destination() {
+        let m = mesh();
+        assert_eq!(next_hop(&m, NodeId(7), NodeId(7), Routing::Xy), Direction::Local);
+        assert_eq!(next_hop(&m, NodeId(7), NodeId(7), Routing::Yx), Direction::Local);
+    }
+
+    #[test]
+    fn xy_goes_x_first() {
+        let m = mesh();
+        // n0 = (0,0), n10 = (2,2)
+        let p = route_path(&m, NodeId(0), NodeId(10), Routing::Xy);
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6), NodeId(10)]);
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let m = mesh();
+        let p = route_path(&m, NodeId(0), NodeId(10), Routing::Yx);
+        assert_eq!(p, vec![NodeId(0), NodeId(4), NodeId(8), NodeId(9), NodeId(10)]);
+    }
+
+    #[test]
+    fn paths_are_minimal() {
+        let m = Mesh::new(8, 8).unwrap();
+        for s in [0u16, 9, 37, 63] {
+            for d in [0u16, 5, 33, 63] {
+                let (s, d) = (NodeId(s), NodeId(d));
+                for algo in [Routing::Xy, Routing::Yx] {
+                    let p = route_path(&m, s, d, algo);
+                    assert_eq!(p.len() as u32, m.distance(s, d) + 1);
+                    assert_eq!(p.first(), Some(&s));
+                    assert_eq!(p.last(), Some(&d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_forward_equals_yx_reverse() {
+        // The property the whole mechanism rests on (§4.1): the reply's YX
+        // path visits exactly the request's XY routers, reversed.
+        let m = Mesh::new(8, 8).unwrap();
+        for s in 0..64u16 {
+            for d in [0u16, 7, 28, 56, 63] {
+                let fwd = route_path(&m, NodeId(s), NodeId(d), Routing::Xy);
+                let mut back = route_path(&m, NodeId(d), NodeId(s), Routing::Yx);
+                back.reverse();
+                assert_eq!(fwd, back, "s={s} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_for_vnet() {
+        use crate::types::Vnet;
+        assert_eq!(Routing::for_vnet(Vnet::Request), Routing::Xy);
+        assert_eq!(Routing::for_vnet(Vnet::Reply), Routing::Yx);
+    }
+}

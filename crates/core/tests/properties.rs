@@ -1,0 +1,176 @@
+//! Property-based tests for the core geometry, routing and circuit-table
+//! invariants.
+
+use proptest::prelude::*;
+use rcsim_core::circuit::timing::TimeWindow;
+use rcsim_core::circuit::{CircuitKey, ReserveRequest, RouterCircuits};
+use rcsim_core::routing::{next_hop, route_path, Routing};
+use rcsim_core::{CircuitMode, Direction, Mesh, NodeId};
+
+fn mesh_and_pair() -> impl Strategy<Value = (Mesh, NodeId, NodeId)> {
+    (2u16..=8, 2u16..=8).prop_flat_map(|(w, h)| {
+        let n = w * h;
+        (Just(Mesh::new(w, h).expect("valid dims")), 0..n, 0..n)
+            .prop_map(|(m, a, b)| (m, NodeId(a), NodeId(b)))
+    })
+}
+
+proptest! {
+    /// DOR paths are minimal and end where they should.
+    #[test]
+    fn dor_paths_minimal((mesh, a, b) in mesh_and_pair()) {
+        for algo in [Routing::Xy, Routing::Yx] {
+            let p = route_path(&mesh, a, b, algo);
+            prop_assert_eq!(p.len() as u32, mesh.distance(a, b) + 1);
+            prop_assert_eq!(*p.first().expect("non-empty"), a);
+            prop_assert_eq!(*p.last().expect("non-empty"), b);
+            // Consecutive path elements are mesh neighbours.
+            for w in p.windows(2) {
+                prop_assert_eq!(mesh.distance(w[0], w[1]), 1);
+            }
+        }
+    }
+
+    /// The property Reactive Circuits is built on: the XY path there is
+    /// the YX path back, reversed (§4.1).
+    #[test]
+    fn xy_equals_reversed_yx((mesh, a, b) in mesh_and_pair()) {
+        let fwd = route_path(&mesh, a, b, Routing::Xy);
+        let mut back = route_path(&mesh, b, a, Routing::Yx);
+        back.reverse();
+        prop_assert_eq!(fwd, back);
+    }
+
+    /// next_hop never points across the mesh edge.
+    #[test]
+    fn next_hop_stays_inside((mesh, a, b) in mesh_and_pair()) {
+        let d = next_hop(&mesh, a, b, Routing::Xy);
+        if a == b {
+            prop_assert_eq!(d, Direction::Local);
+        } else {
+            prop_assert!(mesh.neighbor(a, d).is_some());
+        }
+    }
+
+    /// Window overlap is symmetric and consistent with an exhaustive
+    /// cycle-by-cycle check.
+    #[test]
+    fn window_overlap_is_exact(s1 in 0u64..50, l1 in 0u64..10, s2 in 0u64..50, l2 in 0u64..10) {
+        let a = TimeWindow::new(s1, s1 + l1);
+        let b = TimeWindow::new(s2, s2 + l2);
+        let brute = (s1..s1 + l1).any(|t| t >= s2 && t < s2 + l2);
+        prop_assert_eq!(a.overlaps(&b), brute);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+}
+
+/// A random reservation workload against the complete-circuit rules.
+#[derive(Debug, Clone)]
+struct Op {
+    key_block: u64,
+    source: u16,
+    in_port: usize,
+    out_port: usize,
+    release: bool,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u64..32, 0u16..16, 0usize..5, 0usize..5, prop::bool::ANY).prop_map(
+            |(key_block, source, in_port, out_port, release)| Op {
+                key_block,
+                source,
+                in_port,
+                out_port,
+                release,
+            },
+        ),
+        0..200,
+    )
+}
+
+proptest! {
+    /// After any sequence of reservations and releases, the §4.2
+    /// complete-circuit invariants hold: every input port's circuits share
+    /// one source, and no output port is reserved from two different
+    /// input ports.
+    #[test]
+    fn complete_rules_always_hold(ops in ops()) {
+        let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
+        let mut live: Vec<(Direction, CircuitKey, NodeId, Direction)> = Vec::new();
+        for op in ops {
+            let key = CircuitKey { requestor: NodeId(op.source % 4), block: op.key_block * 64 };
+            let in_port = Direction::from_index(op.in_port);
+            let out_port = Direction::from_index(op.out_port);
+            if op.release {
+                if let Some(pos) = live.iter().position(|(_, k, _, _)| *k == key) {
+                    let (p, k, _, _) = live.remove(pos);
+                    prop_assert!(rc.release(p, k).is_some());
+                }
+            } else if !live.iter().any(|(_, k, _, _)| *k == key) {
+                let req = ReserveRequest {
+                    key,
+                    source: NodeId(op.source),
+                    in_port,
+                    out_port,
+                    window: None,
+                    max_extra_shift: 0,
+                };
+                if rc.try_reserve(&req).is_ok() {
+                    live.push((in_port, key, NodeId(op.source), out_port));
+                }
+            }
+
+            // Invariant 1: same input port => same source.
+            for d in Direction::ALL {
+                let sources: Vec<NodeId> = live
+                    .iter()
+                    .filter(|(p, _, _, _)| *p == d)
+                    .map(|(_, _, s, _)| *s)
+                    .collect();
+                prop_assert!(sources.windows(2).all(|w| w[0] == w[1]));
+            }
+            // Invariant 2: an output port is reserved from one input only.
+            for d in Direction::ALL {
+                let inputs: Vec<Direction> = live
+                    .iter()
+                    .filter(|(_, _, _, o)| *o == d)
+                    .map(|(p, _, _, _)| *p)
+                    .collect();
+                prop_assert!(inputs.windows(2).all(|w| w[0] == w[1]));
+            }
+            // Capacity: at most 5 per input port.
+            for d in Direction::ALL {
+                prop_assert!(rc.occupancy(d) <= 5);
+            }
+        }
+    }
+
+    /// Ideal mode accepts everything and undo always finds what was
+    /// reserved.
+    #[test]
+    fn ideal_reserve_then_undo(ops in ops()) {
+        let mut rc = RouterCircuits::new(CircuitMode::Ideal, 5, 1);
+        let mut keys = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let key = CircuitKey {
+                requestor: NodeId(op.source),
+                block: i as u64 * 64,
+            };
+            rc.try_reserve(&ReserveRequest {
+                key,
+                source: NodeId(op.source),
+                in_port: Direction::from_index(op.in_port),
+                out_port: Direction::from_index(op.out_port),
+                window: None,
+                max_extra_shift: 0,
+            })
+            .expect("ideal never fails");
+            keys.push(key);
+        }
+        for key in keys {
+            prop_assert!(rc.undo(key).is_some());
+        }
+        prop_assert_eq!(rc.total_entries(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Network configuration and the virtual-channel layout.
+
+use rcsim_core::{MechanismConfig, Mesh, Vnet};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Configuration of one network instance.
+///
+/// The defaults of [`NocConfig::paper_baseline`] reproduce Table 4 of the
+/// paper: 2 VCs per virtual network (plus the fragmented mode's extra
+/// reply VC), 5-flit buffers, 16-byte flits, 1-cycle links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh topology.
+    pub mesh: Mesh,
+    /// The Reactive Circuits mechanism configuration.
+    pub mechanism: MechanismConfig,
+    /// Flit buffer depth per VC, in flits (5: one whole data message).
+    pub buffer_depth: u32,
+    /// Flit payload width in bytes (16).
+    pub flit_bytes: u32,
+    /// Virtual channels in the request virtual network (2).
+    pub req_vcs: usize,
+    /// Link traversal latency in cycles (1).
+    pub link_latency: u32,
+    /// Fixed ejection + responder-NI + injection overhead added to the
+    /// timed-window nominal estimate, in cycles. The reservation estimator
+    /// of §4.7 counts 5 cycles/hop for the request, the responder
+    /// turnaround, and 2 cycles/hop for the reply; the constant pipeline
+    /// cycles at both endpoints are known at design time and included here
+    /// so that an undelayed request yields an exactly-met window.
+    pub inject_overhead: u32,
+}
+
+impl NocConfig {
+    /// The Table 4 configuration for a given mesh and mechanism.
+    pub fn paper_baseline(mesh: Mesh, mechanism: MechanismConfig) -> Self {
+        Self {
+            mesh,
+            mechanism,
+            buffer_depth: 5,
+            flit_bytes: 16,
+            req_vcs: 2,
+            link_latency: 1,
+            inject_overhead: 6,
+        }
+    }
+
+    /// The VC layout implied by the mechanism configuration.
+    pub fn vc_layout(&self) -> VcLayout {
+        VcLayout {
+            req_vcs: self.req_vcs,
+            reply_vcs: self.mechanism.reply_vcs(),
+            circuit_vcs: self.mechanism.circuit_vcs(),
+        }
+    }
+}
+
+/// How the virtual channels of one physical port are split between the two
+/// virtual networks and the circuit class.
+///
+/// VC indices are dense: request VCs first, then reply VCs; the *last*
+/// `circuit_vcs` reply VCs are the circuit class (bufferless in complete
+/// mode).
+///
+/// # Examples
+///
+/// ```
+/// use rcsim_core::{MechanismConfig, Mesh, Vnet};
+/// use rcsim_noc::NocConfig;
+///
+/// let cfg = NocConfig::paper_baseline(
+///     Mesh::new(4, 4)?,
+///     MechanismConfig::complete(),
+/// );
+/// let vl = cfg.vc_layout();
+/// assert_eq!(vl.total(), 4);
+/// assert_eq!(vl.vnet_of(0), Vnet::Request);
+/// assert_eq!(vl.vnet_of(3), Vnet::Reply);
+/// assert!(vl.is_circuit_vc(3));
+/// assert!(!vl.is_circuit_vc(2));
+/// # Ok::<(), rcsim_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcLayout {
+    /// VCs in the request virtual network.
+    pub req_vcs: usize,
+    /// VCs in the reply virtual network (incl. circuit class).
+    pub reply_vcs: usize,
+    /// Trailing reply VCs dedicated to circuits.
+    pub circuit_vcs: usize,
+}
+
+impl VcLayout {
+    /// Total VCs per port.
+    pub fn total(&self) -> usize {
+        self.req_vcs + self.reply_vcs
+    }
+
+    /// Virtual network a VC index belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` is out of range.
+    pub fn vnet_of(&self, vc: usize) -> Vnet {
+        assert!(vc < self.total(), "vc {vc} out of range");
+        if vc < self.req_vcs {
+            Vnet::Request
+        } else {
+            Vnet::Reply
+        }
+    }
+
+    /// The VC index range of a virtual network.
+    pub fn vcs_of(&self, vnet: Vnet) -> Range<usize> {
+        match vnet {
+            Vnet::Request => 0..self.req_vcs,
+            Vnet::Reply => self.req_vcs..self.total(),
+        }
+    }
+
+    /// `true` when `vc` is a circuit-class VC.
+    pub fn is_circuit_vc(&self, vc: usize) -> bool {
+        vc >= self.total() - self.circuit_vcs && vc < self.total()
+    }
+
+    /// The global VC index of circuit VC `i` (`i < circuit_vcs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= circuit_vcs`.
+    pub fn circuit_vc(&self, i: usize) -> usize {
+        assert!(i < self.circuit_vcs, "circuit vc {i} out of range");
+        self.total() - self.circuit_vcs + i
+    }
+
+    /// The VC index range a packet may be *allocated* in by the VC
+    /// allocator: its VN's VCs minus the circuit class (circuit VCs are
+    /// only ever used through reservations).
+    pub fn allocatable_vcs(&self, vnet: Vnet) -> Range<usize> {
+        match vnet {
+            Vnet::Request => 0..self.req_vcs,
+            Vnet::Reply => self.req_vcs..self.total() - self.circuit_vcs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcsim_core::MechanismConfig;
+
+    fn layout_for(mechanism: MechanismConfig) -> VcLayout {
+        NocConfig::paper_baseline(Mesh::new(4, 4).unwrap(), mechanism).vc_layout()
+    }
+
+    #[test]
+    fn baseline_layout() {
+        let vl = layout_for(MechanismConfig::baseline());
+        assert_eq!(vl.total(), 4);
+        assert_eq!(vl.circuit_vcs, 0);
+        assert_eq!(vl.vcs_of(Vnet::Request), 0..2);
+        assert_eq!(vl.vcs_of(Vnet::Reply), 2..4);
+        assert_eq!(vl.allocatable_vcs(Vnet::Reply), 2..4);
+        assert!(!vl.is_circuit_vc(3));
+    }
+
+    #[test]
+    fn fragmented_layout_has_extra_vc() {
+        let vl = layout_for(MechanismConfig::fragmented());
+        assert_eq!(vl.total(), 5);
+        assert_eq!(vl.circuit_vcs, 2);
+        assert_eq!(vl.allocatable_vcs(Vnet::Reply), 2..3);
+        assert!(vl.is_circuit_vc(3));
+        assert!(vl.is_circuit_vc(4));
+        assert_eq!(vl.circuit_vc(0), 3);
+        assert_eq!(vl.circuit_vc(1), 4);
+    }
+
+    #[test]
+    fn complete_layout_dedicates_one_vc() {
+        let vl = layout_for(MechanismConfig::complete());
+        assert_eq!(vl.total(), 4);
+        assert_eq!(vl.circuit_vcs, 1);
+        assert_eq!(vl.allocatable_vcs(Vnet::Reply), 2..3);
+        assert!(vl.is_circuit_vc(3));
+        assert_eq!(vl.circuit_vc(0), 3);
+    }
+
+    #[test]
+    fn request_vcs_never_circuit_class() {
+        for m in [
+            MechanismConfig::baseline(),
+            MechanismConfig::fragmented(),
+            MechanismConfig::complete(),
+            MechanismConfig::ideal(),
+        ] {
+            let vl = layout_for(m);
+            for vc in vl.vcs_of(Vnet::Request) {
+                assert!(!vl.is_circuit_vc(vc));
+                assert_eq!(vl.vnet_of(vc), Vnet::Request);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vnet_of_out_of_range_panics() {
+        layout_for(MechanismConfig::baseline()).vnet_of(9);
+    }
+}

@@ -1,0 +1,403 @@
+//! The whole network: routers, links, NIs and the cycle loop.
+
+use crate::config::NocConfig;
+use crate::flit::{Delivered, Flit, PacketId, PacketSpec};
+use crate::ni::{Ni, NiOut};
+use crate::router::{Outgoing, Router};
+use crate::stats::NocStats;
+use rcsim_core::circuit::CircuitKey;
+use rcsim_core::{ConfigError, Cycle, Direction, NodeId};
+
+/// Messages in flight towards one router.
+#[derive(Debug, Default)]
+struct RouterInbox {
+    /// Flits per input direction, with arrival cycle.
+    flits: [Vec<(Cycle, Flit)>; 5],
+    /// Credits per *output* direction (they return upstream).
+    credits: [Vec<(Cycle, usize)>; 5],
+    /// Undo notifications.
+    undos: Vec<(Cycle, CircuitKey, NodeId)>,
+}
+
+/// Messages in flight towards one NI.
+#[derive(Debug, Default)]
+struct NiInbox {
+    flits: Vec<(Cycle, Flit)>,
+    credits: Vec<(Cycle, usize)>,
+}
+
+fn drain_due<T>(v: &mut Vec<(Cycle, T)>, now: Cycle) -> Vec<T> {
+    let mut due = Vec::new();
+    let mut i = 0;
+    while i < v.len() {
+        if v[i].0 <= now {
+            due.push(v.remove(i).1);
+        } else {
+            i += 1;
+        }
+    }
+    due
+}
+
+/// A mesh NoC instance.
+///
+/// Drive it with [`Network::tick`]; submit packets with
+/// [`Network::inject`]; collect arrivals with [`Network::take_delivered`].
+/// See the crate docs for a complete example.
+pub struct Network {
+    cfg: NocConfig,
+    routers: Vec<Router>,
+    nis: Vec<Ni>,
+    router_inboxes: Vec<RouterInbox>,
+    ni_inboxes: Vec<NiInbox>,
+    delivered: Vec<Vec<Delivered>>,
+    stats: NocStats,
+    now: Cycle,
+    next_packet: u64,
+}
+
+impl Network {
+    /// Builds the network for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the mechanism's [`ConfigError`] when the configuration is
+    /// internally inconsistent (see
+    /// [`MechanismConfig::validate`](rcsim_core::MechanismConfig::validate)).
+    pub fn new(cfg: NocConfig) -> Result<Self, ConfigError> {
+        cfg.mechanism.validate()?;
+        let n = cfg.mesh.nodes();
+        Ok(Self {
+            cfg,
+            routers: cfg.mesh.iter().map(|id| Router::new(id, &cfg)).collect(),
+            nis: cfg.mesh.iter().map(|id| Ni::new(id, &cfg)).collect(),
+            router_inboxes: (0..n).map(|_| RouterInbox::default()).collect(),
+            ni_inboxes: (0..n).map(|_| NiInbox::default()).collect(),
+            delivered: vec![Vec::new(); n],
+            stats: NocStats::default(),
+            now: 0,
+            next_packet: 0,
+        })
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Submits a packet at its source NI. Returns the packet id and, for
+    /// replies, whether the packet committed to riding its own complete
+    /// circuit — the condition under which the protocol may eliminate the
+    /// `L1_DATA_ACK` (§4.6).
+    ///
+    /// A packet with `src == dst` never enters the network: it is
+    /// delivered directly on the next cycle (tile-local traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` are outside the mesh.
+    pub fn inject(&mut self, spec: PacketSpec) -> (PacketId, bool) {
+        assert!(spec.src.index() < self.cfg.mesh.nodes(), "src out of range");
+        assert!(spec.dst.index() < self.cfg.mesh.nodes(), "dst out of range");
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        if spec.src == spec.dst {
+            self.delivered[spec.dst.index()].push(Delivered {
+                packet: id,
+                src: spec.src,
+                dst: spec.dst,
+                class: spec.class,
+                block: spec.block,
+                token: spec.token,
+                created_at: self.now,
+                injected_at: self.now,
+                delivered_at: self.now + 1,
+                circuit: None,
+                rode_circuit: false,
+            });
+            return (id, false);
+        }
+        let committed =
+            self.nis[spec.src.index()].enqueue(spec, id, self.now, &mut self.stats);
+        (id, committed)
+    }
+
+    /// Tears down an unused circuit whose origin is `node`'s NI — the
+    /// protocol calls this when the L2 forwards a request to an owning L1
+    /// instead of replying itself (§4.4). Returns `false` when no such
+    /// circuit is registered.
+    pub fn undo_circuit(&mut self, node: NodeId, key: CircuitKey) -> bool {
+        self.nis[node.index()].undo_circuit(key, &mut self.stats)
+    }
+
+    /// `true` when `node`'s NI holds a fully built circuit origin for
+    /// `key` (diagnostic / test helper).
+    pub fn has_circuit_origin(&self, node: NodeId, key: CircuitKey) -> bool {
+        self.nis[node.index()].has_origin(key)
+    }
+
+    /// Records an `L1_DATA_ACK` eliminated by the protocol (§4.6) so the
+    /// Figure 6 outcome breakdown stays complete.
+    pub fn record_eliminated_ack(&mut self) {
+        self.stats.record_outcome(crate::stats::CircuitOutcome::Eliminated);
+    }
+
+    /// Records a reply outcome classified by the protocol layer (e.g. the
+    /// logical reply of a forwarded transaction whose circuit had already
+    /// failed mid-path and so was never registered at an NI).
+    pub fn record_reply_outcome(&mut self, outcome: crate::stats::CircuitOutcome) {
+        self.stats.record_outcome(outcome);
+    }
+
+    /// Packets fully received at `node` since the last call.
+    pub fn take_delivered(&mut self, node: NodeId) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered[node.index()])
+    }
+
+    /// Packets fully received anywhere since the last call, as
+    /// `(node, packet)` pairs.
+    pub fn take_all_delivered(&mut self) -> Vec<(NodeId, Delivered)> {
+        let mut all = Vec::new();
+        for (i, v) in self.delivered.iter_mut().enumerate() {
+            for d in v.drain(..) {
+                all.push((NodeId(i as u16), d));
+            }
+        }
+        all
+    }
+
+    /// Advances the network by one clock cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        let n = self.cfg.mesh.nodes();
+
+        // NIs first: they consume flits/credits produced last cycle and
+        // inject at most one flit each into their router's local port.
+        for i in 0..n {
+            let ejected = drain_due(&mut self.ni_inboxes[i].flits, now);
+            let credits = drain_due(&mut self.ni_inboxes[i].credits, now);
+            let mut out = NiOut::default();
+            self.nis[i].tick(now, ejected, credits, &mut self.stats, &mut out);
+            for flit in out.flits {
+                self.router_inboxes[i].flits[Direction::Local.index()].push((now + 1, flit));
+            }
+            for (key, dst) in out.undos {
+                self.router_inboxes[i].undos.push((now + 1, key, dst));
+            }
+            self.delivered[i].append(&mut out.delivered);
+        }
+
+        // Routers.
+        let mut outgoing = Vec::new();
+        for i in 0..n {
+            let inbox = &mut self.router_inboxes[i];
+            let mut arrivals = Vec::new();
+            for d in 0..5 {
+                for flit in drain_due(&mut inbox.flits[d], now) {
+                    arrivals.push((Direction::from_index(d), flit));
+                }
+            }
+            let mut credits = Vec::new();
+            for d in 0..5 {
+                for vc in drain_due(&mut inbox.credits[d], now) {
+                    credits.push((Direction::from_index(d), vc));
+                }
+            }
+            let mut undos = Vec::new();
+            let mut j = 0;
+            while j < inbox.undos.len() {
+                if inbox.undos[j].0 <= now {
+                    let (_, k, d) = inbox.undos.remove(j);
+                    undos.push((k, d));
+                } else {
+                    j += 1;
+                }
+            }
+            outgoing.clear();
+            self.routers[i].tick(now, arrivals, credits, undos, &mut outgoing);
+            self.route_outgoing(NodeId(i as u16), &outgoing);
+        }
+
+        self.stats.cycles += 1;
+        self.now = now + 1;
+    }
+
+    fn route_outgoing(&mut self, from: NodeId, outgoing: &[Outgoing]) {
+        for o in outgoing {
+            match o {
+                Outgoing::Flit { dir, flit, arrive } => {
+                    if *dir == Direction::Local {
+                        self.ni_inboxes[from.index()].flits.push((*arrive, flit.clone()));
+                    } else {
+                        let nb = self
+                            .cfg
+                            .mesh
+                            .neighbor(from, *dir)
+                            .expect("routing never crosses the mesh edge");
+                        self.router_inboxes[nb.index()].flits[dir.opposite().index()]
+                            .push((*arrive, flit.clone()));
+                    }
+                }
+                Outgoing::Credit { dir, vc, arrive } => {
+                    if *dir == Direction::Local {
+                        self.ni_inboxes[from.index()].credits.push((*arrive, *vc));
+                    } else {
+                        let nb = self
+                            .cfg
+                            .mesh
+                            .neighbor(from, *dir)
+                            .expect("credits return along existing links");
+                        self.router_inboxes[nb.index()].credits[dir.opposite().index()]
+                            .push((*arrive, *vc));
+                    }
+                }
+                Outgoing::Undo {
+                    dir,
+                    key,
+                    dst,
+                    arrive,
+                } => {
+                    let nb = self
+                        .cfg
+                        .mesh
+                        .neighbor(from, *dir)
+                        .expect("undo follows the reserved path");
+                    self.router_inboxes[nb.index()].undos.push((*arrive, *key, *dst));
+                }
+            }
+        }
+    }
+
+    /// Zeroes every statistic (latencies, outcomes, activity, table
+    /// counters, cycle count) without disturbing in-flight traffic —
+    /// called at the end of a warm-up phase.
+    pub fn reset_stats(&mut self) {
+        self.stats = NocStats::default();
+        for r in &mut self.routers {
+            r.activity = Default::default();
+            r.circuits.reset_stats();
+        }
+    }
+
+    /// A snapshot of all statistics, including per-router activity and
+    /// circuit-table counters.
+    pub fn stats(&self) -> NocStats {
+        let mut s = self.stats.clone();
+        for r in &self.routers {
+            s.activity.merge(&r.activity);
+            s.tables.merge(r.circuits.stats());
+        }
+        s
+    }
+
+    /// `true` when nothing is queued or travelling.
+    pub fn is_quiescent(&self) -> bool {
+        self.nis.iter().all(|ni| ni.backlog() == 0)
+            && self
+                .router_inboxes
+                .iter()
+                .all(|ib| ib.flits.iter().all(Vec::is_empty) && ib.undos.is_empty())
+            && self.ni_inboxes.iter().all(|ib| ib.flits.is_empty())
+            && self.stats.total_injected() == self.stats.total_delivered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcsim_core::{MechanismConfig, Mesh, MessageClass};
+
+    fn net(mechanism: MechanismConfig) -> Network {
+        let mesh = Mesh::new(4, 4).unwrap();
+        Network::new(NocConfig::paper_baseline(mesh, mechanism)).unwrap()
+    }
+
+    fn run(net: &mut Network, cycles: u64) {
+        for _ in 0..cycles {
+            net.tick();
+        }
+    }
+
+    #[test]
+    fn single_packet_crosses_baseline() {
+        let mut n = net(MechanismConfig::baseline());
+        n.inject(PacketSpec::new(NodeId(0), NodeId(15), MessageClass::L1Request));
+        run(&mut n, 60);
+        let d = n.take_delivered(NodeId(15));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].src, NodeId(0));
+        assert_eq!(d[0].class, MessageClass::L1Request);
+        assert!(n.is_quiescent());
+    }
+
+    #[test]
+    fn request_hop_latency_is_five_cycles() {
+        // Uncontended: injection + 5 cycles/hop + ejection pipeline.
+        let mut n = net(MechanismConfig::baseline());
+        n.inject(PacketSpec::new(NodeId(0), NodeId(1), MessageClass::L1Request));
+        run(&mut n, 40);
+        let d = n.take_delivered(NodeId(1));
+        assert_eq!(d.len(), 1);
+        let lat1 = d[0].delivered_at - d[0].injected_at;
+
+        let mut n = net(MechanismConfig::baseline());
+        n.inject(PacketSpec::new(NodeId(0), NodeId(3), MessageClass::L1Request));
+        run(&mut n, 60);
+        let d = n.take_delivered(NodeId(3));
+        let lat3 = d[0].delivered_at - d[0].injected_at;
+        assert_eq!(
+            lat3 - lat1,
+            10,
+            "each extra hop must cost 5 cycles (got {lat1} for 1 hop, {lat3} for 3)"
+        );
+    }
+
+    #[test]
+    fn local_delivery_bypasses_network() {
+        let mut n = net(MechanismConfig::baseline());
+        n.inject(PacketSpec::new(NodeId(5), NodeId(5), MessageClass::L1Request));
+        let d = n.take_delivered(NodeId(5));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn multiflit_packet_arrives_whole() {
+        let mut n = net(MechanismConfig::baseline());
+        n.inject(PacketSpec::new(NodeId(0), NodeId(12), MessageClass::WbData));
+        run(&mut n, 80);
+        let d = n.take_delivered(NodeId(12));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].class, MessageClass::WbData);
+    }
+
+    #[test]
+    fn many_packets_all_arrive() {
+        let mut n = net(MechanismConfig::baseline());
+        let mut expected = [0usize; 16];
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                if s != d {
+                    n.inject(
+                        PacketSpec::new(NodeId(s), NodeId(d), MessageClass::L1Request)
+                            .with_block((s as u64) << 16 | d as u64),
+                    );
+                    expected[d as usize] += 1;
+                }
+            }
+        }
+        run(&mut n, 3000);
+        for d in 0..16u16 {
+            assert_eq!(
+                n.take_delivered(NodeId(d)).len(),
+                expected[d as usize],
+                "node {d}"
+            );
+        }
+        assert!(n.is_quiescent());
+    }
+}

@@ -1,0 +1,556 @@
+//! Network interfaces: injection queues, ejection assembly, circuit-origin
+//! records (§4.1: "information of the circuit is also stored in the network
+//! interface where the circuit starts"), the timed injection check (§4.7)
+//! and scrounger reuse (§4.5).
+
+use crate::config::{NocConfig, VcLayout};
+use crate::flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
+use crate::router::alloc::RoundRobin;
+use crate::stats::{CircuitOutcome, NocStats};
+use rcsim_core::circuit::{CircuitHandle, CircuitKey};
+use rcsim_core::routing::hop_count;
+use rcsim_core::{CircuitMode, Cycle, MechanismConfig, Mesh, MessageClass, NodeId, Vnet};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// The reply class (and its flit count) a circuit-building request expects.
+pub(crate) fn expected_reply_flits(class: MessageClass, flit_bytes: u32) -> u32 {
+    match class {
+        MessageClass::L1Request => MessageClass::L2Reply.flits(flit_bytes),
+        MessageClass::WbData => MessageClass::L2WbAck.flits(flit_bytes),
+        MessageClass::MemRequest => MessageClass::MemoryReply.flits(flit_bytes),
+        // The MEMORY reply to an L2 write-back is a single-flit ack.
+        MessageClass::MemWbData => 1,
+        _ => 1,
+    }
+}
+
+/// A packet waiting at (or streaming out of) the NI.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: PacketId,
+    src: NodeId,
+    dst: NodeId,
+    class: MessageClass,
+    vnet: Vnet,
+    len: u32,
+    block: u64,
+    token: u64,
+    created_at: Cycle,
+    /// Preserved original injection time for scrounger re-injections.
+    injected_at: Option<Cycle>,
+    circuit: Option<Box<CircuitHandle>>,
+    on_circuit: Option<CircuitKey>,
+    scrounger_final: Option<NodeId>,
+    /// Earliest cycle the committed circuit stream may start.
+    start_at: Cycle,
+    /// `false` for scrounger re-injections (already counted).
+    count_injection: bool,
+}
+
+/// An in-flight outbound stream on one local-input VC (or the circuit path).
+#[derive(Debug, Clone)]
+struct Stream {
+    pending: Pending,
+    next_seq: u32,
+    vc: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Origin {
+    handle: CircuitHandle,
+    registered_at: Cycle,
+}
+
+#[derive(Debug, Default)]
+struct Assembly {
+    head: Option<Flit>,
+    received: u32,
+}
+
+/// What one NI tick produced.
+#[derive(Debug, Default)]
+pub(crate) struct NiOut {
+    /// Flits entering the router's local input port next cycle.
+    pub flits: Vec<Flit>,
+    /// Circuit undos to start propagating from this node's router.
+    pub undos: Vec<(CircuitKey, NodeId)>,
+    /// Fully received packets for the tile logic.
+    pub delivered: Vec<Delivered>,
+}
+
+pub(crate) struct Ni {
+    node: NodeId,
+    mesh: Mesh,
+    layout: VcLayout,
+    mechanism: MechanismConfig,
+    flit_bytes: u32,
+    buffer_depth: u32,
+    /// Per-VN FIFO of packet-switched packets.
+    queues: [VecDeque<Pending>; 2],
+    /// Per local-input VC, the packet currently streaming into the router.
+    streams: Vec<Option<Stream>>,
+    /// Credits for the router's local-input VC buffers.
+    credits: Vec<u32>,
+    rr_stream: RoundRobin,
+    vnet_rr: usize,
+    /// Committed circuit (and scrounger) packets, in commitment order.
+    circuit_queue: VecDeque<Pending>,
+    circuit_active: Option<Stream>,
+    /// Cycle after which the next circuit stream may start (commitments
+    /// are back-to-back and never overlap).
+    circuit_link_free_at: Cycle,
+    origins: HashMap<CircuitKey, Origin>,
+    assembling: HashMap<PacketId, Assembly>,
+    /// Undos decided at enqueue time, drained at the next tick.
+    pending_undos: Vec<(CircuitKey, NodeId)>,
+}
+
+impl Ni {
+    pub(crate) fn new(node: NodeId, cfg: &NocConfig) -> Self {
+        let layout = cfg.vc_layout();
+        let total = layout.total();
+        Self {
+            node,
+            mesh: cfg.mesh,
+            layout,
+            mechanism: cfg.mechanism,
+            flit_bytes: cfg.flit_bytes,
+            buffer_depth: cfg.buffer_depth,
+            queues: [VecDeque::new(), VecDeque::new()],
+            streams: vec![None; total],
+            credits: vec![cfg.buffer_depth; total],
+            rr_stream: RoundRobin::new(total),
+            vnet_rr: 0,
+            circuit_queue: VecDeque::new(),
+            circuit_active: None,
+            circuit_link_free_at: 0,
+            origins: HashMap::new(),
+            assembling: HashMap::new(),
+            pending_undos: Vec::new(),
+        }
+    }
+
+    /// `true` if a fully built circuit origin for `key` is registered here.
+    pub(crate) fn has_origin(&self, key: CircuitKey) -> bool {
+        self.origins.contains_key(&key)
+    }
+
+    /// Protocol-initiated circuit teardown (the L2-forwards-to-owner flow
+    /// of §4.4). Records the `undone` outcome and starts undo propagation.
+    pub(crate) fn undo_circuit(&mut self, key: CircuitKey, stats: &mut NocStats) -> bool {
+        if self.origins.remove(&key).is_some() {
+            stats.record_outcome(CircuitOutcome::Undone);
+            self.pending_undos.push((key, key.requestor));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Enqueues a packet. Returns `true` when the packet is a reply that
+    /// committed to riding its own complete circuit (the §4.6 NoAck
+    /// condition).
+    pub(crate) fn enqueue(
+        &mut self,
+        spec: PacketSpec,
+        id: PacketId,
+        now: Cycle,
+        stats: &mut NocStats,
+    ) -> bool {
+        let len = spec
+            .flits_override
+            .unwrap_or_else(|| spec.class.flits(self.flit_bytes));
+        let mut pending = Pending {
+            id,
+            src: spec.src,
+            dst: spec.dst,
+            class: spec.class,
+            vnet: spec.class.vnet(),
+            len,
+            block: spec.block,
+            token: spec.token,
+            created_at: now,
+            injected_at: None,
+            circuit: None,
+            on_circuit: None,
+            scrounger_final: None,
+            start_at: now,
+            count_injection: true,
+        };
+
+        if !spec.class.is_reply() {
+            if spec.class.builds_circuit()
+                && self.mechanism.circuits_enabled()
+                && spec.src != spec.dst
+            {
+                let reply_flits = expected_reply_flits(spec.class, self.flit_bytes);
+                // The tail of a multi-flit request arrives len-1 cycles
+                // after its head, so the responder's turnaround as seen
+                // from the head's schedule is that much longer.
+                let turnaround = spec.turnaround + (len - 1);
+                let handle = CircuitHandle::new(
+                    spec.src,
+                    spec.block,
+                    spec.dst,
+                    hop_count(&self.mesh, spec.src, spec.dst),
+                    reply_flits,
+                    turnaround,
+                )
+                .with_policy(self.mechanism.timed);
+                pending.circuit = Some(Box::new(handle));
+            }
+            self.queues[pending.vnet.index()].push_back(pending);
+            return false;
+        }
+
+        // Reply: resolve its circuit situation.
+        let mut committed = false;
+        let mut outcome = CircuitOutcome::NotEligible;
+        if let Some(key) = spec.circuit_key {
+            match self.origins.get(&key) {
+                Some(origin) if origin.handle.fully_built() => {
+                    if self.mechanism.mode.is_complete() {
+                        let earliest = now.max(self.circuit_link_free_at);
+                        let start = match origin.handle.timing {
+                            None => Some(earliest),
+                            Some(t) => t.injection_time(earliest),
+                        };
+                        match start {
+                            Some(t) => {
+                                committed = true;
+                                outcome = CircuitOutcome::OnCircuit;
+                                pending.on_circuit = Some(key);
+                                pending.start_at = t;
+                                self.circuit_link_free_at = t + len as Cycle;
+                                self.origins.remove(&key);
+                            }
+                            None => {
+                                // Missed the reserved window (§4.7): undo
+                                // and go packet-switched.
+                                outcome = CircuitOutcome::Undone;
+                                self.origins.remove(&key);
+                                self.pending_undos.push((key, key.requestor));
+                            }
+                        }
+                    } else {
+                        // Fragmented: ride wherever reserved; buffers
+                        // guarantee progress everywhere else.
+                        outcome = CircuitOutcome::OnCircuit;
+                        pending.on_circuit = Some(key);
+                        self.origins.remove(&key);
+                    }
+                }
+                Some(_) => {
+                    // Partially built fragmented circuit: still useful.
+                    outcome = CircuitOutcome::Failed;
+                    pending.on_circuit = Some(key);
+                    self.origins.remove(&key);
+                }
+                None => {
+                    outcome = if spec.class.circuit_eligible()
+                        && self.mechanism.circuits_enabled()
+                    {
+                        CircuitOutcome::Failed
+                    } else {
+                        CircuitOutcome::NotEligible
+                    };
+                }
+            }
+        }
+
+        // Scrounger reuse (§4.5): ride a foreign complete circuit that
+        // ends strictly closer to this reply's destination.
+        if !committed
+            && pending.on_circuit.is_none()
+            && self.mechanism.reuse_circuits
+            && spec.dst != self.node
+        {
+            if let Some(key) = self.best_scrounge_target(spec.dst, now) {
+                if !self.mechanism.scrounger_borrow {
+                    self.origins.remove(&key);
+                }
+                let start = now.max(self.circuit_link_free_at);
+                outcome = CircuitOutcome::Scrounger;
+                pending.dst = key.requestor;
+                pending.on_circuit = Some(key);
+                pending.scrounger_final = Some(spec.dst);
+                pending.start_at = start;
+                self.circuit_link_free_at = start + len as Cycle;
+            }
+        }
+
+        if spec.count_outcome {
+            stats.record_outcome(outcome);
+        }
+        if pending.on_circuit.is_some() && self.mechanism.mode.is_complete() {
+            self.circuit_queue.push_back(pending);
+        } else {
+            self.queues[pending.vnet.index()].push_back(pending);
+        }
+        committed
+    }
+
+    /// Re-injection of a scrounger at its intermediate node: same logical
+    /// message, original timestamps, no new statistics.
+    fn reenqueue_scrounger(&mut self, flit: &Flit, final_dst: NodeId, now: Cycle) {
+        let mut pending = Pending {
+            id: flit.packet,
+            src: flit.src,
+            dst: final_dst,
+            class: flit.class,
+            vnet: Vnet::Reply,
+            len: flit.len,
+            block: flit.block,
+            token: flit.token,
+            created_at: flit.created_at,
+            injected_at: Some(flit.injected_at),
+            circuit: None,
+            on_circuit: None,
+            scrounger_final: None,
+            start_at: now,
+            count_injection: false,
+        };
+        // A scrounger may chain onto another circuit from here.
+        if self.mechanism.reuse_circuits && final_dst != self.node {
+            if let Some(key) = self.best_scrounge_target(final_dst, now) {
+                if !self.mechanism.scrounger_borrow {
+                    self.origins.remove(&key);
+                }
+                let start = now.max(self.circuit_link_free_at);
+                pending.dst = key.requestor;
+                pending.on_circuit = Some(key);
+                pending.scrounger_final = Some(final_dst);
+                pending.start_at = start;
+                self.circuit_link_free_at = start + flit.len as Cycle;
+                self.circuit_queue.push_back(pending);
+                return;
+            }
+        }
+        self.queues[Vnet::Reply.index()].push_back(pending);
+    }
+
+    /// How long a circuit must have sat idle before a scrounger may take
+    /// it. Scrounging *consumes* the circuit (DESIGN.md §4b), so stealing
+    /// one whose reply is imminent trades a cheap ride for an expensive
+    /// packet-switched data reply; circuits this old belong to
+    /// memory-latency transactions that barely notice the loss.
+    const SCROUNGE_MIN_IDLE: Cycle = 120;
+
+    /// The long-idle, untimed, fully built circuit from this NI whose
+    /// endpoint is closest to (and strictly closer than this node to)
+    /// `final_dst`.
+    fn best_scrounge_target(&self, final_dst: NodeId, now: Cycle) -> Option<CircuitKey> {
+        let here = hop_count(&self.mesh, self.node, final_dst);
+        self.origins
+            .iter()
+            .filter(|(_, o)| {
+                o.handle.fully_built()
+                    && o.handle.timing.is_none()
+                    && now.saturating_sub(o.registered_at) >= Self::SCROUNGE_MIN_IDLE
+            })
+            .map(|(k, _)| (*k, hop_count(&self.mesh, k.requestor, final_dst)))
+            .filter(|&(_, d)| d < here)
+            .min_by_key(|&(k, d)| (d, k.requestor.0, k.block))
+            .map(|(k, _)| k)
+    }
+
+    /// One NI cycle: process ejected flits, then inject at most one flit
+    /// into the router's local port (circuit streams have priority).
+    pub(crate) fn tick(
+        &mut self,
+        now: Cycle,
+        ejected: Vec<Flit>,
+        credit_arrivals: Vec<usize>,
+        stats: &mut NocStats,
+        out: &mut NiOut,
+    ) {
+        out.undos.append(&mut self.pending_undos);
+        for vc in credit_arrivals {
+            self.credits[vc] += 1;
+        }
+        for flit in ejected {
+            self.receive_flit(flit, now, stats, out);
+        }
+        self.inject_one(now, stats, out);
+    }
+
+    fn receive_flit(&mut self, flit: Flit, now: Cycle, stats: &mut NocStats, out: &mut NiOut) {
+        let a = self.assembling.entry(flit.packet).or_default();
+        a.received += 1;
+        if flit.kind.is_head() {
+            a.head = Some(flit.clone());
+        }
+        if !flit.kind.is_tail() {
+            return;
+        }
+        let a = self
+            .assembling
+            .remove(&flit.packet)
+            .expect("assembly entry exists for the tail's packet");
+        debug_assert_eq!(a.received, flit.len, "flits lost or duplicated in transit");
+        let head = a.head.expect("head received before tail");
+
+        if let Some(final_dst) = head.scrounger_final {
+            if final_dst != self.node {
+                self.reenqueue_scrounger(&head, final_dst, now);
+                return;
+            }
+        }
+
+        stats.record_delivery(
+            head.class,
+            head.injected_at - head.created_at,
+            now - head.injected_at,
+        );
+        let circuit = head.circuit.as_deref().copied();
+        if let Some(h) = &circuit {
+            let register = match self.mechanism.mode {
+                CircuitMode::Complete | CircuitMode::Ideal => h.fully_built(),
+                CircuitMode::Fragmented => h.built_hops > 0,
+                CircuitMode::None => false,
+            };
+            if register {
+                self.origins.insert(
+                    h.key,
+                    Origin {
+                        handle: *h,
+                        registered_at: now,
+                    },
+                );
+            }
+        }
+        out.delivered.push(Delivered {
+            packet: head.packet,
+            src: head.src,
+            dst: self.node,
+            class: head.class,
+            block: head.block,
+            token: head.token,
+            created_at: head.created_at,
+            injected_at: head.injected_at,
+            delivered_at: now,
+            circuit,
+            // "Rode a circuit" means *its own* circuit: a scrounger ends
+            // its circuit leg at an intermediate node and re-injects, so
+            // it must not trigger ACK elision at the receiver (§4.6).
+            rode_circuit: head.on_circuit.is_some() && head.scrounger_final.is_none(),
+        });
+    }
+
+    fn inject_one(&mut self, now: Cycle, stats: &mut NocStats, out: &mut NiOut) {
+        // Circuit streams first: they must hold their committed schedule.
+        if self.circuit_active.is_none() {
+            if let Some(p) = self.circuit_queue.front() {
+                if p.start_at <= now {
+                    let pending = self.circuit_queue.pop_front().expect("front checked");
+                    let vc = if self.layout.circuit_vcs > 0 {
+                        self.layout.circuit_vc(0)
+                    } else {
+                        0
+                    };
+                    self.circuit_active = Some(Stream {
+                        pending,
+                        next_seq: 0,
+                        vc,
+                    });
+                }
+            }
+        }
+        if let Some(mut s) = self.circuit_active.take() {
+            let flit = self.emit_flit(&mut s, now, stats);
+            out.flits.push(flit);
+            if s.next_seq < s.pending.len {
+                self.circuit_active = Some(s);
+            }
+            return;
+        }
+
+        // Packet-switched: continue an in-flight stream or start one.
+        let sendable: Vec<usize> = (0..self.layout.total())
+            .filter(|&vc| self.streams[vc].is_some() && self.credits[vc] > 0)
+            .collect();
+        if sendable.is_empty() {
+            self.try_activate(now);
+        }
+        let sendable: Vec<usize> = (0..self.layout.total())
+            .filter(|&vc| self.streams[vc].is_some() && self.credits[vc] > 0)
+            .collect();
+        if let Some(vc) = self.rr_stream.grant_among(&sendable) {
+            let mut s = self.streams[vc].take().expect("sendable stream exists");
+            self.credits[vc] -= 1;
+            let flit = self.emit_flit(&mut s, now, stats);
+            out.flits.push(flit);
+            if s.next_seq < s.pending.len {
+                self.streams[vc] = Some(s);
+            }
+        }
+    }
+
+    /// Starts a new packet-switched stream if a VC of its class is fully
+    /// idle (all credits home, no local stream).
+    fn try_activate(&mut self, _now: Cycle) {
+        for attempt in 0..2 {
+            let vn = (self.vnet_rr + attempt) % 2;
+            let vnet = Vnet::ALL[vn];
+            if self.queues[vn].is_empty() {
+                continue;
+            }
+            let vc = self
+                .layout
+                .allocatable_vcs(vnet)
+                .find(|&vc| self.streams[vc].is_none() && self.credits[vc] == self.buffer_depth);
+            if let Some(vc) = vc {
+                let pending = self.queues[vn].pop_front().expect("queue checked non-empty");
+                self.streams[vc] = Some(Stream {
+                    pending,
+                    next_seq: 0,
+                    vc,
+                });
+                self.vnet_rr = (vn + 1) % 2;
+                return;
+            }
+        }
+    }
+
+    fn emit_flit(&mut self, s: &mut Stream, now: Cycle, stats: &mut NocStats) -> Flit {
+        let p = &mut s.pending;
+        if s.next_seq == 0 {
+            if p.injected_at.is_none() {
+                p.injected_at = Some(now);
+            }
+            if p.count_injection {
+                stats.record_injection(p.class, p.len);
+            }
+        }
+        let kind = FlitKind::for_position(s.next_seq, p.len);
+        let flit = Flit {
+            packet: p.id,
+            kind,
+            seq: s.next_seq,
+            len: p.len,
+            src: p.src,
+            dst: p.dst,
+            class: p.class,
+            vnet: p.vnet,
+            vc: s.vc,
+            circuit: if kind.is_head() { p.circuit.clone() } else { None },
+            on_circuit: p.on_circuit,
+            scrounger_final: p.scrounger_final,
+            block: p.block,
+            token: p.token,
+            created_at: p.created_at,
+            injected_at: p.injected_at.expect("set on head emission"),
+        };
+        s.next_seq += 1;
+        flit
+    }
+
+    /// Number of packets waiting or streaming (diagnostics).
+    pub(crate) fn backlog(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>()
+            + self.circuit_queue.len()
+            + self.streams.iter().flatten().count()
+            + usize::from(self.circuit_active.is_some())
+    }
+}

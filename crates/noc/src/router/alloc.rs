@@ -1,0 +1,112 @@
+//! Round-robin arbitration, the primitive under the two-phase VC and
+//! switch allocators of the baseline router (Table 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A rotating-priority arbiter over `n` requesters.
+///
+/// After each grant the priority pointer moves past the winner, giving
+/// strong fairness (every continuously-requesting input is served within
+/// `n` grants).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRobin {
+    next: usize,
+    n: usize,
+}
+
+impl RoundRobin {
+    /// An arbiter over `n` requesters.
+    pub fn new(n: usize) -> Self {
+        Self { next: 0, n }
+    }
+
+    /// Grants one of the requesting indices (`requests[i] == true`) and
+    /// advances the priority pointer. Returns `None` when nothing requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != n`.
+    pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n, "request vector size mismatch");
+        if self.n == 0 {
+            return None;
+        }
+        for off in 0..self.n {
+            let i = (self.next + off) % self.n;
+            if requests[i] {
+                self.next = (i + 1) % self.n;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Like [`RoundRobin::grant`] but over an explicit candidate list of
+    /// indices (not necessarily dense).
+    pub fn grant_among(&mut self, candidates: &[usize]) -> Option<usize> {
+        if candidates.is_empty() || self.n == 0 {
+            return None;
+        }
+        // Pick the candidate closest after the pointer.
+        let winner = candidates
+            .iter()
+            .copied()
+            .min_by_key(|&c| (c + self.n - self.next) % self.n)?;
+        self.next = (winner + 1) % self.n;
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_fairly() {
+        let mut rr = RoundRobin::new(3);
+        let all = [true, true, true];
+        assert_eq!(rr.grant(&all), Some(0));
+        assert_eq!(rr.grant(&all), Some(1));
+        assert_eq!(rr.grant(&all), Some(2));
+        assert_eq!(rr.grant(&all), Some(0));
+    }
+
+    #[test]
+    fn skips_idle_requesters() {
+        let mut rr = RoundRobin::new(4);
+        assert_eq!(rr.grant(&[false, false, true, false]), Some(2));
+        // Pointer is now at 3, which is idle; the grant wraps to 0.
+        assert_eq!(rr.grant(&[true, false, true, false]), Some(0));
+    }
+
+    #[test]
+    fn none_when_no_requests() {
+        let mut rr = RoundRobin::new(2);
+        assert_eq!(rr.grant(&[false, false]), None);
+        assert_eq!(RoundRobin::new(0).grant(&[]), None);
+    }
+
+    #[test]
+    fn grant_among_respects_pointer() {
+        let mut rr = RoundRobin::new(5);
+        assert_eq!(rr.grant_among(&[1, 3]), Some(1));
+        // Pointer now at 2: 3 wins over 1.
+        assert_eq!(rr.grant_among(&[1, 3]), Some(3));
+        // Pointer now at 4: wraps to 1.
+        assert_eq!(rr.grant_among(&[1, 3]), Some(1));
+        assert_eq!(rr.grant_among(&[]), None);
+    }
+
+    #[test]
+    fn starvation_freedom() {
+        // Input 0 always requests; input 1 requests too. Both must be
+        // served infinitely often.
+        let mut rr = RoundRobin::new(2);
+        let mut counts = [0u32; 2];
+        for _ in 0..100 {
+            let w = rr.grant(&[true, true]).unwrap();
+            counts[w] += 1;
+        }
+        assert_eq!(counts, [50, 50]);
+    }
+}

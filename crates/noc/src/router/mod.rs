@@ -1,0 +1,878 @@
+//! The 4-stage wormhole VC router with Reactive Circuits extensions.
+//!
+//! Pipeline (Table 4): a head flit that arrives at cycle *t* is buffered
+//! and route-computed during *t* (stage 1), VC-allocated at *t+1*
+//! (stage 2, **in parallel with the circuit reservation** of §4.1),
+//! switch-allocated at *t+2* (stage 3) and traverses the crossbar at *t+3*
+//! (stage 4), reaching the next router at *t+5* after the 1-cycle link —
+//! 5 cycles per hop. A reply that finds its circuit reserved bypasses
+//! stages 1–3 entirely: it crosses the router the cycle it arrives and
+//! reaches the next router 2 cycles later (§4.3).
+
+pub(crate) mod alloc;
+mod input;
+
+use crate::config::{NocConfig, VcLayout};
+use crate::flit::Flit;
+use crate::stats::Activity;
+use alloc::RoundRobin;
+use input::{InputPort, VcState};
+use rcsim_core::circuit::timing::{router_window, REQ_HOP_CYCLES};
+use rcsim_core::circuit::{CircuitKey, ReserveRequest, RouterCircuits};
+use rcsim_core::routing::{next_hop, Routing};
+use rcsim_core::{CircuitMode, Cycle, Direction, MechanismConfig, Mesh, NodeId};
+use std::collections::VecDeque;
+
+/// A message leaving the router this cycle, to be routed by the network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outgoing {
+    /// A flit leaving through `dir` (`Local` = ejection to this tile's NI).
+    Flit {
+        /// Output direction.
+        dir: Direction,
+        /// The flit (its `vc` field is the downstream buffer index).
+        flit: Flit,
+        /// Cycle it reaches the neighbour router / NI.
+        arrive: Cycle,
+    },
+    /// A credit returned upstream through input port `dir` (`Local` = to
+    /// this tile's NI).
+    Credit {
+        /// The input port whose buffer slot was freed.
+        dir: Direction,
+        /// The VC the credit belongs to.
+        vc: usize,
+        /// Cycle it reaches the upstream router / NI.
+        arrive: Cycle,
+    },
+    /// Circuit-undo information riding the credit channel (§4.4) towards
+    /// the circuit destination `dst`.
+    Undo {
+        /// Direction of the next router on the circuit's path.
+        dir: Direction,
+        /// Circuit identity.
+        key: CircuitKey,
+        /// The circuit's destination node (the original requestor).
+        dst: NodeId,
+        /// Cycle it reaches the neighbour.
+        arrive: Cycle,
+    },
+}
+
+/// How one output VC is held by a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    /// Free for VC allocation.
+    Free,
+    /// Held by a packet streaming from `(in_port, in_vc)`.
+    Owned(usize, usize),
+    /// Tail has departed; waiting for all credits to return so the
+    /// downstream VC is idle again.
+    Draining,
+}
+
+#[derive(Debug, Clone)]
+struct OutputPort {
+    credits: Vec<u32>,
+    owner: Vec<Owner>,
+    /// Crossbar output used this cycle (circuits have priority, §4.3).
+    busy: bool,
+}
+
+/// Outcome of checking whether a circuit-tagged flit can bypass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BypassCheck {
+    /// Reservation present and the crossbar output is free: go.
+    Ready,
+    /// Reservation present but the output is in use this cycle: retry.
+    Busy,
+    /// No usable reservation: take the normal four-stage pipeline.
+    Pipeline,
+}
+
+/// A switch-allocation grant awaiting switch traversal next cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StGrant {
+    in_port: usize,
+    in_vc: usize,
+}
+
+pub(crate) struct Router {
+    node: NodeId,
+    mesh: Mesh,
+    layout: VcLayout,
+    mechanism: MechanismConfig,
+    buffer_depth: u32,
+    link_latency: u32,
+    inject_overhead: u32,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    pub(crate) circuits: RouterCircuits,
+    st_pending: Vec<StGrant>,
+    sa_rr_in: Vec<RoundRobin>,
+    sa_rr_out: Vec<RoundRobin>,
+    va_rr_out: Vec<RoundRobin>,
+    /// Bypass flits that lost a same-cycle output conflict (ideal mode) or
+    /// arrived while an earlier flit of the same stream is still queued.
+    bypass_retry: Vec<VecDeque<Flit>>,
+    pub(crate) activity: Activity,
+}
+
+impl Router {
+    pub(crate) fn new(node: NodeId, cfg: &NocConfig) -> Self {
+        let layout = cfg.vc_layout();
+        let total = layout.total();
+        let outputs = (0..5)
+            .map(|_| OutputPort {
+                credits: vec![cfg.buffer_depth; total],
+                owner: vec![Owner::Free; total],
+                busy: false,
+            })
+            .collect();
+        Self {
+            node,
+            mesh: cfg.mesh,
+            layout,
+            mechanism: cfg.mechanism,
+            buffer_depth: cfg.buffer_depth,
+            link_latency: cfg.link_latency,
+            inject_overhead: cfg.inject_overhead,
+            inputs: (0..5).map(|_| InputPort::new(total)).collect(),
+            outputs,
+            circuits: RouterCircuits::new(
+                cfg.mechanism.mode,
+                cfg.mechanism.max_circuits_per_input,
+                cfg.mechanism.circuit_vcs().max(1),
+            ),
+            st_pending: Vec::new(),
+            sa_rr_in: (0..5).map(|_| RoundRobin::new(total)).collect(),
+            sa_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
+            va_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
+            bypass_retry: (0..5).map(|_| VecDeque::new()).collect(),
+            activity: Activity::default(),
+        }
+    }
+
+    /// Runs one cycle. `arrivals`, `credits` and `undos` are the messages
+    /// reaching this router this cycle; produced messages go into `out`.
+    pub(crate) fn tick(
+        &mut self,
+        now: Cycle,
+        arrivals: Vec<(Direction, Flit)>,
+        credits: Vec<(Direction, usize)>,
+        undos: Vec<(CircuitKey, NodeId)>,
+        out: &mut Vec<Outgoing>,
+    ) {
+        for o in &mut self.outputs {
+            o.busy = false;
+        }
+
+        // Credits (and the undo information they may carry, §4.4).
+        for (dir, vc) in credits {
+            let o = &mut self.outputs[dir.index()];
+            o.credits[vc] += 1;
+            if o.owner[vc] == Owner::Draining && o.credits[vc] >= self.buffer_depth {
+                o.owner[vc] = Owner::Free;
+            }
+        }
+        for (key, dst) in undos {
+            self.process_undo(now, key, dst, out);
+        }
+
+        if self.mechanism.timed.is_timed() {
+            // A few cycles of grace keep boundary-case replies (committed
+            // at the very edge of their window) from losing their entries;
+            // lookups are key-matched, so lingering entries are harmless.
+            self.circuits.expire(now.saturating_sub(4));
+        }
+
+        // Retry queued bypass flits (in order per input), then arrivals.
+        self.drain_bypass_retries(now, out);
+        for (dir, flit) in arrivals {
+            self.receive(now, dir, flit, out);
+        }
+
+        self.stage_st(now, out);
+        self.stage_sa(now);
+        self.stage_va(now, out);
+    }
+
+    /// Undo handling: clear the local reservation and forward the undo
+    /// towards the circuit destination (it rides credits, 1 cycle/hop).
+    fn process_undo(&mut self, now: Cycle, key: CircuitKey, dst: NodeId, out: &mut Vec<Outgoing>) {
+        let dir = match self.circuits.undo(key) {
+            Some(entry) => entry.out_port,
+            // No reservation here (fragmented gap, or already expired):
+            // keep following the reply path towards the destination.
+            None => {
+                if self.node == dst {
+                    return;
+                }
+                next_hop(&self.mesh, self.node, dst, Routing::Yx)
+            }
+        };
+        if dir != Direction::Local {
+            self.activity.credits += 1;
+            out.push(Outgoing::Undo {
+                dir,
+                key,
+                dst,
+                arrive: now + self.link_latency as Cycle,
+            });
+        }
+    }
+
+    fn drain_bypass_retries(&mut self, now: Cycle, out: &mut Vec<Outgoing>) {
+        for p in 0..5 {
+            while let Some(flit) = self.bypass_retry[p].front().cloned() {
+                let dir = Direction::from_index(p);
+                match self.bypass_check(dir, &flit) {
+                    BypassCheck::Ready => {
+                        let flit = self.bypass_retry[p].pop_front().expect("front checked");
+                        self.execute_bypass(now, dir, flit, out);
+                    }
+                    BypassCheck::Busy => break,
+                    BypassCheck::Pipeline => {
+                        let flit = self.bypass_retry[p].pop_front().expect("front checked");
+                        self.buffer_flit(now, dir, flit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a circuit-tagged flit can take the bypass path right now.
+    fn bypass_check(&mut self, dir: Direction, flit: &Flit) -> BypassCheck {
+        let Some(key) = flit.on_circuit else {
+            return BypassCheck::Pipeline;
+        };
+        let Some(entry) = self.circuits.lookup(dir, key).copied() else {
+            // No reservation here: a fragmented gap, or a head that
+            // already fell back and released the entry.
+            return BypassCheck::Pipeline;
+        };
+        if self.mechanism.mode == CircuitMode::Fragmented
+            && flit.kind.is_head()
+            && entry.out_port != Direction::Local
+        {
+            // Fragmented circuits keep buffers: the downstream circuit VC
+            // must be able to hold the whole message in case its own
+            // reservation there is missing (§4.2 "messages can always be
+            // stored"). Without that guarantee the message takes the
+            // pipeline here instead, and the local reservation is freed.
+            let gvc = self.layout.circuit_vc(entry.vc as usize % self.layout.circuit_vcs);
+            // A head needs the downstream VC completely idle (all credits
+            // home), like the packet-switched Draining rule.
+            if self.outputs[entry.out_port.index()].credits[gvc] < self.buffer_depth {
+                self.circuits.release(dir, key);
+                return BypassCheck::Pipeline;
+            }
+        }
+        if self.outputs[entry.out_port.index()].busy {
+            // Ideal mode resolves collisions per cycle (§4.8); fragmented
+            // circuits may share an output port through different circuit
+            // VCs. The complete-circuit conflict rules make this
+            // unreachable for `Complete`.
+            debug_assert!(
+                self.mechanism.mode != CircuitMode::None,
+                "baseline never bypasses"
+            );
+            return BypassCheck::Busy;
+        }
+        BypassCheck::Ready
+    }
+
+    /// Arrival processing: circuit check first (§4.3), else stage 1
+    /// (buffer write + route computation).
+    fn receive(&mut self, now: Cycle, dir: Direction, flit: Flit, out: &mut Vec<Outgoing>) {
+        if flit.on_circuit.is_some() {
+            self.activity.circuit_lookups += 1;
+            // Keep stream order: if earlier flits of this input are already
+            // queued for retry, queue behind them.
+            if !self.bypass_retry[dir.index()].is_empty() {
+                self.bypass_retry[dir.index()].push_back(flit);
+                return;
+            }
+            match self.bypass_check(dir, &flit) {
+                BypassCheck::Ready => {
+                    self.execute_bypass(now, dir, flit, out);
+                    return;
+                }
+                BypassCheck::Busy => {
+                    self.bypass_retry[dir.index()].push_back(flit);
+                    return;
+                }
+                BypassCheck::Pipeline => {}
+            }
+        }
+        self.buffer_flit(now, dir, flit);
+    }
+
+    /// One-cycle circuit traversal: straight through the crossbar (§4.3).
+    fn execute_bypass(&mut self, now: Cycle, dir: Direction, mut flit: Flit, out: &mut Vec<Outgoing>) {
+        let key = flit.on_circuit.expect("bypass requires a circuit key");
+        let entry = *self
+            .circuits
+            .lookup(dir, key)
+            .expect("caller checked the entry exists");
+        if flit.kind.is_head() {
+            self.circuits.begin_use(dir, key);
+        }
+        if flit.kind.is_tail() {
+            if flit.scrounger_final.is_some() && self.mechanism.scrounger_borrow {
+                // Borrowing scrounger: the circuit survives for its own
+                // reply. If an undo raced the borrow, the entry comes
+                // back here — the undo already continued downstream, so
+                // dropping it completes the teardown.
+                self.circuits.end_use(dir, key);
+            } else {
+                // The tail clears the built-circuit bit (§4.3);
+                // consuming scroungers release the same way (DESIGN.md).
+                self.circuits.release(dir, key);
+            }
+        }
+        // A bypassed flit never occupies the buffer slot its VC credit paid
+        // for; return the credit immediately (not needed on the bufferless
+        // complete-mode circuit VC, whose flits are uncredited).
+        let arrived_buffered =
+            !self.layout.is_circuit_vc(flit.vc) || self.mechanism.circuit_vc_buffered();
+        if arrived_buffered {
+            self.activity.credits += 1;
+            out.push(Outgoing::Credit {
+                dir,
+                vc: flit.vc,
+                arrive: now + self.link_latency as Cycle,
+            });
+        }
+        let o = &mut self.outputs[entry.out_port.index()];
+        o.busy = true;
+        self.activity.xbar_traversals += 1;
+        flit.vc = if self.layout.circuit_vcs > 0 {
+            self.layout.circuit_vc(entry.vc as usize % self.layout.circuit_vcs.max(1))
+        } else {
+            flit.vc
+        };
+        // Fragmented circuit VCs are buffered and credited; the bypass
+        // consumes the downstream slot it may need at a gap router.
+        if self.mechanism.mode == CircuitMode::Fragmented && entry.out_port != Direction::Local {
+            o.credits[flit.vc] = o.credits[flit.vc]
+                .checked_sub(1)
+                .expect("fragmented bypass head verified whole-message credits");
+        }
+        let arrive = if entry.out_port == Direction::Local {
+            now + 1
+        } else {
+            self.activity.link_flits += 1;
+            now + 1 + self.link_latency as Cycle
+        };
+        out.push(Outgoing::Flit {
+            dir: entry.out_port,
+            flit,
+            arrive,
+        });
+    }
+
+    /// Stage 1: buffer write and route computation.
+    fn buffer_flit(&mut self, now: Cycle, dir: Direction, flit: Flit) {
+        let vc_idx = flit.vc;
+        let vc = &mut self.inputs[dir.index()].vcs[vc_idx];
+        self.activity.buffer_writes += 1;
+        if flit.kind.is_head() {
+            debug_assert!(
+                vc.is_idle(),
+                "head flit arriving on a non-idle VC (wormhole violation) at {} port {dir} vc {vc_idx}",
+                self.node
+            );
+            let routing = Routing::for_vnet(flit.vnet);
+            vc.route = Some(next_hop(&self.mesh, self.node, flit.dst, routing));
+            vc.state = VcState::WaitVa;
+            vc.state_since = now;
+            vc.circuit_attempted = false;
+        }
+        vc.buffer.push_back(flit);
+    }
+
+    /// Stage 4: switch traversal for last cycle's SA winners. Circuit
+    /// bypasses processed earlier this cycle have already claimed their
+    /// output ports (crossbar priority, §4.3); blocked grants retry.
+    fn stage_st(&mut self, now: Cycle, out: &mut Vec<Outgoing>) {
+        let grants = std::mem::take(&mut self.st_pending);
+        for g in grants {
+            let vc = &self.inputs[g.in_port].vcs[g.in_vc];
+            let route = vc.route.expect("granted VC has a route");
+            let out_vc = vc.out_vc.expect("granted VC has an output VC");
+            if self.outputs[route.index()].busy {
+                self.st_pending.push(g);
+                continue;
+            }
+            let vc = &mut self.inputs[g.in_port].vcs[g.in_vc];
+            let mut flit = vc.buffer.pop_front().expect("granted VC has a flit");
+            let is_tail = flit.kind.is_tail();
+            if is_tail {
+                vc.reset(now);
+            }
+            self.activity.buffer_reads += 1;
+            self.activity.xbar_traversals += 1;
+
+            // Return the freed buffer slot upstream.
+            let in_dir = Direction::from_index(g.in_port);
+            self.activity.credits += 1;
+            out.push(Outgoing::Credit {
+                dir: in_dir,
+                vc: g.in_vc,
+                arrive: now + self.link_latency as Cycle,
+            });
+
+            let o = &mut self.outputs[route.index()];
+            o.busy = true;
+            flit.vc = out_vc;
+            let arrive = if route == Direction::Local {
+                now + 1
+            } else {
+                o.credits[out_vc] = o.credits[out_vc]
+                    .checked_sub(1)
+                    .expect("SA checked a credit was available");
+                self.activity.link_flits += 1;
+                now + 1 + self.link_latency as Cycle
+            };
+            if is_tail {
+                o.owner[out_vc] = if route == Direction::Local {
+                    Owner::Free
+                } else {
+                    Owner::Draining
+                };
+            }
+            out.push(Outgoing::Flit {
+                dir: route,
+                flit,
+                arrive,
+            });
+        }
+    }
+
+    /// Stage 3: two-phase round-robin switch allocation; winners traverse
+    /// the crossbar next cycle.
+    fn stage_sa(&mut self, now: Cycle) {
+        // Inputs with a grant still pending ST cannot be granted again.
+        let blocked: Vec<usize> = self.st_pending.iter().map(|g| g.in_port).collect();
+        // Phase 1: each input port nominates one VC.
+        let mut nominee: [Option<usize>; 5] = [None; 5];
+        #[allow(clippy::needless_range_loop)] // p indexes three parallel arrays
+        for p in 0..5 {
+            if blocked.contains(&p) {
+                continue;
+            }
+            let total = self.layout.total();
+            let mut requests = vec![false; total];
+            for (v, vc) in self.inputs[p].vcs.iter().enumerate() {
+                let stage_ok = match vc.state {
+                    VcState::WaitSa => vc.state_since < now,
+                    VcState::Active => true,
+                    _ => false,
+                };
+                if !stage_ok || vc.buffer.is_empty() {
+                    continue;
+                }
+                let route = vc.route.expect("post-VA VC has a route");
+                let out_vc = vc.out_vc.expect("post-VA VC has an output VC");
+                let credit_ok = route == Direction::Local
+                    || self.outputs[route.index()].credits[out_vc] > 0
+                    // Circuit-class VCs are reservation-managed, not
+                    // credited (fragmented gap traffic).
+                    || self.layout.is_circuit_vc(out_vc);
+                if credit_ok {
+                    requests[v] = true;
+                }
+            }
+            nominee[p] = self.sa_rr_in[p].grant(&requests);
+        }
+        // Phase 2: each output port picks one input.
+        for out_port in 0..5 {
+            let contenders: Vec<usize> = (0..5)
+                .filter(|&p| {
+                    nominee[p].is_some_and(|v| {
+                        self.inputs[p].vcs[v].route == Some(Direction::from_index(out_port))
+                    })
+                })
+                .collect();
+            if let Some(winner) = self.sa_rr_out[out_port].grant_among(&contenders) {
+                let v = nominee[winner].expect("winner nominated a VC");
+                let vc = &mut self.inputs[winner].vcs[v];
+                if vc.state == VcState::WaitSa {
+                    vc.state = VcState::Active;
+                    vc.state_since = now;
+                }
+                self.activity.sw_allocs += 1;
+                self.st_pending.push(StGrant {
+                    in_port: winner,
+                    in_vc: v,
+                });
+            }
+        }
+    }
+
+    /// Stage 2: VC allocation — and, in parallel, the reactive-circuit
+    /// reservation for request packets (§4.1).
+    fn stage_va(&mut self, now: Cycle, out: &mut Vec<Outgoing>) {
+        // Circuit reservations happen on the first VA attempt, whether or
+        // not the VC wins allocation this cycle.
+        for p in 0..5 {
+            for v in 0..self.layout.total() {
+                let vc = &self.inputs[p].vcs[v];
+                if vc.state == VcState::WaitVa && vc.state_since < now && !vc.circuit_attempted {
+                    self.attempt_reservation(now, p, v, out);
+                }
+            }
+        }
+
+        // Two-phase allocation: requesters grouped by output port; one
+        // grant per output port per cycle, round-robin over input ports.
+        for out_port in 0..5 {
+            let dir = Direction::from_index(out_port);
+            let contenders: Vec<usize> = (0..5)
+                .filter(|&p| {
+                    self.inputs[p].vcs.iter().any(|vc| {
+                        vc.state == VcState::WaitVa && vc.state_since < now && vc.route == Some(dir)
+                    })
+                })
+                .collect();
+            // Check a free output VC exists for at least one contender
+            // class; pick the winner first (RR), then the VC.
+            let mut granted = false;
+            let mut tried = contenders.clone();
+            while !granted && !tried.is_empty() {
+                let Some(winner) = self.va_rr_out[out_port].grant_among(&tried) else {
+                    break;
+                };
+                tried.retain(|&p| p != winner);
+                // The winning input port's oldest WaitVa VC for this output.
+                let Some((v, vnet)) = self.inputs[winner]
+                    .vcs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, vc)| {
+                        vc.state == VcState::WaitVa && vc.state_since < now && vc.route == Some(dir)
+                    })
+                    .min_by_key(|(_, vc)| vc.state_since)
+                    .map(|(v, vc)| {
+                        let head = vc.buffer.front().expect("WaitVa VC holds its head");
+                        (v, head.vnet)
+                    })
+                else {
+                    continue;
+                };
+                let free_vc = self
+                    .layout
+                    .allocatable_vcs(vnet)
+                    .find(|&ovc| self.outputs[out_port].owner[ovc] == Owner::Free);
+                if let Some(ovc) = free_vc {
+                    self.outputs[out_port].owner[ovc] = Owner::Owned(winner, v);
+                    let vc = &mut self.inputs[winner].vcs[v];
+                    vc.out_vc = Some(ovc);
+                    vc.state = VcState::WaitSa;
+                    vc.state_since = now;
+                    self.activity.vc_allocs += 1;
+                    granted = true;
+                }
+            }
+        }
+    }
+
+    /// Number of flits buffered across all input VCs (whitebox tests).
+    #[cfg(test)]
+    fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .map(|v| v.buffer.len())
+            .sum()
+    }
+
+    /// The §4.1 reservation: while the request head sits in VA, write the
+    /// reply's circuit into this router's tables.
+    fn attempt_reservation(&mut self, now: Cycle, p: usize, v: usize, out: &mut Vec<Outgoing>) {
+        let vc = &mut self.inputs[p].vcs[v];
+        vc.circuit_attempted = true;
+        let route = vc.route.expect("WaitVa VC has a route");
+        let head = vc.buffer.front_mut().expect("WaitVa VC holds its head");
+        let Some(handle) = head.circuit.as_deref_mut() else {
+            return;
+        };
+        if handle.failed {
+            return;
+        }
+        // Reply direction through this router: it arrives from where the
+        // request is going and leaves where the request came from.
+        let in_port_reply = route;
+        let out_port_reply = Direction::from_index(p);
+        let h_req = self.mesh.distance(self.node, head.dst);
+
+        let (window, max_extra_shift, nominal, slack) = match handle.timing {
+            Some(t) => {
+                let nominal = now
+                    + (REQ_HOP_CYCLES * h_req) as Cycle
+                    + handle.turnaround as Cycle
+                    + self.inject_overhead as Cycle;
+                let slack = self.mechanism.timed.slack(handle.path_hops);
+                // `nominal` is the reply's *injection* time at its NI; it
+                // occupies this router one cycle later (NI→router link).
+                let w = router_window(nominal + 1, t.shift, h_req, handle.reply_flits, slack);
+                (Some(w), t.max_shift - t.shift, nominal, slack)
+            }
+            None => (None, 0, 0, 0),
+        };
+
+        let req = ReserveRequest {
+            key: handle.key,
+            source: handle.source,
+            in_port: in_port_reply,
+            out_port: out_port_reply,
+            window,
+            max_extra_shift,
+        };
+        match self.circuits.try_reserve(&req) {
+            Ok(outcome) => {
+                handle.built_hops += 1;
+                self.activity.circuit_writes += 1;
+                if let Some(t) = handle.timing.as_mut() {
+                    t.shift += outcome.extra_shift;
+                    t.narrow(nominal, slack);
+                    if !t.feasible() {
+                        // A delayed request can no longer meet the earlier
+                        // routers' windows: doom the circuit now.
+                        handle.failed = true;
+                        let key = handle.key;
+                        let dst = key.requestor;
+                        self.process_undo(now, key, dst, out);
+                    }
+                }
+            }
+            Err(_) => match self.mechanism.mode {
+                CircuitMode::Complete => {
+                    handle.failed = true;
+                    let built = handle.built_hops;
+                    let key = handle.key;
+                    if built > 0 {
+                        self.activity.credits += 1;
+                        out.push(Outgoing::Undo {
+                            dir: out_port_reply,
+                            key,
+                            dst: key.requestor,
+                            arrive: now + self.link_latency as Cycle,
+                        });
+                    }
+                }
+                // Fragmented circuits keep the partial prefix and try
+                // again at the next hop (§4.2).
+                CircuitMode::Fragmented => {}
+                CircuitMode::None | CircuitMode::Ideal => {
+                    unreachable!("these modes never fail reservations")
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, PacketId};
+    use rcsim_core::{MechanismConfig, Mesh, MessageClass, Vnet};
+
+    fn router(mechanism: MechanismConfig) -> Router {
+        let mesh = Mesh::new(4, 4).expect("valid");
+        // Router at n5 = (1,1): all four neighbours exist.
+        Router::new(NodeId(5), &NocConfig::paper_baseline(mesh, mechanism))
+    }
+
+    fn flit(kind: FlitKind, seq: u32, len: u32, dst: u16, vc: usize) -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind,
+            seq,
+            len,
+            src: NodeId(4),
+            dst: NodeId(dst),
+            class: MessageClass::L1Request,
+            vnet: Vnet::Request,
+            vc,
+            circuit: None,
+            on_circuit: None,
+            scrounger_final: None,
+            block: 0x40,
+            token: 0,
+            created_at: 0,
+            injected_at: 0,
+        }
+    }
+
+    fn tick(r: &mut Router, now: Cycle, arrivals: Vec<(Direction, Flit)>) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        r.tick(now, arrivals, Vec::new(), Vec::new(), &mut out);
+        out
+    }
+
+    /// The Table 4 pipeline takes exactly four cycles in the router: a
+    /// head arriving at cycle 0 departs on the link during the tick at
+    /// cycle 3 (RC@0, VA@1, SA@2, ST@3).
+    #[test]
+    fn single_flit_takes_four_router_cycles() {
+        let mut r = router(MechanismConfig::baseline());
+        // Head-tail toward n6 = (2,1): East of n5, arriving from the West.
+        let f = flit(FlitKind::HeadTail, 0, 1, 6, 0);
+        let out = tick(&mut r, 0, vec![(Direction::West, f)]);
+        assert!(out.is_empty(), "cycle 0: buffered + route computed");
+        assert!(tick(&mut r, 1, vec![]).is_empty(), "cycle 1: VC allocation");
+        assert!(tick(&mut r, 2, vec![]).is_empty(), "cycle 2: switch allocation");
+        let out = tick(&mut r, 3, vec![]);
+        let sent = out
+            .iter()
+            .find_map(|o| match o {
+                Outgoing::Flit { dir, arrive, .. } => Some((*dir, *arrive)),
+                _ => None,
+            })
+            .expect("cycle 3: switch traversal");
+        assert_eq!(sent.0, Direction::East);
+        assert_eq!(sent.1, 3 + 2, "one ST cycle + one link cycle");
+        // The freed buffer slot returns upstream as a credit.
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Outgoing::Credit { dir: Direction::West, vc: 0, .. }
+        )));
+        assert_eq!(r.buffered_flits(), 0);
+    }
+
+    /// Body flits stream one per cycle behind the head.
+    #[test]
+    fn multiflit_streams_at_one_per_cycle() {
+        let mut r = router(MechanismConfig::baseline());
+        let mut departures = Vec::new();
+        for now in 0..16u64 {
+            let arrivals = if now < 5 {
+                let seq = now as u32;
+                vec![(Direction::West, flit(FlitKind::for_position(seq, 5), seq, 5, 6, 0))]
+            } else {
+                vec![]
+            };
+            for o in tick(&mut r, now, arrivals) {
+                if let Outgoing::Flit { .. } = o {
+                    departures.push(now);
+                }
+            }
+        }
+        // Head departs at cycle 3 (after RC/VA/SA); the other four flits
+        // stream back-to-back behind it.
+        assert_eq!(departures, vec![3, 4, 5, 6, 7], "1 flit/cycle streaming");
+        assert_eq!(r.buffered_flits(), 0);
+    }
+
+    /// Two heads contending for one output port: switch allocation
+    /// serializes them round-robin; both eventually depart.
+    #[test]
+    fn output_contention_is_arbitrated() {
+        let mut r = router(MechanismConfig::baseline());
+        let a = flit(FlitKind::HeadTail, 0, 1, 6, 0);
+        let mut b = flit(FlitKind::HeadTail, 0, 1, 6, 0);
+        b.packet = PacketId(2);
+        b.src = NodeId(1);
+        let _ = tick(&mut r, 0, vec![(Direction::West, a), (Direction::North, b)]);
+        let mut departures = 0;
+        for now in 1..10 {
+            for o in tick(&mut r, now, vec![]) {
+                if let Outgoing::Flit { dir, .. } = o {
+                    assert_eq!(dir, Direction::East);
+                    departures += 1;
+                }
+            }
+        }
+        assert_eq!(departures, 2, "both packets cross, serialized");
+    }
+
+    /// A request head reserves the reply circuit during its VA cycle,
+    /// with the reply's ports mirrored from the request's.
+    #[test]
+    fn reservation_happens_at_va_with_mirrored_ports() {
+        let mut r = router(MechanismConfig::complete());
+        let mut f = flit(FlitKind::HeadTail, 0, 1, 6, 0);
+        f.circuit = Some(Box::new(
+            rcsim_core::circuit::CircuitHandle::new(NodeId(4), 0x40, NodeId(6), 2, 5, 7),
+        ));
+        let _ = tick(&mut r, 0, vec![(Direction::West, f)]);
+        assert_eq!(r.circuits.total_entries(), 0, "not during RC");
+        let _ = tick(&mut r, 1, vec![]);
+        assert_eq!(r.circuits.total_entries(), 1, "reserved in parallel with VA");
+        // Reply arrives from where the request went (East) and leaves
+        // where it came from (West).
+        let key = rcsim_core::circuit::CircuitKey {
+            requestor: NodeId(4),
+            block: 0x40,
+        };
+        let e = r.circuits.lookup(Direction::East, key).expect("entry at East input");
+        assert_eq!(e.out_port, Direction::West);
+    }
+
+    /// A reply flit with a matching reservation crosses in the arrival
+    /// cycle (1-cycle bypass) and releases the circuit at its tail.
+    #[test]
+    fn bypass_crosses_in_one_cycle_and_releases() {
+        let mut r = router(MechanismConfig::complete());
+        let key = rcsim_core::circuit::CircuitKey {
+            requestor: NodeId(4),
+            block: 0x40,
+        };
+        r.circuits
+            .try_reserve(&ReserveRequest {
+                key,
+                source: NodeId(6),
+                in_port: Direction::East,
+                out_port: Direction::West,
+                window: None,
+                max_extra_shift: 0,
+            })
+            .expect("reservation succeeds");
+        let mut f = flit(FlitKind::HeadTail, 0, 1, 4, 3);
+        f.class = MessageClass::L2Reply;
+        f.vnet = Vnet::Reply;
+        f.on_circuit = Some(key);
+        let out = tick(&mut r, 10, vec![(Direction::East, f)]);
+        let (dir, arrive) = out
+            .iter()
+            .find_map(|o| match o {
+                Outgoing::Flit { dir, arrive, .. } => Some((*dir, *arrive)),
+                _ => None,
+            })
+            .expect("bypass departs the same cycle");
+        assert_eq!(dir, Direction::West);
+        assert_eq!(arrive, 12, "1 router cycle + 1 link cycle");
+        assert_eq!(r.circuits.total_entries(), 0, "tail released the circuit");
+        assert_eq!(r.buffered_flits(), 0, "bypassed flits are never stored");
+    }
+
+    /// An undo notification removes the local entry and is forwarded
+    /// towards the circuit destination.
+    #[test]
+    fn undo_propagates_towards_destination() {
+        let mut r = router(MechanismConfig::complete());
+        let key = rcsim_core::circuit::CircuitKey {
+            requestor: NodeId(4),
+            block: 0x40,
+        };
+        r.circuits
+            .try_reserve(&ReserveRequest {
+                key,
+                source: NodeId(6),
+                in_port: Direction::East,
+                out_port: Direction::West,
+                window: None,
+                max_extra_shift: 0,
+            })
+            .expect("reservation succeeds");
+        let mut out = Vec::new();
+        r.tick(5, vec![], vec![], vec![(key, NodeId(4))], &mut out);
+        assert_eq!(r.circuits.total_entries(), 0);
+        assert!(out.iter().any(|o| matches!(
+            o,
+            Outgoing::Undo { dir: Direction::West, .. }
+        )));
+    }
+}

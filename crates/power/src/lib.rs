@@ -1,0 +1,37 @@
+//! First-order router area and network energy models.
+//!
+//! The paper evaluates area and energy with DSENT at 32 nm / 2 GHz. This
+//! crate provides an analytical stand-in: router area is a sum of
+//! component terms (input buffers, crossbar, allocators, circuit tables,
+//! pipeline overhead) expressed in normalized *area units* proportional to
+//! bit counts, with coefficients chosen so the **baseline component
+//! shares** match published DSENT breakdowns for a 5-port, 128-bit,
+//! 4-VC router (buffers ≈ 40% of router area, crossbar ≈ 28%, allocators
+//! ≈ 12%, pipeline/other ≈ 20%). Energy is event-based: per-flit buffer
+//! read/write, crossbar traversal, link traversal and allocator energies
+//! scale with bit width, while static power scales with area.
+//!
+//! The paper's Table 6 (area savings) and Figure 8 (normalized network
+//! energy) are regenerated from these models plus the activity counters
+//! recorded by [`rcsim_noc::NocStats`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rcsim_core::MechanismConfig;
+//! use rcsim_power::RouterArea;
+//!
+//! let base = RouterArea::for_mechanism(&MechanismConfig::baseline(), 64);
+//! let complete = RouterArea::for_mechanism(&MechanismConfig::complete(), 64);
+//! // Complete circuits remove one VC buffer per port: smaller router.
+//! assert!(complete.total() < base.total());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod energy;
+
+pub use area::{area_savings, RouterArea};
+pub use energy::{EnergyBreakdown, EnergyModel};

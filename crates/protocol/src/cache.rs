@@ -1,0 +1,304 @@
+//! A generic set-associative cache array with pseudo-LRU replacement.
+
+use crate::plru::TreePlru;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity (power of two).
+    pub ways: usize,
+    /// Low address bits skipped before set indexing. A bank of an
+    /// address-interleaved shared cache must skip the bank-select bits,
+    /// or only `1/2^shift` of its sets would ever be used.
+    pub index_shift: u32,
+}
+
+impl CacheConfig {
+    /// Geometry from total capacity in bytes, 64 B lines and given ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the resulting set count is not a positive power of two.
+    pub fn from_capacity(bytes: usize, ways: usize) -> Self {
+        let lines = bytes / 64;
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        Self {
+            sets,
+            ways,
+            index_shift: 0,
+        }
+    }
+
+    /// The same geometry, skipping `shift` low address bits before the
+    /// set index (for banks of an interleaved shared cache).
+    pub fn with_index_shift(mut self, shift: u32) -> Self {
+        self.index_shift = shift;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Line<M> {
+    tag: u64,
+    meta: M,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Set<M> {
+    ways: Vec<Option<Line<M>>>,
+    plru: TreePlru,
+}
+
+/// A set-associative array storing per-line metadata of type `M`, indexed
+/// by cache-line address.
+///
+/// # Examples
+///
+/// ```
+/// use rcsim_protocol::{CacheArray, CacheConfig};
+///
+/// let mut l1: CacheArray<u32> = CacheArray::new(CacheConfig::from_capacity(32 * 1024, 4));
+/// assert!(l1.get(0x40).is_none());
+/// l1.insert(0x40, 7);
+/// assert_eq!(l1.get(0x40), Some(&7));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheArray<M> {
+    cfg: CacheConfig,
+    sets: Vec<Set<M>>,
+}
+
+impl<M> CacheArray<M> {
+    /// An empty array with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = (0..cfg.sets)
+            .map(|_| Set {
+                ways: (0..cfg.ways).map(|_| None).collect(),
+                plru: TreePlru::new(cfg.ways),
+            })
+            .collect();
+        Self { cfg, sets }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        ((block >> self.cfg.index_shift) as usize) & (self.cfg.sets - 1)
+    }
+
+    /// Everything but the set bits (incl. the skipped low bits), so the
+    /// full block address can be reconstructed from (tag, set).
+    fn tag_of(&self, block: u64) -> u64 {
+        let shift = self.cfg.index_shift;
+        let low = block & ((1u64 << shift) - 1);
+        (((block >> shift) / self.cfg.sets as u64) << shift) | low
+    }
+
+    fn block_of(&self, tag: u64, set: usize) -> u64 {
+        let shift = self.cfg.index_shift;
+        let low = tag & ((1u64 << shift) - 1);
+        ((((tag >> shift) * self.cfg.sets as u64) + set as u64) << shift) | low
+    }
+
+    fn find(&self, block: u64) -> Option<usize> {
+        let s = self.set_of(block);
+        let tag = self.tag_of(block);
+        self.sets[s]
+            .ways
+            .iter()
+            .position(|l| l.as_ref().is_some_and(|l| l.tag == tag))
+    }
+
+    /// Metadata of a cached block, without touching recency.
+    pub fn peek(&self, block: u64) -> Option<&M> {
+        let s = self.set_of(block);
+        self.find(block).map(|w| &self.sets[s].ways[w].as_ref().expect("found").meta)
+    }
+
+    /// Metadata of a cached block, updating recency.
+    pub fn get(&mut self, block: u64) -> Option<&M> {
+        let s = self.set_of(block);
+        let w = self.find(block)?;
+        self.sets[s].plru.touch(w);
+        Some(&self.sets[s].ways[w].as_ref().expect("found").meta)
+    }
+
+    /// Mutable metadata of a cached block, updating recency.
+    pub fn get_mut(&mut self, block: u64) -> Option<&mut M> {
+        let s = self.set_of(block);
+        let w = self.find(block)?;
+        self.sets[s].plru.touch(w);
+        Some(&mut self.sets[s].ways[w].as_mut().expect("found").meta)
+    }
+
+    /// Mutable metadata without touching recency (for message handling
+    /// that should not perturb replacement).
+    pub fn peek_mut(&mut self, block: u64) -> Option<&mut M> {
+        let s = self.set_of(block);
+        let w = self.find(block)?;
+        Some(&mut self.sets[s].ways[w].as_mut().expect("found").meta)
+    }
+
+    /// Inserts a block (which must not be present), evicting the PLRU
+    /// victim if the set is full. Returns the evicted `(block, meta)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already cached.
+    pub fn insert(&mut self, block: u64, meta: M) -> Option<(u64, M)> {
+        assert!(self.find(block).is_none(), "block {block:#x} already cached");
+        let s = self.set_of(block);
+        let tag = self.tag_of(block);
+        let set = &mut self.sets[s];
+        let way = match set.ways.iter().position(Option::is_none) {
+            Some(w) => w,
+            None => set.plru.victim(),
+        };
+        let evicted_entry = set.ways[way].take();
+        set.ways[way] = Some(Line { tag, meta });
+        set.plru.touch(way);
+        evicted_entry.map(|l| (self.block_of(l.tag, s), l.meta))
+    }
+
+    /// The block that would be evicted if `block` were inserted now
+    /// (`None` if a free way exists). Recency is not modified.
+    pub fn victim_for(&self, block: u64) -> Option<u64> {
+        let s = self.set_of(block);
+        let set = &self.sets[s];
+        if set.ways.iter().any(Option::is_none) {
+            return None;
+        }
+        let way = set.plru.victim();
+        let tag = set.ways[way].as_ref().map(|l| l.tag)?;
+        Some(self.block_of(tag, s))
+    }
+
+    /// Blocks currently cached in the same set as `block` (eviction
+    /// candidates when a victim must be chosen under constraints).
+    pub fn set_blocks(&self, block: u64) -> Vec<u64> {
+        let s = self.set_of(block);
+        self.sets[s]
+            .ways
+            .iter()
+            .flatten()
+            .map(|l| self.block_of(l.tag, s))
+            .collect()
+    }
+
+    /// Number of free ways in the set of `block`.
+    pub fn free_ways(&self, block: u64) -> usize {
+        let s = self.set_of(block);
+        self.sets[s].ways.iter().filter(|w| w.is_none()).count()
+    }
+
+    /// Removes a block, returning its metadata.
+    pub fn remove(&mut self, block: u64) -> Option<M> {
+        let s = self.set_of(block);
+        let w = self.find(block)?;
+        self.sets[s].ways[w].take().map(|l| l.meta)
+    }
+
+    /// Number of lines currently cached.
+    pub fn len(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().flatten().count())
+            .sum()
+    }
+
+    /// `true` when no lines are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(block, meta)` of all cached lines.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &M)> {
+        self.sets.iter().enumerate().flat_map(move |(s, set)| {
+            set.ways
+                .iter()
+                .flatten()
+                .map(move |l| (self.block_of(l.tag, s), &l.meta))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray<u32> {
+        CacheArray::new(CacheConfig { sets: 4, ways: 2, index_shift: 0 })
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut c = small();
+        assert!(c.is_empty());
+        assert_eq!(c.insert(0x10, 1), None);
+        assert_eq!(c.get(0x10), Some(&1));
+        *c.get_mut(0x10).unwrap() = 2;
+        assert_eq!(c.peek(0x10), Some(&2));
+        assert_eq!(c.remove(0x10), Some(2));
+        assert_eq!(c.get(0x10), None);
+    }
+
+    #[test]
+    fn conflicting_blocks_evict_plru() {
+        let mut c = small();
+        // Blocks 0, 4, 8 all map to set 0 (sets = 4).
+        c.insert(0, 10);
+        c.insert(4, 14);
+        c.get(0); // 0 recent, 4 is victim
+        let evicted = c.insert(8, 18);
+        assert_eq!(evicted, Some((4, 14)));
+        assert_eq!(c.get(0), Some(&10));
+        assert_eq!(c.get(8), Some(&18));
+    }
+
+    #[test]
+    fn victim_for_reports_without_evicting() {
+        let mut c = small();
+        assert_eq!(c.victim_for(0), None);
+        c.insert(0, 1);
+        assert_eq!(c.victim_for(4), None, "one way still free");
+        c.insert(4, 2);
+        let v = c.victim_for(8).unwrap();
+        assert!(v == 0 || v == 4);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn tag_reconstruction_is_exact() {
+        let mut c = CacheArray::new(CacheConfig { sets: 8, ways: 2, index_shift: 0 });
+        // At most two blocks per set (sets = 8, ways = 2): no evictions.
+        for block in [0u64, 7, 9, 255, (1 << 30) + 1] {
+            c.insert(block, block as u32);
+        }
+        let mut found: Vec<u64> = c.iter().map(|(b, _)| b).collect();
+        found.sort();
+        assert_eq!(found, vec![0, 7, 9, 255, (1 << 30) + 1]);
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let cfg = CacheConfig::from_capacity(32 * 1024, 4);
+        assert_eq!(cfg.sets, 128);
+        let cfg = CacheConfig::from_capacity(1024 * 1024, 16);
+        assert_eq!(cfg.sets, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "already cached")]
+    fn double_insert_rejected() {
+        let mut c = small();
+        c.insert(0, 1);
+        c.insert(0, 2);
+    }
+}

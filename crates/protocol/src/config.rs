@@ -1,0 +1,111 @@
+//! Memory-system configuration (the paper's Table 2) and address mapping.
+
+use crate::cache::CacheConfig;
+use rcsim_core::{Mesh, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the coherent memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// L1 geometry (32 KB, 4-way in the paper).
+    pub l1: CacheConfig,
+    /// Per-bank L2 geometry (1 MB, 16-way).
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles (2).
+    pub l1_hit_latency: u32,
+    /// L2 bank hit latency in cycles (7).
+    pub l2_hit_latency: u32,
+    /// Memory access latency in cycles (160).
+    pub mem_latency: u32,
+    /// Eliminate `L1_DATA_ACK`s for replies that rode a complete circuit
+    /// (§4.6). Mirrors `MechanismConfig::eliminate_acks`.
+    pub eliminate_acks: bool,
+    /// Undo circuits when the L2 misses (§4.4 ablation; the paper keeps
+    /// them, so this defaults to `false`).
+    pub undo_on_l2_miss: bool,
+    /// Tiles hosting memory controllers.
+    pub mc_tiles: Vec<NodeId>,
+}
+
+impl ProtocolConfig {
+    /// The Table 2 configuration for a mesh. The L2 bank arrays skip the
+    /// bank-select bits (lines interleave over all tiles).
+    pub fn paper_defaults(mesh: &Mesh) -> Self {
+        let bank_bits = (mesh.nodes() as u64).trailing_zeros();
+        let bank_bits = if mesh.nodes().is_power_of_two() { bank_bits } else { 0 };
+        Self {
+            l1: CacheConfig::from_capacity(32 * 1024, 4),
+            l2: CacheConfig::from_capacity(1024 * 1024, 16).with_index_shift(bank_bits),
+            l1_hit_latency: 2,
+            l2_hit_latency: 7,
+            mem_latency: 160,
+            eliminate_acks: false,
+            undo_on_l2_miss: false,
+            mc_tiles: mesh.memory_controller_tiles(),
+        }
+    }
+
+    /// A scaled-down configuration for fast tests (256-line L1, 4K-line
+    /// L2, same latencies).
+    pub fn small_for_tests(mesh: &Mesh) -> Self {
+        let defaults = Self::paper_defaults(mesh);
+        Self {
+            l1: CacheConfig {
+                sets: 16,
+                ways: 4,
+                index_shift: 0,
+            },
+            l2: CacheConfig {
+                sets: 64,
+                ways: 8,
+                index_shift: defaults.l2.index_shift,
+            },
+            ..defaults
+        }
+    }
+
+    /// The L2 bank (home tile) of a cache line: address-interleaved over
+    /// all tiles at line granularity.
+    pub fn home(&self, mesh: &Mesh, block: u64) -> NodeId {
+        NodeId((block % mesh.nodes() as u64) as u16)
+    }
+
+    /// The memory controller serving a cache line.
+    pub fn memory_controller(&self, block: u64) -> NodeId {
+        self.mc_tiles[(block as usize) % self.mc_tiles.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cfg = ProtocolConfig::paper_defaults(&mesh);
+        assert_eq!(cfg.l1.sets * cfg.l1.ways * 64, 32 * 1024);
+        assert_eq!(cfg.l2.sets * cfg.l2.ways * 64, 1024 * 1024);
+        assert_eq!(cfg.mc_tiles.len(), 4);
+    }
+
+    #[test]
+    fn home_interleaves_over_all_tiles() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let cfg = ProtocolConfig::paper_defaults(&mesh);
+        let homes: std::collections::HashSet<_> =
+            (0..64u64).map(|b| cfg.home(&mesh, b)).collect();
+        assert_eq!(homes.len(), 16);
+        // Stable mapping.
+        assert_eq!(cfg.home(&mesh, 5), cfg.home(&mesh, 5 + 16));
+    }
+
+    #[test]
+    fn mc_mapping_hits_all_controllers() {
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cfg = ProtocolConfig::paper_defaults(&mesh);
+        let mcs: std::collections::HashSet<_> =
+            (0..16u64).map(|b| cfg.memory_controller(b)).collect();
+        assert_eq!(mcs.len(), 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Protocol messages and the network abstraction.
+
+use rcsim_core::circuit::CircuitKey;
+use rcsim_core::{Cycle, MessageClass, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// What an L1 wants from the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// Read permission (shared).
+    GetS,
+    /// Write permission (exclusive).
+    GetX,
+}
+
+/// One coherence message. The [`MessageClass`] fixes the virtual network,
+/// size and circuit eligibility; the remaining fields carry the protocol
+/// payload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Msg {
+    /// Message class (Table 3).
+    pub class: MessageClass,
+    /// Sender node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cache-line address (byte address >> 6).
+    pub block: u64,
+    /// Request kind, for `L1Request` and `FwdRequest`.
+    pub req: Option<ReqKind>,
+    /// For `FwdRequest`: the node the owner must send data to.
+    pub requestor: Option<NodeId>,
+    /// For data replies to a `GetS` with no other sharers: grant Exclusive.
+    pub exclusive: bool,
+    /// Modelled line contents (a 64-bit token standing in for the 64-byte
+    /// line), used by the coherence correctness checks.
+    pub data: u64,
+    /// `true` for messages of a data-carrying class that are actually a
+    /// single-flit acknowledgement (the `MEMORY` ack of an L2 write-back).
+    pub short: bool,
+    /// For `L1Request`s: the requestor has a write-back for this very
+    /// block in flight (the request overtook it on the request VN), so
+    /// the home must wait for the data instead of serving a stale line.
+    pub wb_race: bool,
+}
+
+impl Msg {
+    /// A message of `class` from `src` to `dst` about `block`.
+    pub fn new(class: MessageClass, src: NodeId, dst: NodeId, block: u64) -> Self {
+        Self {
+            class,
+            src,
+            dst,
+            block,
+            req: None,
+            requestor: None,
+            exclusive: false,
+            data: 0,
+            short: false,
+            wb_race: false,
+        }
+    }
+
+    /// Marks a request that is racing the sender's own write-back.
+    pub fn with_wb_race(mut self) -> Self {
+        self.wb_race = true;
+        self
+    }
+
+    /// Marks a data-class message as a single-flit acknowledgement.
+    pub fn with_short(mut self) -> Self {
+        self.short = true;
+        self
+    }
+
+    /// Sets the request kind.
+    pub fn with_req(mut self, req: ReqKind) -> Self {
+        self.req = Some(req);
+        self
+    }
+
+    /// Sets the forward target.
+    pub fn with_requestor(mut self, requestor: NodeId) -> Self {
+        self.requestor = Some(requestor);
+        self
+    }
+
+    /// Sets the line-content token.
+    pub fn with_data(mut self, data: u64) -> Self {
+        self.data = data;
+        self
+    }
+
+    /// Marks an exclusive data grant.
+    pub fn with_exclusive(mut self) -> Self {
+        self.exclusive = true;
+        self
+    }
+
+    /// The circuit key a reply to this request (or this reply) uses.
+    pub fn circuit_key_for(requestor: NodeId, block: u64) -> CircuitKey {
+        CircuitKey { requestor, block }
+    }
+}
+
+/// The network as seen by the protocol state machines.
+///
+/// `rcsim-system` implements this on top of the cycle-accurate NoC; the
+/// protocol's own unit tests use an in-memory loopback.
+pub trait Port {
+    /// Current cycle.
+    fn now(&self) -> Cycle;
+
+    /// Sends a message. `turnaround` is the expected responder latency the
+    /// circuit estimator should plan for (L2 hit, or memory latency).
+    /// Returns `true` when the message is a reply that committed to riding
+    /// its own complete circuit (the §4.6 NoAck condition).
+    fn send(&mut self, msg: Msg, turnaround: u32) -> bool;
+
+    /// Tears down an unused circuit (the L2→owner forward flow, §4.4).
+    fn undo_circuit(&mut self, key: CircuitKey);
+
+    /// Records an `L1_DATA_ACK` that was never generated (§4.6).
+    fn record_eliminated_ack(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let m = Msg::new(MessageClass::L1Request, NodeId(1), NodeId(2), 0x40)
+            .with_req(ReqKind::GetX)
+            .with_data(9)
+            .with_exclusive();
+        assert_eq!(m.req, Some(ReqKind::GetX));
+        assert_eq!(m.data, 9);
+        assert!(m.exclusive);
+        assert_eq!(m.requestor, None);
+    }
+
+    #[test]
+    fn circuit_key_matches_noc_convention() {
+        let k = Msg::circuit_key_for(NodeId(3), 0x80);
+        assert_eq!(k.requestor, NodeId(3));
+        assert_eq!(k.block, 0x80);
+    }
+}

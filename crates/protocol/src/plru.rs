@@ -1,0 +1,151 @@
+//! Tree pseudo-LRU replacement (both cache levels use pseudo-LRU,
+//! Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Tree-PLRU state for one cache set of up to 64 ways (ways must be a
+/// power of two).
+///
+/// # Examples
+///
+/// ```
+/// use rcsim_protocol::TreePlru;
+///
+/// let mut plru = TreePlru::new(4);
+/// plru.touch(0);
+/// plru.touch(1);
+/// plru.touch(2);
+/// plru.touch(3);
+/// // After touching all ways in order, way 0 is the pseudo-LRU victim.
+/// assert_eq!(plru.victim(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreePlru {
+    /// Internal tree bits; bit i covers internal node i (root = 1), with
+    /// 0 = left subtree older, 1 = right subtree older.
+    bits: u64,
+    ways: usize,
+}
+
+impl TreePlru {
+    /// Creates PLRU state for `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ways` is a power of two in `1..=64`.
+    pub fn new(ways: usize) -> Self {
+        assert!(
+            ways.is_power_of_two() && (1..=64).contains(&ways),
+            "ways must be a power of two in 1..=64"
+        );
+        Self { bits: 0, ways }
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Marks `way` as most-recently used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn touch(&mut self, way: usize) {
+        assert!(way < self.ways, "way {way} out of range");
+        let mut node = 1usize;
+        let mut span = self.ways;
+        while span > 1 {
+            span /= 2;
+            let right = way & span != 0;
+            // Point the bit AWAY from the touched way.
+            if right {
+                self.bits &= !(1 << node);
+            } else {
+                self.bits |= 1 << node;
+            }
+            node = node * 2 + usize::from(right);
+        }
+    }
+
+    /// The pseudo-least-recently-used way.
+    pub fn victim(&self) -> usize {
+        let mut node = 1usize;
+        let mut way = 0usize;
+        let mut span = self.ways;
+        while span > 1 {
+            span /= 2;
+            let right = self.bits & (1 << node) != 0;
+            if right {
+                way |= span;
+            }
+            node = node * 2 + usize::from(right);
+        }
+        way
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_way() {
+        let mut p = TreePlru::new(1);
+        assert_eq!(p.victim(), 0);
+        p.touch(0);
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn two_ways_alternate() {
+        let mut p = TreePlru::new(2);
+        p.touch(0);
+        assert_eq!(p.victim(), 1);
+        p.touch(1);
+        assert_eq!(p.victim(), 0);
+    }
+
+    #[test]
+    fn victim_is_never_most_recent() {
+        for ways in [2usize, 4, 8, 16] {
+            let mut p = TreePlru::new(ways);
+            for i in 0..1000usize {
+                let w = (i * 7 + 3) % ways;
+                p.touch(w);
+                assert_ne!(p.victim(), w, "{ways} ways, touched {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_touch_16_ways() {
+        let mut p = TreePlru::new(16);
+        for w in 0..16 {
+            p.touch(w);
+        }
+        assert_eq!(p.victim(), 0);
+        p.touch(0);
+        assert_eq!(p.victim(), 8);
+    }
+
+    #[test]
+    fn plru_approximates_lru_on_scan() {
+        // Scanning ways in order repeatedly, the victim always lies in the
+        // half least recently touched.
+        let mut p = TreePlru::new(8);
+        for w in 0..8 {
+            p.touch(w);
+        }
+        for w in 0..4 {
+            p.touch(w);
+        }
+        assert!(p.victim() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        TreePlru::new(3);
+    }
+}

@@ -1,0 +1,358 @@
+//! Chip assembly: one tile per mesh node (core + L1 + L2 bank + router,
+//! plus a memory controller on four edge tiles — Figure 1), wired to the
+//! cycle-accurate NoC through an adapter implementing the protocol's
+//! [`Port`].
+
+use crate::core_model::{Core, CoreAction};
+use rcsim_core::circuit::CircuitKey;
+use rcsim_core::{Cycle, MechanismConfig, Mesh, MessageClass, NodeId};
+use rcsim_noc::{CircuitOutcome, Network, NocConfig, NocStats, PacketSpec};
+use rcsim_protocol::{Access, L1Cache, L2Bank, MemoryController, Msg, Port, ProtocolConfig};
+use rcsim_workload::Workload;
+use std::collections::{HashMap, HashSet};
+
+/// Bridges the protocol state machines to the NoC: attaches circuit keys
+/// to eligible replies, reports NoAck commits, forwards undos and keeps
+/// the Figure 6 outcome accounting consistent (see DESIGN.md).
+struct ChipPort<'a> {
+    net: &'a mut Network,
+    payloads: &'a mut HashMap<u64, Msg>,
+    next_token: &'a mut u64,
+    undone: &'a mut HashSet<CircuitKey>,
+    node: NodeId,
+    circuits_enabled: bool,
+    track_undone: bool,
+}
+
+impl Port for ChipPort<'_> {
+    fn now(&self) -> Cycle {
+        self.net.now()
+    }
+
+    fn send(&mut self, msg: Msg, turnaround: u32) -> bool {
+        let token = *self.next_token;
+        *self.next_token += 1;
+        self.payloads.insert(token, msg);
+        let mut spec = PacketSpec::new(msg.src, msg.dst, msg.class)
+            .with_block(msg.block)
+            .with_token(token)
+            .with_turnaround(turnaround);
+        if msg.short {
+            spec = spec.with_flits(1);
+        }
+        if self.circuits_enabled {
+            if msg.class.is_reply() && msg.class.circuit_eligible() {
+                let key = CircuitKey {
+                    requestor: msg.dst,
+                    block: msg.block,
+                };
+                if self.undone.remove(&key) {
+                    // The §4.4 ablation already classified this reply as
+                    // `undone` when the circuit was torn down at L2 miss.
+                    spec = spec.without_outcome();
+                } else {
+                    spec = spec.with_circuit_key(key);
+                }
+            }
+            if msg.class == MessageClass::L1ToL1 {
+                // The forwarded transaction's circuit fate (undone or
+                // failed) was recorded when the L2 forwarded the request.
+                spec = spec.without_outcome();
+            }
+        }
+        let (_, committed) = self.net.inject(spec);
+        committed
+    }
+
+    fn undo_circuit(&mut self, key: CircuitKey) {
+        if self.net.undo_circuit(self.node, key) {
+            if self.track_undone {
+                self.undone.insert(key);
+            }
+        } else if self.circuits_enabled {
+            // The circuit had already failed mid-path: the transaction's
+            // logical reply still belongs in the Figure 6 breakdown.
+            self.net.record_reply_outcome(CircuitOutcome::Failed);
+        }
+    }
+
+    fn record_eliminated_ack(&mut self) {
+        self.net.record_eliminated_ack();
+    }
+}
+
+/// The full chip multiprocessor.
+pub struct Chip {
+    mesh: Mesh,
+    proto_cfg: ProtocolConfig,
+    net: Network,
+    cores: Vec<Core>,
+    l1s: Vec<L1Cache>,
+    l2s: Vec<L2Bank>,
+    mcs: HashMap<usize, MemoryController>,
+    payloads: HashMap<u64, Msg>,
+    next_token: u64,
+    undone: HashSet<CircuitKey>,
+}
+
+impl Chip {
+    /// Assembles a chip for a workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mechanism-configuration validation errors.
+    pub fn new(
+        mesh: Mesh,
+        mechanism: MechanismConfig,
+        mut proto_cfg: ProtocolConfig,
+        workload: &Workload,
+    ) -> Result<Self, rcsim_core::ConfigError> {
+        mechanism.validate()?;
+        assert_eq!(workload.cores(), mesh.nodes(), "one thread per core");
+        proto_cfg.eliminate_acks = mechanism.eliminate_acks;
+        proto_cfg.undo_on_l2_miss = mechanism.undo_on_l2_miss;
+        let net = Network::new(NocConfig::paper_baseline(mesh, mechanism))?;
+        let cores = (0..mesh.nodes())
+            .map(|i| Core::new(i as u16, workload.core_trace(i)))
+            .collect();
+        let l1s = mesh
+            .iter()
+            .map(|n| L1Cache::new(n, mesh, proto_cfg.clone()))
+            .collect();
+        let l2s = mesh
+            .iter()
+            .map(|n| L2Bank::new(n, mesh, proto_cfg.clone()))
+            .collect();
+        let mcs = proto_cfg
+            .mc_tiles
+            .iter()
+            .map(|n| (n.index(), MemoryController::new(*n, proto_cfg.mem_latency)))
+            .collect();
+        Ok(Self {
+            mesh,
+            proto_cfg,
+            net,
+            cores,
+            l1s,
+            l2s,
+            mcs,
+            payloads: HashMap::new(),
+            next_token: 0,
+            undone: HashSet::new(),
+        })
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.net.now()
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Advances the whole chip one cycle.
+    pub fn tick(&mut self) {
+        let now = self.net.now();
+        let n = self.mesh.nodes();
+        let mechanism = *self.net.config();
+        let circuits_enabled = mechanism.mechanism.circuits_enabled();
+        let track_undone = self.proto_cfg.undo_on_l2_miss;
+        let l1_hit = self.proto_cfg.l1_hit_latency;
+
+        // Cores issue L1 accesses.
+        for i in 0..n {
+            if let CoreAction::Access { block, write, value } = self.cores[i].poll(now, l1_hit) {
+                let mut port = ChipPort {
+                    net: &mut self.net,
+                    payloads: &mut self.payloads,
+                    next_token: &mut self.next_token,
+                    undone: &mut self.undone,
+                    node: NodeId(i as u16),
+                    circuits_enabled,
+                    track_undone,
+                };
+                match self.l1s[i].access(block, write, write.then_some(value), &mut port) {
+                    Access::Hit { .. } => self.cores[i].access_hit(now),
+                    Access::Miss => self.cores[i].access_missed(),
+                }
+            }
+        }
+
+        // The network moves.
+        self.net.tick();
+        let now = self.net.now();
+
+        // Deliveries fan out to the tile components.
+        for (node, d) in self.net.take_all_delivered() {
+            let msg = self
+                .payloads
+                .remove(&d.token)
+                .expect("every injected packet has a payload record");
+            let i = node.index();
+            match msg.class {
+                MessageClass::L2Reply
+                | MessageClass::L1ToL1
+                | MessageClass::Invalidation
+                | MessageClass::FwdRequest
+                | MessageClass::L2WbAck => {
+                    let mut port = ChipPort {
+                        net: &mut self.net,
+                        payloads: &mut self.payloads,
+                        next_token: &mut self.next_token,
+                        undone: &mut self.undone,
+                        node,
+                        circuits_enabled,
+                        track_undone,
+                    };
+                    if self.l1s[i].handle(&msg, d.rode_circuit, &mut port).is_some() {
+                        self.cores[i].miss_done(now, l1_hit);
+                    }
+                }
+                MessageClass::L1Request
+                | MessageClass::WbData
+                | MessageClass::L1DataAck
+                | MessageClass::L1InvAck
+                | MessageClass::MemoryReply => {
+                    self.l2s[i].receive(msg, now);
+                }
+                MessageClass::MemRequest | MessageClass::MemWbData => {
+                    self.mcs
+                        .get_mut(&i)
+                        .expect("memory traffic targets an MC tile")
+                        .receive(msg, now);
+                }
+            }
+        }
+
+        // L2 banks and memory controllers act on due work.
+        for i in 0..n {
+            let mut port = ChipPort {
+                net: &mut self.net,
+                payloads: &mut self.payloads,
+                next_token: &mut self.next_token,
+                undone: &mut self.undone,
+                node: NodeId(i as u16),
+                circuits_enabled,
+                track_undone,
+            };
+            self.l2s[i].tick(now, &mut port);
+            if let Some(mc) = self.mcs.get_mut(&i) {
+                mc.tick(now, &mut port);
+            }
+        }
+    }
+
+    /// Runs `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Zeroes every statistic after warm-up (traffic in flight continues).
+    pub fn reset_stats(&mut self) {
+        self.net.reset_stats();
+        for c in &mut self.cores {
+            c.instructions = 0;
+        }
+        for l1 in &mut self.l1s {
+            l1.reset_stats();
+        }
+        for l2 in &mut self.l2s {
+            l2.reset_stats();
+        }
+        for mc in self.mcs.values_mut() {
+            mc.reset_stats();
+        }
+    }
+
+    /// Instructions retired across all cores since the last reset.
+    pub fn instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Network statistics snapshot.
+    pub fn noc_stats(&self) -> NocStats {
+        self.net.stats()
+    }
+
+    /// Aggregated L1 counters.
+    pub fn l1_totals(&self) -> rcsim_protocol::L1Stats {
+        let mut total = rcsim_protocol::L1Stats::default();
+        for s in self.l1s.iter().map(L1Cache::stats) {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.upgrades += s.upgrades;
+            total.writebacks += s.writebacks;
+            total.invalidations += s.invalidations;
+            total.forwards_served += s.forwards_served;
+            total.acks_elided += s.acks_elided;
+        }
+        total
+    }
+
+    /// Aggregated L2 counters.
+    pub fn l2_totals(&self) -> rcsim_protocol::L2Stats {
+        let mut total = rcsim_protocol::L2Stats::default();
+        for s in self.l2s.iter().map(L2Bank::stats) {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.forwards += s.forwards;
+            total.invalidations += s.invalidations;
+            total.evictions += s.evictions;
+            total.queued_on_busy += s.queued_on_busy;
+            total.busy_wait_cycles += s.busy_wait_cycles;
+            total.self_acked += s.self_acked;
+        }
+        total
+    }
+
+    /// Checks the single-writer/multiple-reader invariant and directory
+    /// consistency across all caches. Returns human-readable violations
+    /// (empty = coherent).
+    pub fn coherence_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        // Gather every cached L1 line.
+        let mut holders: HashMap<u64, Vec<(NodeId, bool, u64)>> = HashMap::new();
+        for (i, l1) in self.l1s.iter().enumerate() {
+            for (block, writable, value) in l1.lines() {
+                holders
+                    .entry(block)
+                    .or_default()
+                    .push((NodeId(i as u16), writable, value));
+            }
+        }
+        for (block, hs) in &holders {
+            let writers: Vec<_> = hs.iter().filter(|(_, w, _)| *w).collect();
+            if writers.len() > 1 {
+                violations.push(format!("block {block:#x}: {} writable copies", writers.len()));
+            }
+            if writers.len() == 1 && hs.len() > 1 {
+                violations.push(format!(
+                    "block {block:#x}: writable copy coexists with {} other copies",
+                    hs.len() - 1
+                ));
+            }
+            // Every actual holder must be known to the directory (the
+            // directory may track stale sharers, never the reverse).
+            let home = self.proto_cfg.home(&self.mesh, *block);
+            if let Some((owner, sharers)) = self.l2s[home.index()].probe(*block) {
+                for (n, w, _) in hs {
+                    let known = owner == Some(*n) || sharers & (1u64 << n.index()) != 0;
+                    if !known && *w {
+                        violations.push(format!(
+                            "block {block:#x}: writable holder {n} unknown to the directory"
+                        ));
+                    }
+                }
+            } else {
+                violations.push(format!(
+                    "block {block:#x}: cached in an L1 but absent from its home bank (inclusion)"
+                ));
+            }
+        }
+        violations
+    }
+}

@@ -1,0 +1,42 @@
+//! The full tiled CMP: trace-driven in-order cores, L1/L2/directory,
+//! memory controllers, and the Reactive Circuits NoC, assembled per the
+//! paper's Figure 1 and driven cycle by cycle.
+//!
+//! The crate also hosts the experiment driver used by every benchmark
+//! binary: [`SimConfig`] names a workload, a chip size and a mechanism
+//! configuration; [`run_sim`] executes warm-up + measurement and returns a
+//! [`RunResult`] with the performance, latency, circuit-outcome, area and
+//! energy numbers the paper's tables and figures are built from.
+//!
+//! # Examples
+//!
+//! ```
+//! use rcsim_core::MechanismConfig;
+//! use rcsim_system::{run_sim, SimConfig};
+//!
+//! let cfg = SimConfig {
+//!     cores: 16,
+//!     mechanism: MechanismConfig::complete_noack(),
+//!     workload: "blackscholes".into(),
+//!     seed: 1,
+//!     warmup_cycles: 500,
+//!     measure_cycles: 2_000,
+//!     small_caches: true,
+//! };
+//! let result = run_sim(&cfg)?;
+//! assert!(result.instructions > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod core_model;
+mod report;
+mod sim;
+
+pub use chip::Chip;
+pub use core_model::Core;
+pub use report::{LatencyRow, RunResult};
+pub use sim::{run_sim, SimConfig, SimError};

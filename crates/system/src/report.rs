@@ -1,0 +1,177 @@
+//! Machine-readable results of one simulation run — the raw material for
+//! every paper table and figure.
+
+use rcsim_noc::{CircuitOutcome, MessageGroup, NocStats};
+use rcsim_power::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Mean network and queueing latency of one Figure 7 message group.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyRow {
+    /// Mean cycles in the network (injection → tail delivery).
+    pub network: f64,
+    /// Mean cycles queued at the NI before injection.
+    pub queueing: f64,
+    /// Messages measured.
+    pub count: u64,
+}
+
+/// Everything measured in one (workload, chip size, mechanism) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Mechanism label (paper legend name).
+    pub mechanism: String,
+    /// Core count.
+    pub cores: usize,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Instructions retired in the window (the Figure 9/10 performance
+    /// metric: fixed window, more instructions = faster).
+    pub instructions: u64,
+
+    /// Message counts by class label (Table 1).
+    pub messages: BTreeMap<String, u64>,
+    /// Latencies by Figure 7 group label.
+    pub latency: BTreeMap<String, LatencyRow>,
+    /// Reply-outcome fractions by Figure 6 label.
+    pub outcomes: BTreeMap<String, f64>,
+    /// Circuit reservations by in-port position (Table 5 numerators).
+    pub reservations_at_index: Vec<u64>,
+    /// Failed reservation attempts (Table 5 "failed").
+    pub reservations_failed: u64,
+    /// Failure breakdown: `[storage, same-source, output-port, window]`.
+    pub reservation_failures: [u64; 4],
+    /// Injected flits per node per 100 cycles (the paper's load metric).
+    pub load: f64,
+
+    /// Network energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Router area savings vs the baseline router (Table 6).
+    pub area_savings: f64,
+
+    /// L1 miss rate over core accesses.
+    pub l1_miss_rate: f64,
+    /// `L1_DATA_ACK`s elided (§4.6).
+    pub acks_elided: u64,
+    /// L2 requests that queued behind busy lines.
+    pub l2_queued_on_busy: u64,
+}
+
+impl RunResult {
+    /// Instructions per cycle per core.
+    pub fn ipc_per_core(&self) -> f64 {
+        if self.cycles == 0 || self.cores == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / (self.cycles as f64 * self.cores as f64)
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the same workload
+    /// (ratio of instructions retired in equal windows).
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        if baseline.instructions == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / baseline.instructions as f64
+        }
+    }
+
+    /// Network energy normalized to a baseline run, **per unit of work**
+    /// (energy/instruction ratio). The paper measures whole parallel
+    /// regions — fixed work — so a faster configuration also spends less
+    /// static energy; our fixed-cycle windows must fold the speedup back
+    /// in to be comparable.
+    pub fn energy_ratio_over(&self, baseline: &RunResult) -> f64 {
+        let b = baseline.energy.total_pj();
+        if b == 0.0 || self.instructions == 0 || baseline.instructions == 0 {
+            return 0.0;
+        }
+        (self.energy.total_pj() / self.instructions as f64)
+            / (b / baseline.instructions as f64)
+    }
+
+    /// Builds the latency/outcome maps from network statistics.
+    pub fn fill_noc_summaries(&mut self, stats: &NocStats) {
+        for (class, n) in &stats.injected {
+            *self.messages.entry(class.label().to_owned()).or_insert(0) += n;
+        }
+        for group in [
+            MessageGroup::Request,
+            MessageGroup::CircuitRep,
+            MessageGroup::NoCircuitRep,
+        ] {
+            let net = stats.network_latency.get(&group);
+            let queue = stats.queueing_latency.get(&group);
+            self.latency.insert(
+                group.label().to_owned(),
+                LatencyRow {
+                    network: net.map_or(0.0, |a| a.mean()),
+                    queueing: queue.map_or(0.0, |a| a.mean()),
+                    count: net.map_or(0, |a| a.count()),
+                },
+            );
+        }
+        for outcome in CircuitOutcome::ALL {
+            self.outcomes.insert(
+                outcome.label().to_owned(),
+                stats.outcome_fraction(outcome),
+            );
+        }
+        self.reservations_at_index = stats.tables.reserved_at_index.to_vec();
+        self.reservations_failed = stats.tables.total_failed();
+        self.reservation_failures = [
+            stats.tables.failed_storage,
+            stats.tables.failed_source,
+            stats.tables.failed_output,
+            stats.tables.failed_window,
+        ];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> RunResult {
+        RunResult {
+            workload: "x".into(),
+            mechanism: "Baseline".into(),
+            cores: 16,
+            cycles: 1000,
+            instructions: 8000,
+            messages: BTreeMap::new(),
+            latency: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            reservations_at_index: vec![],
+            reservations_failed: 0,
+            reservation_failures: [0; 4],
+            load: 0.0,
+            energy: EnergyBreakdown::default(),
+            area_savings: 0.0,
+            l1_miss_rate: 0.0,
+            acks_elided: 0,
+            l2_queued_on_busy: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = blank();
+        assert!((base.ipc_per_core() - 0.5).abs() < 1e-12);
+        let mut faster = blank();
+        faster.instructions = 8800;
+        assert!((faster.speedup_over(&base) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = blank();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,134 @@
+//! The experiment driver: warm-up, measure, report.
+
+use crate::chip::Chip;
+use crate::report::RunResult;
+use rcsim_core::{MechanismConfig, Mesh};
+use rcsim_power::{area_savings, EnergyModel};
+use rcsim_protocol::ProtocolConfig;
+use rcsim_workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// One simulation point: workload × chip size × mechanism.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Core count (16 or 64 in the paper; non-square counts run on the
+    /// most nearly square rectangular mesh).
+    pub cores: u16,
+    /// Mechanism configuration.
+    pub mechanism: MechanismConfig,
+    /// Workload name (see [`rcsim_workload::workload_names`]).
+    pub workload: String,
+    /// RNG seed (workload determinism).
+    pub seed: u64,
+    /// Cache warm-up cycles before measurement (paper: 200 M; scaled
+    /// down here — see DESIGN.md).
+    pub warmup_cycles: u64,
+    /// Measured cycles (paper: 500 M; scaled down here).
+    pub measure_cycles: u64,
+    /// Use the scaled-down cache geometry (fast runs with equivalent
+    /// traffic shape); `false` uses the full Table 2 sizes.
+    pub small_caches: bool,
+}
+
+impl SimConfig {
+    /// A quick-turnaround configuration used by tests and examples.
+    pub fn quick(cores: u16, mechanism: MechanismConfig, workload: &str) -> Self {
+        Self {
+            cores,
+            mechanism,
+            workload: workload.to_owned(),
+            seed: 0xC1C0,
+            warmup_cycles: 2_000,
+            measure_cycles: 10_000,
+            small_caches: true,
+        }
+    }
+}
+
+/// Errors from [`run_sim`].
+#[derive(Debug)]
+pub enum SimError {
+    /// Unknown workload name.
+    UnknownWorkload(String),
+    /// Invalid mesh or mechanism configuration.
+    Config(rcsim_core::ConfigError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<rcsim_core::ConfigError> for SimError {
+    fn from(e: rcsim_core::ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Runs one simulation point and gathers every measured quantity.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for unknown workloads or invalid configurations.
+pub fn run_sim(cfg: &SimConfig) -> Result<RunResult, SimError> {
+    // Square for the paper's 16/64-core chips; the most nearly square
+    // rectangle otherwise (scalability sweeps at 32, 48, … cores).
+    let mesh = Mesh::square(cfg.cores).or_else(|_| Mesh::near_square(cfg.cores))?;
+    let workload = Workload::by_name(&cfg.workload, mesh.nodes(), cfg.seed)
+        .ok_or_else(|| SimError::UnknownWorkload(cfg.workload.clone()))?;
+    let proto = if cfg.small_caches {
+        ProtocolConfig::small_for_tests(&mesh)
+    } else {
+        ProtocolConfig::paper_defaults(&mesh)
+    };
+    let mut chip = Chip::new(mesh, cfg.mechanism, proto, &workload)?;
+
+    chip.run(cfg.warmup_cycles);
+    chip.reset_stats();
+    chip.run(cfg.measure_cycles);
+
+    let stats = chip.noc_stats();
+    let l1 = chip.l1_totals();
+    let l2 = chip.l2_totals();
+    let energy = EnergyModel::default_32nm().network_energy(
+        &stats,
+        &cfg.mechanism,
+        mesh.width() as usize,
+        mesh.height() as usize,
+    );
+
+    let mut result = RunResult {
+        workload: cfg.workload.clone(),
+        mechanism: cfg.mechanism.label(),
+        cores: mesh.nodes(),
+        cycles: cfg.measure_cycles,
+        instructions: chip.instructions(),
+        messages: BTreeMap::new(),
+        latency: BTreeMap::new(),
+        outcomes: BTreeMap::new(),
+        reservations_at_index: Vec::new(),
+        reservations_failed: 0,
+        reservation_failures: [0; 4],
+        load: stats.load_flits_per_node_per_100(mesh.nodes()),
+        energy,
+        area_savings: area_savings(&cfg.mechanism, mesh.nodes()),
+        l1_miss_rate: if l1.hits + l1.misses == 0 {
+            0.0
+        } else {
+            l1.misses as f64 / (l1.hits + l1.misses) as f64
+        },
+        acks_elided: l1.acks_elided,
+        l2_queued_on_busy: l2.queued_on_busy,
+    };
+    result.fill_noc_summaries(&stats);
+    Ok(result)
+}

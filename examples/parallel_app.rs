@@ -1,0 +1,48 @@
+//! Sweep the mechanism configurations over one parallel application
+//! (the per-configuration view behind Figures 6–9).
+//!
+//! ```text
+//! cargo run --release --example parallel_app [app] [cores]
+//! # e.g.  cargo run --release --example parallel_app fft 64
+//! ```
+
+use reactive_circuits::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let app = args.next().unwrap_or_else(|| "fft".to_owned());
+    let cores: u16 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(16);
+    if !workload_names().contains(&app.as_str()) {
+        eprintln!("unknown app '{app}'; known: {:?}", workload_names());
+        std::process::exit(2);
+    }
+
+    println!("Configuration sweep — {cores} cores, workload '{app}'\n");
+    println!(
+        "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "configuration", "speedup", "rep.lat", "circuit%", "elim%", "failed%", "energy"
+    );
+
+    let mut cfg = SimConfig::quick(cores, MechanismConfig::baseline(), &app);
+    cfg.warmup_cycles = 4_000;
+    cfg.measure_cycles = 25_000;
+    let baseline = run_sim(&cfg)?;
+
+    for mechanism in MechanismConfig::key_configs() {
+        cfg.mechanism = mechanism;
+        let r = run_sim(&cfg)?;
+        println!(
+            "{:<22} {:>8.3} {:>9.1} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.3}",
+            r.mechanism,
+            r.speedup_over(&baseline),
+            r.latency["Circuit_Rep"].network,
+            100.0 * r.outcomes["circuit"],
+            100.0 * r.outcomes["eliminated"],
+            100.0 * r.outcomes["failed"],
+            r.energy_ratio_over(&baseline),
+        );
+    }
+    println!("\n(rep.lat = mean network latency of circuit-eligible replies, cycles;");
+    println!(" energy = network energy normalized to the baseline)");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quick start: run one workload on a 16-core chip with and without
+//! Reactive Circuits and print what changed.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reactive_circuits::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = "canneal";
+    println!("Reactive Circuits quickstart — 16 cores, workload '{workload}'\n");
+
+    let mut cfg = SimConfig::quick(16, MechanismConfig::baseline(), workload);
+    cfg.warmup_cycles = 5_000;
+    cfg.measure_cycles = 40_000;
+    let baseline = run_sim(&cfg)?;
+
+    cfg.mechanism = MechanismConfig::complete_noack();
+    let circuits = run_sim(&cfg)?;
+
+    println!("{:<28} {:>12} {:>14}", "", "Baseline", "Complete_NoAck");
+    println!(
+        "{:<28} {:>12.3} {:>14.3}",
+        "IPC per core",
+        baseline.ipc_per_core(),
+        circuits.ipc_per_core()
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14.1}",
+        "Circuit_Rep net latency (cyc)",
+        baseline.latency["Circuit_Rep"].network,
+        circuits.latency["Circuit_Rep"].network
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14.1}",
+        "Request net latency (cyc)",
+        baseline.latency["Request"].network,
+        circuits.latency["Request"].network
+    );
+    println!(
+        "{:<28} {:>12} {:>14}",
+        "L1_DATA_ACK messages",
+        baseline.messages.get("L1_DATA_ACK").unwrap_or(&0),
+        circuits.messages.get("L1_DATA_ACK").unwrap_or(&0)
+    );
+    println!(
+        "{:<28} {:>12.1} {:>14.1}",
+        "Network energy (nJ)",
+        baseline.energy.total_pj() / 1e3,
+        circuits.energy.total_pj() / 1e3
+    );
+    println!(
+        "{:<28} {:>12.1}% {:>13.1}%",
+        "Router area vs baseline",
+        -100.0 * baseline.area_savings,
+        -100.0 * circuits.area_savings
+    );
+
+    println!("\nWith circuits:");
+    println!("  speedup           {:.3}x", circuits.speedup_over(&baseline));
+    println!("  energy ratio      {:.3}", circuits.energy_ratio_over(&baseline));
+    println!("  replies on circuit {:.1}%", 100.0 * circuits.outcomes["circuit"]);
+    println!("  acks eliminated    {:.1}%", 100.0 * circuits.outcomes["eliminated"]);
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Workspace-level integration tests: the public prelude workflow, and
+//! cross-crate invariants (determinism, energy/area consistency).
+
+use reactive_circuits::prelude::*;
+
+fn quick(mechanism: MechanismConfig, app: &str) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 2_000,
+        measure_cycles: 12_000,
+        ..SimConfig::quick(16, mechanism, app)
+    }
+}
+
+#[test]
+fn prelude_workflow_end_to_end() {
+    let baseline = run_sim(&quick(MechanismConfig::baseline(), "fft")).unwrap();
+    let circuits = run_sim(&quick(MechanismConfig::complete_noack(), "fft")).unwrap();
+    assert!(circuits.speedup_over(&baseline) > 0.95);
+    assert!(circuits.outcomes["circuit"] > 0.0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_sim(&quick(MechanismConfig::slack_delay(1), "dedup")).unwrap();
+    let b = run_sim(&quick(MechanismConfig::slack_delay(1), "dedup")).unwrap();
+    assert_eq!(a, b, "identical seeds must produce identical results");
+    let mut other = quick(MechanismConfig::slack_delay(1), "dedup");
+    other.seed += 1;
+    let c = run_sim(&other).unwrap();
+    assert_ne!(a.instructions, c.instructions, "different seed, different run");
+}
+
+#[test]
+fn area_and_energy_are_consistent_across_crates() {
+    // The RunResult's area saving must equal the power crate's number.
+    let r = run_sim(&quick(MechanismConfig::complete(), "swaptions")).unwrap();
+    assert_eq!(r.area_savings, area_savings(&MechanismConfig::complete(), 16));
+    assert!(r.energy.total_pj() > 0.0);
+    assert!(r.energy.static_share() > 0.0 && r.energy.static_share() < 1.0);
+}
+
+#[test]
+fn geometric_mean_speedup_over_apps() {
+    // A miniature Figure 9 point: geometric-mean speedup over a few apps.
+    let apps = ["fft", "swaptions", "canneal"];
+    let mut speedups = Vec::new();
+    for app in apps {
+        let base = run_sim(&quick(MechanismConfig::baseline(), app)).unwrap();
+        let noack = run_sim(&quick(MechanismConfig::complete_noack(), app)).unwrap();
+        speedups.push(noack.speedup_over(&base));
+    }
+    let g = geometric_mean(speedups.iter().copied()).unwrap();
+    assert!(g > 0.97, "mean speedup {g:.3} should not regress");
+}
+
+#[test]
+fn network_is_usable_standalone() {
+    // The NoC crate works without the protocol on top.
+    let mesh = Mesh::new(4, 4).unwrap();
+    let mut net = Network::new(NocConfig::paper_baseline(
+        mesh,
+        MechanismConfig::complete(),
+    ))
+    .unwrap();
+    net.inject(PacketSpec::new(NodeId(0), NodeId(15), MessageClass::L1Request).with_block(64));
+    for _ in 0..100 {
+        net.tick();
+    }
+    assert_eq!(net.take_delivered(NodeId(15)).len(), 1);
+}
+
+#[test]
+fn all_workloads_resolve_through_prelude() {
+    assert_eq!(workload_names().len(), 22);
+    for name in workload_names() {
+        assert!(Workload::by_name(name, 16, 0).is_some(), "{name}");
+    }
+}
