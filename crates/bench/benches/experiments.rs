@@ -10,13 +10,10 @@ use rcsim_system::{run_sim, SimConfig};
 
 fn tiny(cores: u16, mechanism: MechanismConfig, app: &str) -> SimConfig {
     SimConfig {
-        cores,
-        mechanism,
-        workload: app.to_owned(),
         seed: 9,
         warmup_cycles: 400,
         measure_cycles: 1_200,
-        small_caches: true,
+        ..SimConfig::quick(cores, mechanism, app)
     }
 }
 
@@ -30,9 +27,7 @@ fn table1_slice(c: &mut Criterion) {
 
     // Table 5 / Figure 6 slice: reservations under Complete_NoAck.
     g.bench_function("table5_fig6_complete_noack_64c", |b| {
-        b.iter(|| {
-            run_sim(&tiny(64, MechanismConfig::complete_noack(), "canneal")).expect("runs")
-        })
+        b.iter(|| run_sim(&tiny(64, MechanismConfig::complete_noack(), "canneal")).expect("runs"))
     });
 
     // Figure 9 slice: a paired baseline/SlackDelay speedup point.

@@ -21,8 +21,14 @@ fn app() -> String {
 }
 
 fn circuits_per_input_sweep() {
-    println!("== circuits per input port (Complete_NoAck, 64 cores, '{}') ==", app());
-    println!("{:>9} {:>10} {:>10} {:>12}", "entries", "circuit%", "failed%", "storage-fail");
+    println!(
+        "== circuits per input port (Complete_NoAck, 64 cores, '{}') ==",
+        app()
+    );
+    println!(
+        "{:>9} {:>10} {:>10} {:>12}",
+        "entries", "circuit%", "failed%", "storage-fail"
+    );
     let mut rows = Vec::new();
     for entries in [1u8, 2, 3, 5, 8] {
         let mut mechanism = MechanismConfig::complete_noack();
@@ -42,7 +48,10 @@ fn circuits_per_input_sweep() {
 }
 
 fn undo_on_l2_miss() {
-    println!("== keep vs undo circuits on L2 miss (§4.4, 64 cores, '{}') ==", app());
+    println!(
+        "== keep vs undo circuits on L2 miss (§4.4, 64 cores, '{}') ==",
+        app()
+    );
     let base = run_point(64, MechanismConfig::baseline(), &app(), 1);
     let keep = run_point(64, MechanismConfig::complete_noack(), &app(), 1);
     let mut undo_mech = MechanismConfig::complete_noack();
@@ -86,7 +95,10 @@ fn scrounger_modes() {
 
 fn slack_sweep() {
     println!("== slack sweep (timed circuits, 64 cores, '{}') ==", app());
-    println!("{:>7} {:>10} {:>10} {:>10}", "slack", "circuit%", "failed%", "undone%");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10}",
+        "slack", "circuit%", "failed%", "undone%"
+    );
     let mut rows = Vec::new();
     for k in [0u32, 1, 2, 4, 8] {
         let mechanism = if k == 0 {
@@ -111,13 +123,15 @@ fn slack_sweep() {
 /// Network-only load sweep: circuit-reply latency gain vs injection rate.
 fn load_threshold() {
     println!("== congestion threshold (synthetic request/reply, 8x8) ==");
-    println!("{:>9} {:>12} {:>12} {:>9}", "rate", "baseline", "complete", "gain");
+    println!(
+        "{:>9} {:>12} {:>12} {:>9}",
+        "rate", "baseline", "complete", "gain"
+    );
     let mut rows = Vec::new();
     for rate in [0.005, 0.01, 0.02, 0.05, 0.1] {
         let lat = |mechanism: MechanismConfig| -> f64 {
             let mesh = Mesh::new(8, 8).expect("valid mesh");
-            let mut net =
-                Network::new(NocConfig::paper_baseline(mesh, mechanism)).expect("valid");
+            let mut net = Network::new(NocConfig::paper_baseline(mesh, mechanism)).expect("valid");
             let gen = rcsim_noc::traffic::Generator::uniform(rate);
             let mut rng = StdRng::seed_from_u64(7);
             let mut block = 0;
@@ -145,7 +159,13 @@ fn load_threshold() {
         };
         let b = lat(MechanismConfig::baseline());
         let c = lat(MechanismConfig::complete());
-        println!("{:>9.3} {:>12.1} {:>12.1} {:>8.1}%", rate, b, c, 100.0 * (b - c) / b);
+        println!(
+            "{:>9.3} {:>12.1} {:>12.1} {:>8.1}%",
+            rate,
+            b,
+            c,
+            100.0 * (b - c) / b
+        );
         rows.push((rate, b, c));
     }
     println!("(gains shrink as conflicts prevent circuit construction — §5.5)\n");

@@ -5,9 +5,9 @@
 //!
 //! `RC_APPS` picks the workload (first entry; default canneal).
 
-use rcsim_bench::save_json;
+use rcsim_bench::{max_cycles, run_or_die, save_json};
 use rcsim_core::MechanismConfig;
-use rcsim_system::{run_sim, SimConfig};
+use rcsim_system::SimConfig;
 
 fn main() {
     let app = std::env::var("RC_APPS")
@@ -21,16 +21,15 @@ fn main() {
     );
     let mut rows = Vec::new();
     for warmup in [5_000u64, 20_000, 60_000, 150_000, 400_000] {
+        let warmup = warmup.min(max_cycles() - 1);
         let cfg = SimConfig {
-            cores: 64,
-            mechanism: MechanismConfig::baseline(),
-            workload: app.clone(),
             seed: 1,
             warmup_cycles: warmup,
-            measure_cycles: 30_000,
+            measure_cycles: 30_000.min(max_cycles() - warmup),
             small_caches: false,
+            ..SimConfig::quick(64, MechanismConfig::baseline(), &app)
         };
-        let r = run_sim(&cfg).expect("known workload");
+        let r = run_or_die(&cfg, &format!("convergence/{app}/warmup {warmup}"));
         let total: u64 = r.messages.values().sum::<u64>().max(1);
         let pct = |k: &str| 100.0 * r.messages.get(k).copied().unwrap_or(0) as f64 / total as f64;
         println!(

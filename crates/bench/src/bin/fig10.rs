@@ -12,7 +12,10 @@ fn main() {
     println!("Figure 10 — per-application speedup (SlackDelay_1_NoAck, 64 cores)\n");
     println!("Paper landmarks: half the applications gain over 4.5%, a few gain");
     println!("more than 10%, at most two show a sub-2% slowdown.\n");
-    println!("{:<18} {:>9} {:>11} {:>9}", "application", "speedup", "circuit%", "load");
+    println!(
+        "{:<18} {:>9} {:>11} {:>9}",
+        "application", "speedup", "circuit%", "load"
+    );
 
     let mechanism = MechanismConfig::slack_delay(1);
     let mut speedups = Vec::new();

@@ -18,7 +18,13 @@ fn main() {
         println!("== {cores} cores ==");
         println!(
             "{:<22} {:>9} {:>9} {:>9} {:>10} {:>13} {:>12}",
-            "configuration", "circuit", "failed", "undone", "scrounger", "not_eligible", "eliminated"
+            "configuration",
+            "circuit",
+            "failed",
+            "undone",
+            "scrounger",
+            "not_eligible",
+            "eliminated"
         );
         for mechanism in MechanismConfig::figure6_grid() {
             let results = run_apps(cores, mechanism, 1);

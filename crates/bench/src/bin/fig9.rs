@@ -19,7 +19,11 @@ fn main() {
         // One baseline per (app, seed): comparisons stay seed-paired.
         let points: Vec<(String, u64)> = experiment_apps()
             .iter()
-            .flat_map(|app| rcsim_bench::seeds().into_iter().map(move |s| (app.clone(), s)))
+            .flat_map(|app| {
+                rcsim_bench::seeds()
+                    .into_iter()
+                    .map(move |s| (app.clone(), s))
+            })
             .collect();
         let baselines: Vec<_> = points
             .iter()

@@ -54,6 +54,10 @@ fn main() {
     }
     let replies: f64 = PAPER[1..].iter().map(|(l, _)| share(l)).sum();
     println!("{:<20} {:>9.1}% {:>9.1}%", "Replies (total)", 53.0, replies);
-    println!("\n({} messages total across {} apps)", all, experiment_apps().len());
+    println!(
+        "\n({} messages total across {} apps)",
+        all,
+        experiment_apps().len()
+    );
     save_json("table1", &totals);
 }

@@ -13,10 +13,7 @@ fn main() {
         ("Complete Timed", MechanismConfig::timed_noack(), 3.38, 1.09),
     ];
 
-    println!(
-        "{:<16} {:>18} {:>18}",
-        "version", "16 cores", "64 cores"
-    );
+    println!("{:<16} {:>18} {:>18}", "version", "16 cores", "64 cores");
     println!(
         "{:<16} {:>9} {:>8} {:>9} {:>8}",
         "", "paper", "model", "paper", "model"

@@ -16,13 +16,14 @@
 //! | `RC_SEEDS` | seeds averaged per point | 1 |
 //! | `RC_CORES` | comma list of core counts | `16,64` |
 //! | `RC_SMALL_CACHES` | `1` = scaled-down caches (smoke runs) | paper's Table 2 sizes |
+//! | `RC_MAX_CYCLES` | hard per-run cycle budget (warm-up + measure) | 2 000 000 |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rcsim_core::MechanismConfig;
 use rcsim_stats::Accumulator;
-use rcsim_system::{run_sim, RunResult, SimConfig};
+use rcsim_system::{run_sim, RunResult, SimConfig, SimError};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -34,10 +35,18 @@ pub fn experiment_apps() -> Vec<String> {
             .map(str::to_owned)
             .collect(),
         Ok(s) => s.split(',').map(|a| a.trim().to_owned()).collect(),
-        Err(_) => ["blackscholes", "canneal", "fft", "ocean_cp", "raytrace", "swaptions", "mix"]
-            .into_iter()
-            .map(str::to_owned)
-            .collect(),
+        Err(_) => [
+            "blackscholes",
+            "canneal",
+            "fft",
+            "ocean_cp",
+            "raytrace",
+            "swaptions",
+            "mix",
+        ]
+        .into_iter()
+        .map(str::to_owned)
+        .collect(),
     }
 }
 
@@ -67,36 +76,69 @@ pub fn seeds() -> Vec<u64> {
     (1..=n).collect()
 }
 
+/// Hard ceiling on warm-up + measured cycles per run (see
+/// `RC_MAX_CYCLES`): a mis-set `RC_CYCLES`/`RC_WARMUP` cannot wedge CI,
+/// it just truncates the run.
+pub fn max_cycles() -> u64 {
+    env_u64("RC_MAX_CYCLES", 2_000_000).max(2)
+}
+
 /// Chip sizes to sweep (see `RC_CORES`).
 pub fn cores_list() -> Vec<u16> {
     match std::env::var("RC_CORES") {
-        Ok(s) => s
-            .split(',')
-            .filter_map(|v| v.trim().parse().ok())
-            .collect(),
+        Ok(s) => s.split(',').filter_map(|v| v.trim().parse().ok()).collect(),
         Err(_) => vec![16, 64],
     }
 }
 
-/// One experiment run with the harness-wide settings applied.
+/// Runs one configuration, or terminates the binary with a diagnostic
+/// dump. A watchdog-declared stall prints the [`rcsim_system::HealthReport`]
+/// (what wedged, the oldest in-flight messages, suspected circuit-table
+/// leaks) to stderr and exits with status 2 — CI gets an actionable log
+/// instead of a hung or garbage run.
+///
+/// # Panics
+///
+/// Panics when the configuration is invalid (unknown workload etc.) —
+/// experiment binaries fail loudly.
+pub fn run_or_die(cfg: &SimConfig, label: &str) -> RunResult {
+    match run_sim(cfg) {
+        Ok(r) => r,
+        Err(SimError::Stalled { report }) => {
+            eprintln!("{label}: network stalled, aborting this experiment\n{report}");
+            std::process::exit(2);
+        }
+        Err(e) => panic!("{label}: {e}"),
+    }
+}
+
+/// One experiment run with the harness-wide settings applied. Warm-up and
+/// measurement are clamped to the [`max_cycles`] budget, and a wedged
+/// network aborts with a diagnostic dump (see [`run_or_die`]).
 ///
 /// # Panics
 ///
 /// Panics when the configuration is invalid (unknown workload etc.) —
 /// experiment binaries fail loudly.
 pub fn run_point(cores: u16, mechanism: MechanismConfig, app: &str, seed: u64) -> RunResult {
+    let budget = max_cycles();
+    let warmup = warmup_cycles().min(budget - 1);
     let cfg = SimConfig {
         cores,
         mechanism,
         workload: app.to_owned(),
         seed,
-        warmup_cycles: warmup_cycles(),
-        measure_cycles: measure_cycles(),
+        warmup_cycles: warmup,
+        measure_cycles: measure_cycles().clamp(1, budget - warmup),
         // Experiments default to the paper's Table 2 cache sizes; set
         // RC_SMALL_CACHES=1 for quick smoke runs.
         small_caches: std::env::var("RC_SMALL_CACHES").is_ok_and(|v| v == "1"),
+        ..SimConfig::quick(cores, mechanism, app)
     };
-    run_sim(&cfg).unwrap_or_else(|e| panic!("{app}/{}/{cores}: {e}", mechanism.label()))
+    run_or_die(
+        &cfg,
+        &format!("{app}/{}/{cores}c seed {seed}", mechanism.label()),
+    )
 }
 
 /// Runs `mechanism` over all experiment apps (× `RC_SEEDS` seeds);

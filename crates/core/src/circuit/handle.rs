@@ -160,7 +160,9 @@ mod tests {
         assert_eq!(t.shift, 0);
         assert_eq!(t.max_shift, 8);
 
-        let h = handle(4).with_policy(TimedPolicy::Postponed { postpone_per_hop: 3 });
+        let h = handle(4).with_policy(TimedPolicy::Postponed {
+            postpone_per_hop: 3,
+        });
         let t = h.timing.unwrap();
         assert_eq!(t.shift, 12);
         assert_eq!(t.max_shift, 12);

@@ -29,6 +29,10 @@ pub struct CircuitEntry {
     /// race): the entry is removed, and the undo forwarded, when the
     /// borrowing tail passes.
     pub undo_pending: bool,
+    /// Cycle the reservation was written (per the table's internal clock,
+    /// see [`RouterCircuits::note_now`]); drives leak detection.
+    #[serde(default)]
+    pub reserved_at: Cycle,
 }
 
 /// A reservation attempt, as derived from a request's VC-allocation stage.
@@ -123,7 +127,11 @@ impl TableStats {
 
     /// Accumulates another router's counters.
     pub fn merge(&mut self, other: &TableStats) {
-        for (a, b) in self.reserved_at_index.iter_mut().zip(&other.reserved_at_index) {
+        for (a, b) in self
+            .reserved_at_index
+            .iter_mut()
+            .zip(&other.reserved_at_index)
+        {
             *a += b;
         }
         self.failed_storage += other.failed_storage;
@@ -163,6 +171,11 @@ pub struct RouterCircuits {
     circuit_vcs: usize,
     ports: [Vec<CircuitEntry>; 5],
     stats: TableStats,
+    /// Internal clock, advanced by the owner via [`Self::note_now`]; used
+    /// only to stamp entries for leak detection, so callers that never
+    /// advance it (unit tests, standalone use) see identical behaviour.
+    #[serde(default)]
+    now: Cycle,
 }
 
 impl RouterCircuits {
@@ -178,6 +191,46 @@ impl RouterCircuits {
             circuit_vcs: circuit_vcs.max(1),
             ports: Default::default(),
             stats: TableStats::default(),
+            now: 0,
+        }
+    }
+
+    /// Advances the table's internal clock. Reservation entries written
+    /// afterwards are stamped with this cycle, which is what
+    /// [`Self::stale_entries`] measures ages against. Purely observational:
+    /// no reservation decision depends on it.
+    pub fn note_now(&mut self, now: Cycle) {
+        self.now = self.now.max(now);
+    }
+
+    /// Entries older than `min_age` cycles (per the internal clock) that
+    /// are not actively streaming a reply. Timed entries expire on their
+    /// own; long-lived untimed entries with no in-flight owner are the
+    /// signature of a leaked reservation (e.g. a reply lost to a fault
+    /// after `begin_use`). Returns `(in_port, entry, age)` triples.
+    pub fn stale_entries(&self, min_age: Cycle) -> Vec<(Direction, CircuitEntry, Cycle)> {
+        let mut stale = Vec::new();
+        for (p, entries) in self.ports.iter().enumerate() {
+            for e in entries {
+                let age = self.now.saturating_sub(e.reserved_at);
+                if age >= min_age {
+                    stale.push((Direction::from_index(p), *e, age));
+                }
+            }
+        }
+        stale
+    }
+
+    /// Fault injection: removes the `entry_idx`-th entry of input port
+    /// `in_port` (if present), simulating a corrupted/forgotten table row.
+    /// Returns the removed entry so the caller can account for the broken
+    /// circuit.
+    pub fn fault_remove(&mut self, in_port: Direction, entry_idx: usize) -> Option<CircuitEntry> {
+        let port = &mut self.ports[in_port.index()];
+        if entry_idx < port.len() {
+            Some(port.remove(entry_idx))
+        } else {
+            None
         }
     }
 
@@ -216,9 +269,7 @@ impl RouterCircuits {
             Ok(outcome) => {
                 let idx = self.ports[req.in_port.index()].len().min(7);
                 self.stats.reserved_at_index[idx] += 1;
-                let window = req
-                    .window
-                    .map(|w| w.shifted(outcome.extra_shift as Cycle));
+                let window = req.window.map(|w| w.shifted(outcome.extra_shift as Cycle));
                 self.ports[req.in_port.index()].push(CircuitEntry {
                     key: req.key,
                     source: req.source,
@@ -227,6 +278,7 @@ impl RouterCircuits {
                     vc: outcome.vc,
                     in_use: false,
                     undo_pending: false,
+                    reserved_at: self.now,
                 });
             }
             Err(e) => match e {
@@ -375,7 +427,10 @@ impl RouterCircuits {
     /// Marks the circuit as actively streaming (reply head arrived), so it
     /// cannot expire mid-message.
     pub fn begin_use(&mut self, in_port: Direction, key: CircuitKey) -> bool {
-        match self.ports[in_port.index()].iter_mut().find(|e| e.key == key) {
+        match self.ports[in_port.index()]
+            .iter_mut()
+            .find(|e| e.key == key)
+        {
             Some(e) => {
                 e.in_use = true;
                 true
@@ -442,6 +497,12 @@ impl RouterCircuits {
     pub fn total_entries(&self) -> usize {
         self.ports.iter().map(Vec::len).sum()
     }
+
+    /// Number of reserved circuits at one input port (used by fault
+    /// injection to pick a victim for [`Self::fault_remove`]).
+    pub fn port_occupancy(&self, in_port: Direction) -> usize {
+        self.ports[in_port.index()].len()
+    }
 }
 
 #[cfg(test)]
@@ -455,12 +516,7 @@ mod tests {
         }
     }
 
-    fn req(
-        k: CircuitKey,
-        source: u16,
-        in_port: Direction,
-        out_port: Direction,
-    ) -> ReserveRequest {
+    fn req(k: CircuitKey, source: u16, in_port: Direction, out_port: Direction) -> ReserveRequest {
         ReserveRequest {
             key: k,
             source: NodeId(source),
@@ -490,7 +546,8 @@ mod tests {
     fn complete_reserve_and_lookup() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let k = key(1, 0x40);
-        rc.try_reserve(&req(k, 9, Direction::East, Direction::West)).unwrap();
+        rc.try_reserve(&req(k, 9, Direction::East, Direction::West))
+            .unwrap();
         assert!(rc.lookup(Direction::East, k).is_some());
         assert!(rc.lookup(Direction::West, k).is_none());
         assert_eq!(rc.occupancy(Direction::East), 1);
@@ -500,8 +557,13 @@ mod tests {
     fn complete_same_source_shares_input_port() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         for b in 0..5u64 {
-            rc.try_reserve(&req(key(b as u16, b * 64), 9, Direction::East, Direction::West))
-                .unwrap();
+            rc.try_reserve(&req(
+                key(b as u16, b * 64),
+                9,
+                Direction::East,
+                Direction::West,
+            ))
+            .unwrap();
         }
         assert_eq!(rc.occupancy(Direction::East), 5);
         // Sixth fails: storage.
@@ -515,7 +577,8 @@ mod tests {
     #[test]
     fn complete_different_source_same_input_rejected() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West)).unwrap();
+        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .unwrap();
         let e = rc
             .try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North))
             .unwrap_err();
@@ -527,7 +590,8 @@ mod tests {
         // The Figure 4b situation: two circuits with different inputs and
         // the same output cannot coexist.
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West)).unwrap();
+        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .unwrap();
         let e = rc
             .try_reserve(&req(key(2, 64), 10, Direction::South, Direction::West))
             .unwrap_err();
@@ -552,18 +616,21 @@ mod tests {
     fn release_frees_entry() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 1, 1);
         let k = key(1, 0);
-        rc.try_reserve(&req(k, 9, Direction::East, Direction::West)).unwrap();
+        rc.try_reserve(&req(k, 9, Direction::East, Direction::West))
+            .unwrap();
         assert!(rc.release(Direction::East, k).is_some());
         assert!(rc.release(Direction::East, k).is_none());
         // Capacity freed.
-        rc.try_reserve(&req(key(2, 64), 9, Direction::East, Direction::West)).unwrap();
+        rc.try_reserve(&req(key(2, 64), 9, Direction::East, Direction::West))
+            .unwrap();
     }
 
     #[test]
     fn undo_searches_all_ports_and_returns_route() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let k = key(1, 0);
-        rc.try_reserve(&req(k, 9, Direction::South, Direction::North)).unwrap();
+        rc.try_reserve(&req(k, 9, Direction::South, Direction::North))
+            .unwrap();
         let e = rc.undo(k).expect("undo finds the entry");
         assert_eq!(e.out_port, Direction::North);
         assert_eq!(rc.total_entries(), 0);
@@ -575,7 +642,8 @@ mod tests {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let k = key(1, 0);
         let w = TimeWindow::new(10, 20);
-        rc.try_reserve(&timed_req(k, 9, Direction::East, Direction::West, w, 0)).unwrap();
+        rc.try_reserve(&timed_req(k, 9, Direction::East, Direction::West, w, 0))
+            .unwrap();
         assert!(rc.begin_use(Direction::East, k));
         assert!(rc.undo(k).is_none(), "in-use circuits cannot be undone");
         assert_eq!(rc.expire(100), 0, "in-use circuits cannot expire");
@@ -607,8 +675,10 @@ mod tests {
     #[test]
     fn fragmented_per_input_capacity() {
         let mut rc = RouterCircuits::new(CircuitMode::Fragmented, 2, 2);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West)).unwrap();
-        rc.try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North)).unwrap();
+        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .unwrap();
+        rc.try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North))
+            .unwrap();
         let e = rc
             .try_reserve(&req(key(3, 128), 11, Direction::East, Direction::South))
             .unwrap_err();
@@ -618,17 +688,24 @@ mod tests {
     #[test]
     fn fragmented_ignores_source_rule() {
         let mut rc = RouterCircuits::new(CircuitMode::Fragmented, 2, 2);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West)).unwrap();
+        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .unwrap();
         // Different source, same input: fine for fragmented (buffers exist).
-        rc.try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North)).unwrap();
+        rc.try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North))
+            .unwrap();
     }
 
     #[test]
     fn ideal_never_fails() {
         let mut rc = RouterCircuits::new(CircuitMode::Ideal, 1, 1);
         for b in 0..100u64 {
-            rc.try_reserve(&req(key(b as u16, b), (b % 7) as u16, Direction::East, Direction::West))
-                .unwrap();
+            rc.try_reserve(&req(
+                key(b as u16, b),
+                (b % 7) as u16,
+                Direction::East,
+                Direction::West,
+            ))
+            .unwrap();
         }
         assert_eq!(rc.total_entries(), 100);
         assert_eq!(rc.stats().total_failed(), 0);
@@ -637,7 +714,9 @@ mod tests {
     #[test]
     fn none_mode_rejects_everything() {
         let mut rc = RouterCircuits::new(CircuitMode::None, 0, 0);
-        assert!(rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West)).is_err());
+        assert!(rc
+            .try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .is_err());
     }
 
     #[test]
@@ -647,10 +726,24 @@ mod tests {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let w1 = TimeWindow::new(10, 20);
         let w2 = TimeWindow::new(20, 30);
-        rc.try_reserve(&timed_req(key(1, 0), 9, Direction::East, Direction::West, w1, 0))
-            .unwrap();
-        rc.try_reserve(&timed_req(key(2, 64), 10, Direction::South, Direction::West, w2, 0))
-            .unwrap();
+        rc.try_reserve(&timed_req(
+            key(1, 0),
+            9,
+            Direction::East,
+            Direction::West,
+            w1,
+            0,
+        ))
+        .unwrap();
+        rc.try_reserve(&timed_req(
+            key(2, 64),
+            10,
+            Direction::South,
+            Direction::West,
+            w2,
+            0,
+        ))
+        .unwrap();
         assert_eq!(rc.total_entries(), 2);
     }
 
@@ -659,10 +752,24 @@ mod tests {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let w1 = TimeWindow::new(10, 20);
         let w2 = TimeWindow::new(15, 25);
-        rc.try_reserve(&timed_req(key(1, 0), 9, Direction::East, Direction::West, w1, 0))
-            .unwrap();
+        rc.try_reserve(&timed_req(
+            key(1, 0),
+            9,
+            Direction::East,
+            Direction::West,
+            w1,
+            0,
+        ))
+        .unwrap();
         let e = rc
-            .try_reserve(&timed_req(key(2, 64), 10, Direction::South, Direction::West, w2, 0))
+            .try_reserve(&timed_req(
+                key(2, 64),
+                10,
+                Direction::South,
+                Direction::West,
+                w2,
+                0,
+            ))
             .unwrap_err();
         assert_eq!(e, ReserveError::WindowConflict);
     }
@@ -671,10 +778,24 @@ mod tests {
     fn timed_same_input_different_source_overlap_conflicts() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let w = TimeWindow::new(10, 20);
-        rc.try_reserve(&timed_req(key(1, 0), 9, Direction::East, Direction::West, w, 0))
-            .unwrap();
+        rc.try_reserve(&timed_req(
+            key(1, 0),
+            9,
+            Direction::East,
+            Direction::West,
+            w,
+            0,
+        ))
+        .unwrap();
         let e = rc
-            .try_reserve(&timed_req(key(2, 64), 10, Direction::East, Direction::North, w, 0))
+            .try_reserve(&timed_req(
+                key(2, 64),
+                10,
+                Direction::East,
+                Direction::North,
+                w,
+                0,
+            ))
             .unwrap_err();
         assert_eq!(e, ReserveError::WindowConflict);
         // Disjoint windows make it legal.
@@ -802,6 +923,41 @@ mod tests {
             0,
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn stale_entries_report_age_and_skip_young() {
+        let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
+        rc.note_now(100);
+        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .unwrap();
+        rc.note_now(150);
+        rc.try_reserve(&req(key(2, 64), 9, Direction::East, Direction::North))
+            .unwrap();
+        rc.note_now(400);
+        let stale = rc.stale_entries(280);
+        assert_eq!(stale.len(), 1, "only the 300-cycle-old entry is stale");
+        let (port, entry, age) = stale[0];
+        assert_eq!(port, Direction::East);
+        assert_eq!(entry.key, key(1, 0));
+        assert_eq!(age, 300);
+        assert!(rc.stale_entries(0).len() == 2);
+    }
+
+    #[test]
+    fn fault_remove_deletes_one_entry() {
+        let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
+        let k = key(1, 0);
+        rc.try_reserve(&req(k, 9, Direction::East, Direction::West))
+            .unwrap();
+        assert!(rc.fault_remove(Direction::West, 0).is_none(), "wrong port");
+        assert!(
+            rc.fault_remove(Direction::East, 3).is_none(),
+            "index out of range"
+        );
+        let removed = rc.fault_remove(Direction::East, 0).expect("entry removed");
+        assert_eq!(removed.key, k);
+        assert_eq!(rc.total_entries(), 0);
     }
 
     #[test]

@@ -200,7 +200,10 @@ mod tests {
                 let occ_end = occ_start + flits as Cycle;
                 occ_start >= w.start && occ_end <= w.end
             });
-            assert_eq!(scalar_ok, per_router_ok, "t={t} lower={lower} upper={upper}");
+            assert_eq!(
+                scalar_ok, per_router_ok,
+                "t={t} lower={lower} upper={upper}"
+            );
         }
     }
 }

@@ -224,7 +224,9 @@ impl MechanismConfig {
     /// Postponed timed circuits (`k` cycles/hop shift) + NoAck.
     pub fn postponed(k: u32) -> Self {
         Self {
-            timed: TimedPolicy::Postponed { postpone_per_hop: k },
+            timed: TimedPolicy::Postponed {
+                postpone_per_hop: k,
+            },
             ..Self::complete_noack()
         }
     }
@@ -443,7 +445,8 @@ mod tests {
         let mut all = MechanismConfig::figure6_grid();
         all.extend(MechanismConfig::key_configs());
         for cfg in all {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
         }
     }
 
@@ -460,7 +463,10 @@ mod tests {
         );
         assert_eq!(MechanismConfig::timed_noack().label(), "Timed_NoAck");
         assert_eq!(MechanismConfig::slack(2).label(), "Slack_2_NoAck");
-        assert_eq!(MechanismConfig::slack_delay(1).label(), "SlackDelay_1_NoAck");
+        assert_eq!(
+            MechanismConfig::slack_delay(1).label(),
+            "SlackDelay_1_NoAck"
+        );
         assert_eq!(MechanismConfig::postponed(4).label(), "Postponed_4_NoAck");
         assert_eq!(MechanismConfig::ideal().label(), "Ideal");
     }
@@ -486,7 +492,9 @@ mod tests {
         let mut cfg = MechanismConfig::complete_noack();
         cfg.scrounger_borrow = true;
         assert_eq!(cfg.validate(), Err(ConfigError::BorrowRequiresReuse));
-        MechanismConfig::reuse_borrow_noack().validate().expect("borrow config valid");
+        MechanismConfig::reuse_borrow_noack()
+            .validate()
+            .expect("borrow config valid");
     }
 
     #[test]
@@ -513,7 +521,9 @@ mod tests {
         };
         assert_eq!(p.slack(4), 4);
         assert_eq!(p.max_delay(4), 12);
-        let p = TimedPolicy::Postponed { postpone_per_hop: 2 };
+        let p = TimedPolicy::Postponed {
+            postpone_per_hop: 2,
+        };
         assert_eq!(p.postponement(5), 10);
         assert_eq!(p.slack(5), 0);
         assert!(!TimedPolicy::Untimed.is_timed());

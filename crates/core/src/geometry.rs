@@ -81,7 +81,7 @@ impl Mesh {
         let mut best = (cores, 1u16);
         let mut h = 1u16;
         while h * h <= cores {
-            if cores % h == 0 {
+            if cores.is_multiple_of(h) {
                 best = (cores / h, h);
             }
             h += 1;
@@ -182,7 +182,10 @@ impl Mesh {
         let h = self.height;
         let quarter = |i: u16| -> u16 { (w / 4).max(1).min(w - 1) * i % w };
         vec![
-            self.node(Coord { x: quarter(1), y: 0 }),
+            self.node(Coord {
+                x: quarter(1),
+                y: 0,
+            }),
             self.node(Coord {
                 x: (w - 1 - quarter(1)).min(w - 1),
                 y: 0,
@@ -246,7 +249,12 @@ mod tests {
     fn neighbor_is_symmetric() {
         let m = Mesh::new(4, 4).unwrap();
         for n in m.iter() {
-            for d in [Direction::North, Direction::East, Direction::South, Direction::West] {
+            for d in [
+                Direction::North,
+                Direction::East,
+                Direction::South,
+                Direction::West,
+            ] {
                 if let Some(nb) = m.neighbor(n, d) {
                     assert_eq!(m.neighbor(nb, d.opposite()), Some(n));
                 }

@@ -100,8 +100,14 @@ mod tests {
     #[test]
     fn eject_at_destination() {
         let m = mesh();
-        assert_eq!(next_hop(&m, NodeId(7), NodeId(7), Routing::Xy), Direction::Local);
-        assert_eq!(next_hop(&m, NodeId(7), NodeId(7), Routing::Yx), Direction::Local);
+        assert_eq!(
+            next_hop(&m, NodeId(7), NodeId(7), Routing::Xy),
+            Direction::Local
+        );
+        assert_eq!(
+            next_hop(&m, NodeId(7), NodeId(7), Routing::Yx),
+            Direction::Local
+        );
     }
 
     #[test]
@@ -109,14 +115,20 @@ mod tests {
         let m = mesh();
         // n0 = (0,0), n10 = (2,2)
         let p = route_path(&m, NodeId(0), NodeId(10), Routing::Xy);
-        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6), NodeId(10)]);
+        assert_eq!(
+            p,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(6), NodeId(10)]
+        );
     }
 
     #[test]
     fn yx_goes_y_first() {
         let m = mesh();
         let p = route_path(&m, NodeId(0), NodeId(10), Routing::Yx);
-        assert_eq!(p, vec![NodeId(0), NodeId(4), NodeId(8), NodeId(9), NodeId(10)]);
+        assert_eq!(
+            p,
+            vec![NodeId(0), NodeId(4), NodeId(8), NodeId(9), NodeId(10)]
+        );
     }
 
     #[test]

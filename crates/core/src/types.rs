@@ -151,9 +151,7 @@ impl fmt::Display for Vnet {
 /// Every message class exchanged by the coherence protocol (paper Table 3),
 /// with the request/reply and circuit-eligibility attributes of Table 1 and
 /// §4.1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MessageClass {
     /// L1 miss request (GetS/GetX) from L1 to the home L2 bank.
     L1Request,

@@ -99,11 +99,12 @@ impl VcLayout {
 
     /// Virtual network a VC index belongs to.
     ///
-    /// # Panics
-    ///
-    /// Panics if `vc` is out of range.
+    /// Invariant: `vc < self.total()` — VC indices come from the layout
+    /// itself, so this is debug-asserted rather than checked on the hot
+    /// path. An out-of-range index classifies as `Reply` in release
+    /// builds.
     pub fn vnet_of(&self, vc: usize) -> Vnet {
-        assert!(vc < self.total(), "vc {vc} out of range");
+        debug_assert!(vc < self.total(), "vc {vc} out of range");
         if vc < self.req_vcs {
             Vnet::Request
         } else {
@@ -124,13 +125,13 @@ impl VcLayout {
         vc >= self.total() - self.circuit_vcs && vc < self.total()
     }
 
-    /// The global VC index of circuit VC `i` (`i < circuit_vcs`).
+    /// The global VC index of circuit VC `i`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i >= circuit_vcs`.
+    /// Invariant: `i < self.circuit_vcs` — callers iterate the layout's
+    /// own circuit range, so this is debug-asserted rather than checked
+    /// on the hot path.
     pub fn circuit_vc(&self, i: usize) -> usize {
-        assert!(i < self.circuit_vcs, "circuit vc {i} out of range");
+        debug_assert!(i < self.circuit_vcs, "circuit vc {i} out of range");
         self.total() - self.circuit_vcs + i
     }
 
@@ -204,6 +205,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "out of range")]
     fn vnet_of_out_of_range_panics() {
         layout_for(MechanismConfig::baseline()).vnet_of(9);

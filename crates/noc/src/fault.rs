@@ -1,0 +1,351 @@
+//! Deterministic fault injection for robustness studies.
+//!
+//! Faults are drawn from a dedicated [`rand_chacha`] stream seeded by
+//! [`FaultConfig::seed`], fully decoupled from the workload RNG: enabling
+//! or reseeding the fault layer never perturbs traffic generation, and
+//! [`FaultConfig::none`] (the default) is bit-identical to a build without
+//! the fault layer at all — the network holds no `FaultState` in that case
+//! and never consults the fault RNG.
+//!
+//! Fault classes (all rates are per-event probabilities in `[0, 1]`):
+//!
+//! * **Link drop** — when a head flit crosses an inter-router link it may
+//!   be dropped; the rest of the packet is then swallowed at the same link
+//!   so a packet is always lost whole, never truncated. Upstream credits
+//!   are still synthesized for swallowed flits so the *fault* does not by
+//!   itself wedge the fabric (credit loss is a separate class).
+//! * **Link corruption** — the head flit is marked corrupted; the packet
+//!   travels normally and is discarded at the destination NI's integrity
+//!   check instead of being delivered.
+//! * **Credit loss** — a credit crossing an inter-router link vanishes,
+//!   permanently shrinking the usable depth of the upstream VC. Enough of
+//!   these deadlock the network — the watchdog's job to report.
+//! * **Table corruption** — a random circuit-table entry of a random
+//!   router evaporates (soft error in the reservation SRAM). A reply that
+//!   arrives expecting the entry falls back to the ordinary 5-cycle
+//!   pipeline at that router ([`BypassCheck::Pipeline`]); its delivery is
+//!   reclassified [`CircuitOutcome::FaultDegraded`].
+//! * **Stuck input port** — a scheduled [`StuckPortEvent`] freezes one
+//!   router input port for a window of cycles: arrivals queue on the link
+//!   and nothing enters the port until the window ends.
+//!
+//! Recovery is end-to-end: the network tracks every in-flight packet and
+//! retransmits lost or corrupted ones from the source NI (plain
+//! packet-switched, bounded retries with linear backoff); a packet that
+//! exhausts its retries is counted in `NocStats::dropped_packets`.
+//!
+//! [`BypassCheck::Pipeline`]: crate::router::BypassCheck::Pipeline
+//! [`CircuitOutcome::FaultDegraded`]: crate::CircuitOutcome::FaultDegraded
+
+use crate::flit::{Flit, PacketId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rcsim_core::{Cycle, Direction, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A scheduled one-shot fault: one router input port accepts nothing for
+/// `duration` cycles starting at cycle `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StuckPortEvent {
+    /// The router whose input port sticks.
+    pub node: NodeId,
+    /// Which input port.
+    pub dir: Direction,
+    /// First stuck cycle.
+    pub at: Cycle,
+    /// Number of cycles the port stays stuck.
+    pub duration: Cycle,
+}
+
+impl StuckPortEvent {
+    /// `true` while the event holds the port at cycle `now`.
+    pub fn active(&self, now: Cycle) -> bool {
+        now >= self.at && now < self.at.saturating_add(self.duration)
+    }
+}
+
+/// Fault-injection configuration. The default ([`FaultConfig::none`])
+/// injects nothing and is guaranteed zero-perturbation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of the dedicated fault RNG stream.
+    pub seed: u64,
+    /// Probability a packet is dropped per inter-router link traversal
+    /// (decided at its head flit; the whole packet is lost).
+    pub link_drop_rate: f64,
+    /// Probability a packet is corrupted per inter-router link traversal
+    /// (decided at its head flit; discarded at the destination NI).
+    pub link_corrupt_rate: f64,
+    /// Probability a credit is lost per inter-router link traversal.
+    pub credit_loss_rate: f64,
+    /// Probability, per router per cycle, that one random circuit-table
+    /// entry is corrupted (removed).
+    pub table_corrupt_rate: f64,
+    /// Scheduled stuck-input-port windows.
+    pub stuck_ports: Vec<StuckPortEvent>,
+    /// End-to-end retransmissions attempted per packet before it is
+    /// abandoned and counted in `NocStats::dropped_packets`.
+    pub max_retries: u32,
+    /// Base retransmission delay in cycles; retry `n` waits `n × backoff`.
+    pub retry_backoff: Cycle,
+}
+
+impl FaultConfig {
+    /// No faults at all (the default). Guaranteed bit-identical to a
+    /// network constructed without a fault configuration.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0xFA017,
+            link_drop_rate: 0.0,
+            link_corrupt_rate: 0.0,
+            credit_loss_rate: 0.0,
+            table_corrupt_rate: 0.0,
+            stuck_ports: Vec::new(),
+            max_retries: 4,
+            retry_backoff: 64,
+        }
+    }
+
+    /// `true` when no fault class can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.link_drop_rate <= 0.0
+            && self.link_corrupt_rate <= 0.0
+            && self.credit_loss_rate <= 0.0
+            && self.table_corrupt_rate <= 0.0
+            && self.stuck_ports.is_empty()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// Counters of every fault injected and every recovery action taken.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Packets chosen for a link drop.
+    pub packets_dropped: u64,
+    /// Individual flits swallowed by link drops (heads + swallowed rest).
+    pub flits_dropped: u64,
+    /// Packets marked corrupted on a link (discarded at the NI).
+    pub packets_corrupted: u64,
+    /// Credits lost on inter-router links.
+    pub credits_lost: u64,
+    /// Circuit-table entries corrupted away.
+    pub table_entries_corrupted: u64,
+    /// Router-port × cycle units spent stuck.
+    pub stuck_port_cycles: u64,
+    /// End-to-end retransmissions issued.
+    pub retransmissions: u64,
+    /// Packets abandoned after exhausting their retries.
+    pub packets_abandoned: u64,
+}
+
+/// Fate of a flit crossing an inter-router link under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Delivered untouched.
+    Deliver,
+    /// Delivered with the corrupted mark set (head flits only).
+    Corrupt,
+    /// Dropped at this link.
+    Drop,
+}
+
+/// Live fault-injection state: the dedicated RNG plus the bookkeeping
+/// needed to swallow whole packets. Held by the network only when the
+/// configuration can actually fire.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    pub(crate) cfg: FaultConfig,
+    rng: ChaCha8Rng,
+    /// Packets being swallowed at a link, keyed by
+    /// (upstream node index, output-port index, packet): remaining flits.
+    eating: HashMap<(usize, usize, PacketId), u32>,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(cfg: FaultConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        FaultState {
+            cfg,
+            rng,
+            eating: HashMap::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn chance(&mut self, rate: f64) -> bool {
+        rate > 0.0 && self.rng.gen_bool(rate.clamp(0.0, 1.0))
+    }
+
+    /// Decides the fate of `flit` leaving router `from` through output
+    /// port `dir` onto an inter-router link.
+    pub(crate) fn on_link_flit(&mut self, from: usize, dir: usize, flit: &Flit) -> LinkFate {
+        let key = (from, dir, flit.packet);
+        if let Some(rest) = self.eating.get_mut(&key) {
+            *rest -= 1;
+            if *rest == 0 {
+                self.eating.remove(&key);
+            }
+            self.stats.flits_dropped += 1;
+            return LinkFate::Drop;
+        }
+        if flit.kind.is_head() {
+            if self.chance(self.cfg.link_drop_rate) {
+                self.stats.packets_dropped += 1;
+                self.stats.flits_dropped += 1;
+                let rest = flit.len.saturating_sub(1);
+                if rest > 0 {
+                    self.eating.insert(key, rest);
+                }
+                return LinkFate::Drop;
+            }
+            if self.chance(self.cfg.link_corrupt_rate) {
+                self.stats.packets_corrupted += 1;
+                return LinkFate::Corrupt;
+            }
+        }
+        LinkFate::Deliver
+    }
+
+    /// `true` if a credit crossing an inter-router link is lost.
+    pub(crate) fn on_link_credit(&mut self) -> bool {
+        let lost = self.chance(self.cfg.credit_loss_rate);
+        if lost {
+            self.stats.credits_lost += 1;
+        }
+        lost
+    }
+
+    /// Rolls the per-router/per-cycle table-corruption die; on a hit,
+    /// returns a (port index, uniform draw) pair the network uses to pick
+    /// a victim entry.
+    pub(crate) fn roll_table_corruption(&mut self) -> Option<(usize, usize)> {
+        if self.chance(self.cfg.table_corrupt_rate) {
+            Some((
+                self.rng.gen_range(0..5usize),
+                self.rng.gen_range(0..usize::MAX),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// `true` while any scheduled event holds input port `dir` of `node`.
+    pub(crate) fn port_stuck(&self, node: usize, dir: Direction, now: Cycle) -> bool {
+        self.cfg
+            .stuck_ports
+            .iter()
+            .any(|e| e.node.index() == node && e.dir == dir && e.active(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::FlitKind;
+    use rcsim_core::{MessageClass, Vnet};
+
+    fn head(len: u32) -> Flit {
+        Flit {
+            packet: PacketId(7),
+            kind: FlitKind::for_position(0, len),
+            seq: 0,
+            len,
+            src: NodeId(0),
+            dst: NodeId(1),
+            class: MessageClass::L2Reply,
+            vnet: Vnet::Reply,
+            vc: 0,
+            circuit: None,
+            on_circuit: None,
+            scrounger_final: None,
+            block: 0,
+            token: 0,
+            created_at: 0,
+            injected_at: 0,
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultConfig::none().is_none());
+        assert!(FaultConfig::default().is_none());
+        let lossy = FaultConfig {
+            link_drop_rate: 0.1,
+            ..FaultConfig::none()
+        };
+        assert!(!lossy.is_none());
+    }
+
+    #[test]
+    fn drop_swallows_whole_packet() {
+        let cfg = FaultConfig {
+            link_drop_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut fs = FaultState::new(cfg);
+        let h = head(5);
+        assert_eq!(fs.on_link_flit(3, 1, &h), LinkFate::Drop);
+        // The four body/tail flits at the same link are swallowed without
+        // further draws.
+        let mut body = head(5);
+        body.kind = FlitKind::Body;
+        for _ in 0..4 {
+            assert_eq!(fs.on_link_flit(3, 1, &body), LinkFate::Drop);
+        }
+        assert!(fs.eating.is_empty(), "swallow bookkeeping must drain");
+        assert_eq!(fs.stats.packets_dropped, 1);
+        assert_eq!(fs.stats.flits_dropped, 5);
+    }
+
+    #[test]
+    fn corruption_marks_heads_only() {
+        let cfg = FaultConfig {
+            link_corrupt_rate: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut fs = FaultState::new(cfg);
+        assert_eq!(fs.on_link_flit(0, 0, &head(1)), LinkFate::Corrupt);
+        let mut body = head(5);
+        body.kind = FlitKind::Body;
+        assert_eq!(fs.on_link_flit(0, 0, &body), LinkFate::Deliver);
+    }
+
+    #[test]
+    fn stuck_window_is_half_open() {
+        let e = StuckPortEvent {
+            node: NodeId(0),
+            dir: Direction::West,
+            at: 10,
+            duration: 5,
+        };
+        assert!(!e.active(9));
+        assert!(e.active(10));
+        assert!(e.active(14));
+        assert!(!e.active(15));
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let cfg = FaultConfig {
+            link_drop_rate: 0.5,
+            seed: 42,
+            ..FaultConfig::none()
+        };
+        let mut a = FaultState::new(cfg.clone());
+        let mut b = FaultState::new(cfg);
+        for i in 0..64 {
+            assert_eq!(
+                a.on_link_flit(i, 0, &head(1)),
+                b.on_link_flit(i, 0, &head(1))
+            );
+        }
+    }
+}

@@ -173,6 +173,11 @@ pub struct Flit {
     pub created_at: Cycle,
     /// Cycle the packet's head entered the network (left the NI queue).
     pub injected_at: Cycle,
+    /// Set by the fault layer when the packet is corrupted in transit
+    /// (head flit only); the destination NI discards the packet instead
+    /// of delivering it and the source retransmits.
+    #[serde(default)]
+    pub corrupted: bool,
 }
 
 /// A fully received packet handed back to the destination's user.

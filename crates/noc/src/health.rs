@@ -1,0 +1,194 @@
+//! Progress watchdog and structured health reporting.
+//!
+//! The network keeps a small amount of always-on bookkeeping — the cycle
+//! of the last flit movement and the set of in-flight packets — from
+//! which [`crate::Network::health`] assembles a [`HealthReport`] on
+//! demand: whether the fabric has stalled (in-flight traffic but no flit
+//! moved for [`WatchdogConfig::stall_window`] cycles, i.e. deadlock or
+//! livelock), the oldest in-flight messages, per-NI backlogs,
+//! circuit-table entries that look leaked, and the fault-injection
+//! counters. The bookkeeping is pure observation: it never changes what
+//! the network does, so a fault-free run with the watchdog enabled is
+//! bit-identical to one without it.
+
+use crate::fault::FaultStats;
+use crate::flit::PacketId;
+use rcsim_core::circuit::CircuitKey;
+use rcsim_core::{Cycle, Direction, MessageClass, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Watchdog thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Cycles without any flit movement (while packets are in flight)
+    /// after which the network is declared stalled.
+    pub stall_window: Cycle,
+    /// Age in cycles after which a circuit-table entry is reported as a
+    /// suspected leak.
+    pub leak_age: Cycle,
+    /// Cap on the stuck messages and leaked entries listed in a report.
+    pub max_report_entries: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_window: 1_000,
+            leak_age: 4_000,
+            max_report_entries: 8,
+        }
+    }
+}
+
+/// One in-flight message, as listed by a [`HealthReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckMessage {
+    /// Packet id.
+    pub packet: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message class.
+    pub class: MessageClass,
+    /// Cycles since the packet was enqueued at its source NI.
+    pub age: Cycle,
+    /// End-to-end retransmissions issued for it so far.
+    pub retries: u32,
+}
+
+/// A circuit-table entry older than [`WatchdogConfig::leak_age`]: either a
+/// reservation whose reply never came (e.g. dropped by a fault without a
+/// complete undo) or a circuit wedged mid-use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeakedCircuit {
+    /// Router holding the entry.
+    pub node: NodeId,
+    /// Input port of the entry.
+    pub in_port: Direction,
+    /// The circuit's key.
+    pub key: CircuitKey,
+    /// Cycles since the entry was reserved.
+    pub age: Cycle,
+    /// `true` if a reply started streaming over it and never finished.
+    pub in_use: bool,
+}
+
+/// Structured snapshot of network liveness, produced by
+/// [`crate::Network::health`] and attached to simulation results.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Cycle the report was taken.
+    pub cycle: Cycle,
+    /// `true` when in-flight traffic exists but nothing has moved for at
+    /// least the stall window — deadlock or livelock.
+    pub stalled: bool,
+    /// Last cycle any flit moved (arrival, ejection or delivery).
+    pub last_progress: Cycle,
+    /// Packets injected but not yet delivered or abandoned.
+    pub in_flight: u64,
+    /// Total packets queued at source NIs, waiting to enter the network.
+    pub ni_backlog: u64,
+    /// `true` when nothing at all is left in the network (end-of-run
+    /// quiescence check).
+    pub quiescent: bool,
+    /// Age of the oldest in-flight packet, if any.
+    pub oldest_age: Option<Cycle>,
+    /// The oldest in-flight messages (oldest first, capped).
+    pub stuck_messages: Vec<StuckMessage>,
+    /// Suspected circuit-table leaks (capped).
+    pub leaked_circuits: Vec<LeakedCircuit>,
+    /// Fault-injection counters (all zero when faults are disabled).
+    pub faults: FaultStats,
+}
+
+impl HealthReport {
+    /// `true` when the report shows nothing suspicious: no stall, no
+    /// suspected leaks, nothing abandoned.
+    pub fn healthy(&self) -> bool {
+        !self.stalled && self.leaked_circuits.is_empty() && self.faults.packets_abandoned == 0
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "health @ cycle {}: {}",
+            self.cycle,
+            if self.stalled {
+                "STALLED"
+            } else if self.quiescent {
+                "quiescent"
+            } else {
+                "progressing"
+            }
+        )?;
+        writeln!(
+            f,
+            "  in flight: {} packets, {} queued at NIs, last progress at cycle {}",
+            self.in_flight, self.ni_backlog, self.last_progress
+        )?;
+        if let Some(age) = self.oldest_age {
+            writeln!(f, "  oldest in-flight message: {age} cycles")?;
+        }
+        for m in &self.stuck_messages {
+            writeln!(
+                f,
+                "  stuck: {:?} {} {}->{} age {} retries {}",
+                m.packet, m.class, m.src, m.dst, m.age, m.retries
+            )?;
+        }
+        for l in &self.leaked_circuits {
+            writeln!(
+                f,
+                "  leaked circuit: {}/{} key ({}, {:#x}) age {}{}",
+                l.node,
+                l.in_port,
+                l.key.requestor,
+                l.key.block,
+                l.age,
+                if l.in_use { " (in use)" } else { "" }
+            )?;
+        }
+        if self.faults != FaultStats::default() {
+            writeln!(
+                f,
+                "  faults: {} pkts dropped, {} corrupted, {} credits lost, \
+                 {} table entries hit, {} retransmissions, {} abandoned",
+                self.faults.packets_dropped,
+                self.faults.packets_corrupted,
+                self.faults.credits_lost,
+                self.faults.table_entries_corrupted,
+                self.faults.retransmissions,
+                self.faults.packets_abandoned
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_report_is_healthy() {
+        let r = HealthReport::default();
+        assert!(r.healthy());
+        assert!(!r.stalled);
+    }
+
+    #[test]
+    fn display_mentions_stall() {
+        let r = HealthReport {
+            cycle: 500,
+            stalled: true,
+            ..HealthReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("STALLED"), "{s}");
+        assert!(!r.healthy());
+    }
+}

@@ -43,7 +43,9 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fault;
 mod flit;
+mod health;
 mod network;
 mod ni;
 mod router;
@@ -51,6 +53,8 @@ mod stats;
 pub mod traffic;
 
 pub use config::{NocConfig, VcLayout};
+pub use fault::{FaultConfig, FaultStats, StuckPortEvent};
 pub use flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
+pub use health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
 pub use network::Network;
 pub use stats::{CircuitOutcome, MessageGroup, NocStats};

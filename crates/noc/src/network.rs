@@ -1,12 +1,17 @@
-//! The whole network: routers, links, NIs and the cycle loop.
+//! The whole network: routers, links, NIs and the cycle loop — plus the
+//! fault-injection hooks (flits and credits crossing inter-router links,
+//! circuit tables, input ports) and the always-on progress watchdog.
 
 use crate::config::NocConfig;
+use crate::fault::{FaultConfig, FaultState, FaultStats, LinkFate};
 use crate::flit::{Delivered, Flit, PacketId, PacketSpec};
+use crate::health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
 use crate::ni::{Ni, NiOut};
 use crate::router::{Outgoing, Router};
-use crate::stats::NocStats;
+use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::{ConfigError, Cycle, Direction, NodeId};
+use rcsim_core::{ConfigError, Cycle, Direction, MessageClass, NodeId};
+use std::collections::{HashMap, HashSet};
 
 /// Messages in flight towards one router.
 #[derive(Debug, Default)]
@@ -39,11 +44,35 @@ fn drain_due<T>(v: &mut Vec<(Cycle, T)>, now: Cycle) -> Vec<T> {
     due
 }
 
+/// One injected packet, tracked until delivery or abandonment: the raw
+/// material for per-message watchdog ages and end-to-end retransmission.
+#[derive(Debug, Clone)]
+struct Outstanding {
+    src: NodeId,
+    dst: NodeId,
+    class: MessageClass,
+    len: u32,
+    block: u64,
+    token: u64,
+    created_at: Cycle,
+    /// The reply committed to riding its own complete circuit at inject.
+    committed: bool,
+    /// The circuit key the reply intended to ride, if any.
+    circuit_key: Option<CircuitKey>,
+    /// End-to-end retransmissions issued so far.
+    retries: u32,
+}
+
 /// A mesh NoC instance.
 ///
 /// Drive it with [`Network::tick`]; submit packets with
 /// [`Network::inject`]; collect arrivals with [`Network::take_delivered`].
 /// See the crate docs for a complete example.
+///
+/// Fault injection is enabled with [`Network::with_faults`]; liveness is
+/// observable at any time through [`Network::health`] and
+/// [`Network::stalled`]. The watchdog bookkeeping is always on and purely
+/// observational, so it never perturbs the simulation.
 pub struct Network {
     cfg: NocConfig,
     routers: Vec<Router>,
@@ -54,10 +83,25 @@ pub struct Network {
     stats: NocStats,
     now: Cycle,
     next_packet: u64,
+    /// `Some` only when the fault configuration can actually fire — a
+    /// fault-free network carries no fault state at all, which is what
+    /// makes `FaultConfig::none()` bit-identical to no fault layer.
+    faults: Option<FaultState>,
+    watchdog: WatchdogConfig,
+    /// Every injected, not-yet-delivered packet (src == dst traffic never
+    /// enters the network and is not tracked).
+    outstanding: HashMap<PacketId, Outstanding>,
+    /// Scheduled end-to-end retransmissions: (due cycle, packet).
+    retry_queue: Vec<(Cycle, PacketId)>,
+    /// Circuits hit by table corruption; consumed when their reply is
+    /// delivered to reclassify it as `FaultDegraded`.
+    faulted_circuits: HashSet<CircuitKey>,
+    /// Last cycle any flit moved (arrived, ejected or was delivered).
+    last_progress: Cycle,
 }
 
 impl Network {
-    /// Builds the network for a configuration.
+    /// Builds the network for a configuration, without fault injection.
     ///
     /// # Errors
     ///
@@ -65,6 +109,17 @@ impl Network {
     /// internally inconsistent (see
     /// [`MechanismConfig::validate`](rcsim_core::MechanismConfig::validate)).
     pub fn new(cfg: NocConfig) -> Result<Self, ConfigError> {
+        Network::with_faults(cfg, FaultConfig::none())
+    }
+
+    /// Builds the network with a fault-injection configuration. Passing
+    /// [`FaultConfig::none`] is exactly equivalent to [`Network::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the mechanism's [`ConfigError`] when the configuration is
+    /// internally inconsistent.
+    pub fn with_faults(cfg: NocConfig, faults: FaultConfig) -> Result<Self, ConfigError> {
         cfg.mechanism.validate()?;
         let n = cfg.mesh.nodes();
         Ok(Self {
@@ -77,7 +132,27 @@ impl Network {
             stats: NocStats::default(),
             now: 0,
             next_packet: 0,
+            faults: if faults.is_none() {
+                None
+            } else {
+                Some(FaultState::new(faults))
+            },
+            watchdog: WatchdogConfig::default(),
+            outstanding: HashMap::new(),
+            retry_queue: Vec::new(),
+            faulted_circuits: HashSet::new(),
+            last_progress: 0,
         })
+    }
+
+    /// Replaces the watchdog thresholds.
+    pub fn set_watchdog(&mut self, watchdog: WatchdogConfig) {
+        self.watchdog = watchdog;
+    }
+
+    /// The active watchdog thresholds.
+    pub fn watchdog(&self) -> &WatchdogConfig {
+        &self.watchdog
     }
 
     /// The configuration this network was built with.
@@ -122,8 +197,24 @@ impl Network {
             });
             return (id, false);
         }
-        let committed =
-            self.nis[spec.src.index()].enqueue(spec, id, self.now, &mut self.stats);
+        let committed = self.nis[spec.src.index()].enqueue(spec, id, self.now, &mut self.stats);
+        self.outstanding.insert(
+            id,
+            Outstanding {
+                src: spec.src,
+                dst: spec.dst,
+                class: spec.class,
+                len: spec
+                    .flits_override
+                    .unwrap_or_else(|| spec.class.flits(self.cfg.flit_bytes)),
+                block: spec.block,
+                token: spec.token,
+                created_at: self.now,
+                committed,
+                circuit_key: spec.circuit_key,
+                retries: 0,
+            },
+        );
         (id, committed)
     }
 
@@ -144,7 +235,8 @@ impl Network {
     /// Records an `L1_DATA_ACK` eliminated by the protocol (§4.6) so the
     /// Figure 6 outcome breakdown stays complete.
     pub fn record_eliminated_ack(&mut self) {
-        self.stats.record_outcome(crate::stats::CircuitOutcome::Eliminated);
+        self.stats
+            .record_outcome(crate::stats::CircuitOutcome::Eliminated);
     }
 
     /// Records a reply outcome classified by the protocol layer (e.g. the
@@ -175,29 +267,98 @@ impl Network {
     pub fn tick(&mut self) {
         let now = self.now;
         let n = self.cfg.mesh.nodes();
+        let mut moved = false;
+
+        // Due end-to-end retransmissions re-enter their source NI.
+        let mut due_retries = Vec::new();
+        self.retry_queue.retain(|&(t, id)| {
+            if t <= now {
+                due_retries.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in due_retries {
+            if let Some(rec) = self.outstanding.get(&id) {
+                self.nis[rec.src.index()].reenqueue_retry(
+                    id,
+                    rec.src,
+                    rec.dst,
+                    rec.class,
+                    rec.len,
+                    rec.block,
+                    rec.token,
+                    rec.created_at,
+                    now,
+                );
+            }
+        }
 
         // NIs first: they consume flits/credits produced last cycle and
         // inject at most one flit each into their router's local port.
         for i in 0..n {
             let ejected = drain_due(&mut self.ni_inboxes[i].flits, now);
             let credits = drain_due(&mut self.ni_inboxes[i].credits, now);
+            moved |= !ejected.is_empty();
             let mut out = NiOut::default();
             self.nis[i].tick(now, ejected, credits, &mut self.stats, &mut out);
+            moved |= !out.flits.is_empty() || !out.delivered.is_empty();
             for flit in out.flits {
                 self.router_inboxes[i].flits[Direction::Local.index()].push((now + 1, flit));
             }
             for (key, dst) in out.undos {
                 self.router_inboxes[i].undos.push((now + 1, key, dst));
             }
-            self.delivered[i].append(&mut out.delivered);
+            for id in out.corrupt_discards {
+                self.schedule_retry(id, now);
+            }
+            for mut d in out.delivered.drain(..) {
+                self.note_delivered(&mut d);
+                self.delivered[i].push(d);
+            }
         }
 
         // Routers.
         let mut outgoing = Vec::new();
         for i in 0..n {
+            // Scheduled stuck-port windows freeze individual input ports:
+            // arrivals stay queued on the link until the window ends.
+            let mut stuck = [false; 5];
+            if let Some(fs) = &self.faults {
+                for (d, s) in stuck.iter_mut().enumerate() {
+                    *s = fs.port_stuck(i, Direction::from_index(d), now);
+                }
+            }
+            if let Some(fs) = self.faults.as_mut() {
+                fs.stats.stuck_port_cycles += stuck.iter().filter(|&&s| s).count() as u64;
+            }
+            // Soft errors in the reservation SRAM: one random entry of one
+            // random port evaporates; the riding reply (if any) degrades
+            // to the ordinary pipeline at this router.
+            if let Some((port, draw)) = self
+                .faults
+                .as_mut()
+                .and_then(FaultState::roll_table_corruption)
+            {
+                let dir = Direction::from_index(port);
+                let occ = self.routers[i].circuits.port_occupancy(dir);
+                if occ > 0 {
+                    if let Some(e) = self.routers[i].circuits.fault_remove(dir, draw % occ) {
+                        self.faulted_circuits.insert(e.key);
+                        if let Some(fs) = self.faults.as_mut() {
+                            fs.stats.table_entries_corrupted += 1;
+                        }
+                    }
+                }
+            }
+
             let inbox = &mut self.router_inboxes[i];
             let mut arrivals = Vec::new();
-            for d in 0..5 {
+            for (d, port_stuck) in stuck.iter().enumerate() {
+                if *port_stuck {
+                    continue;
+                }
                 for flit in drain_due(&mut inbox.flits[d], now) {
                     arrivals.push((Direction::from_index(d), flit));
                 }
@@ -218,13 +379,61 @@ impl Network {
                     j += 1;
                 }
             }
+            moved |= !arrivals.is_empty();
             outgoing.clear();
             self.routers[i].tick(now, arrivals, credits, undos, &mut outgoing);
             self.route_outgoing(NodeId(i as u16), &outgoing);
         }
 
+        if moved {
+            self.last_progress = now;
+        }
         self.stats.cycles += 1;
         self.now = now + 1;
+    }
+
+    /// Watchdog bookkeeping at delivery: closes the packet's outstanding
+    /// record and, when a committed circuit ride was hit by a fault along
+    /// the way (retransmitted, or its circuit corrupted out of a table),
+    /// reclassifies its Figure 6 outcome as `FaultDegraded` and keeps the
+    /// delivery's `rode_circuit` flag consistent with the sender's §4.6
+    /// NoAck commitment.
+    fn note_delivered(&mut self, d: &mut Delivered) {
+        let Some(rec) = self.outstanding.remove(&d.packet) else {
+            return;
+        };
+        let key_faulted = rec
+            .circuit_key
+            .is_some_and(|k| self.faulted_circuits.remove(&k));
+        if rec.committed && (rec.retries > 0 || key_faulted) {
+            self.stats
+                .reclassify_outcome(CircuitOutcome::OnCircuit, CircuitOutcome::FaultDegraded);
+            // The sender committed to the NoAck condition; the receiver
+            // must still elide its ack even though the reply limped home.
+            d.rode_circuit = true;
+        }
+    }
+
+    /// Marks `id` as hit by a fault and schedules its next end-to-end
+    /// retransmission (linear backoff), or abandons it once the retry
+    /// budget is spent. No-op without fault injection.
+    fn schedule_retry(&mut self, id: PacketId, at: Cycle) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        let Some(rec) = self.outstanding.get_mut(&id) else {
+            return;
+        };
+        if rec.retries < fs.cfg.max_retries {
+            rec.retries += 1;
+            fs.stats.retransmissions += 1;
+            let backoff = fs.cfg.retry_backoff.max(1) * rec.retries as Cycle;
+            self.retry_queue.push((at + backoff, id));
+        } else {
+            fs.stats.packets_abandoned += 1;
+            self.stats.dropped_packets += 1;
+            self.outstanding.remove(&id);
+        }
     }
 
     fn route_outgoing(&mut self, from: NodeId, outgoing: &[Outgoing]) {
@@ -232,29 +441,48 @@ impl Network {
             match o {
                 Outgoing::Flit { dir, flit, arrive } => {
                     if *dir == Direction::Local {
-                        self.ni_inboxes[from.index()].flits.push((*arrive, flit.clone()));
-                    } else {
-                        let nb = self
-                            .cfg
-                            .mesh
-                            .neighbor(from, *dir)
-                            .expect("routing never crosses the mesh edge");
-                        self.router_inboxes[nb.index()].flits[dir.opposite().index()]
+                        self.ni_inboxes[from.index()]
+                            .flits
                             .push((*arrive, flit.clone()));
+                        continue;
                     }
+                    let Some(nb) = self.cfg.mesh.neighbor(from, *dir) else {
+                        // Invariant: XY/YX routing never crosses the mesh
+                        // edge. Losing one flit beats tearing down a long
+                        // experiment run, and the watchdog will flag the
+                        // wedged packet.
+                        debug_assert!(false, "routing crossed the mesh edge at {from}/{dir}");
+                        continue;
+                    };
+                    let mut flit = flit.clone();
+                    if let Some(fs) = self.faults.as_mut() {
+                        match fs.on_link_flit(from.index(), dir.index(), &flit) {
+                            LinkFate::Deliver => {}
+                            LinkFate::Corrupt => flit.corrupted = true,
+                            LinkFate::Drop => {
+                                self.drop_on_link(from, nb, *dir, &flit, *arrive);
+                                continue;
+                            }
+                        }
+                    }
+                    self.router_inboxes[nb.index()].flits[dir.opposite().index()]
+                        .push((*arrive, flit));
                 }
                 Outgoing::Credit { dir, vc, arrive } => {
                     if *dir == Direction::Local {
                         self.ni_inboxes[from.index()].credits.push((*arrive, *vc));
-                    } else {
-                        let nb = self
-                            .cfg
-                            .mesh
-                            .neighbor(from, *dir)
-                            .expect("credits return along existing links");
-                        self.router_inboxes[nb.index()].credits[dir.opposite().index()]
-                            .push((*arrive, *vc));
+                        continue;
                     }
+                    let Some(nb) = self.cfg.mesh.neighbor(from, *dir) else {
+                        // Invariant: credits return along existing links.
+                        debug_assert!(false, "credit crossed the mesh edge at {from}/{dir}");
+                        continue;
+                    };
+                    if self.faults.as_mut().is_some_and(FaultState::on_link_credit) {
+                        continue;
+                    }
+                    self.router_inboxes[nb.index()].credits[dir.opposite().index()]
+                        .push((*arrive, *vc));
                 }
                 Outgoing::Undo {
                     dir,
@@ -262,14 +490,56 @@ impl Network {
                     dst,
                     arrive,
                 } => {
-                    let nb = self
-                        .cfg
-                        .mesh
-                        .neighbor(from, *dir)
-                        .expect("undo follows the reserved path");
-                    self.router_inboxes[nb.index()].undos.push((*arrive, *key, *dst));
+                    let Some(nb) = self.cfg.mesh.neighbor(from, *dir) else {
+                        // Invariant: undo propagation follows the reserved
+                        // path, which never leaves the mesh.
+                        debug_assert!(false, "undo crossed the mesh edge at {from}/{dir}");
+                        continue;
+                    };
+                    self.router_inboxes[nb.index()]
+                        .undos
+                        .push((*arrive, *key, *dst));
                 }
             }
+        }
+    }
+
+    /// Handles one flit dropped on the link `from → nb`: synthesizes the
+    /// downstream credit it will never earn (credit loss is its own fault
+    /// class; drops must not wedge the fabric by themselves), tears down
+    /// the circuit reservations the packet leaves orphaned, and schedules
+    /// the end-to-end retransmission.
+    fn drop_on_link(
+        &mut self,
+        from: NodeId,
+        nb: NodeId,
+        dir: Direction,
+        flit: &Flit,
+        arrive: Cycle,
+    ) {
+        // Mirror the downstream router's credit-return rule: circuit VCs
+        // are only credited when they are buffered (fragmented mode).
+        let layout = self.cfg.vc_layout();
+        if !layout.is_circuit_vc(flit.vc) || self.cfg.mechanism.circuit_vc_buffered() {
+            self.router_inboxes[from.index()].credits[dir.index()].push((arrive, flit.vc));
+        }
+        if flit.kind.is_head() {
+            if let Some(h) = &flit.circuit {
+                // A dropped circuit-building request: undo the prefix of
+                // reservations it made, starting from the last router it
+                // crossed (the retransmission goes plain packet-switched).
+                self.router_inboxes[from.index()]
+                    .undos
+                    .push((arrive, h.key, h.key.requestor));
+            } else if let Some(key) = flit.on_circuit {
+                // A dropped circuit ride: the not-yet-used suffix of the
+                // circuit (from the next router on) is torn down; routers
+                // it already crossed were released by normal streaming.
+                self.router_inboxes[nb.index()]
+                    .undos
+                    .push((arrive, key, key.requestor));
+            }
+            self.schedule_retry(flit.packet, arrive);
         }
     }
 
@@ -295,7 +565,8 @@ impl Network {
         s
     }
 
-    /// `true` when nothing is queued or travelling.
+    /// `true` when nothing is queued or travelling. Packets abandoned by
+    /// the fault layer after exhausting their retries count as resolved.
     pub fn is_quiescent(&self) -> bool {
         self.nis.iter().all(|ni| ni.backlog() == 0)
             && self
@@ -303,7 +574,76 @@ impl Network {
                 .iter()
                 .all(|ib| ib.flits.iter().all(Vec::is_empty) && ib.undos.is_empty())
             && self.ni_inboxes.iter().all(|ib| ib.flits.is_empty())
-            && self.stats.total_injected() == self.stats.total_delivered()
+            && self.retry_queue.is_empty()
+            && self.stats.total_injected()
+                == self.stats.total_delivered() + self.stats.dropped_packets
+    }
+
+    /// `true` when packets are in flight but no flit has moved for at
+    /// least the watchdog's stall window — a deadlock (e.g. lost credits)
+    /// or total livelock.
+    pub fn stalled(&self) -> bool {
+        !self.outstanding.is_empty()
+            && self.now.saturating_sub(self.last_progress) >= self.watchdog.stall_window
+    }
+
+    /// The fault-injection counters (all zero when faults are disabled).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(|f| f.stats.clone())
+            .unwrap_or_default()
+    }
+
+    /// Assembles a structured liveness snapshot: stall state, in-flight
+    /// and queued traffic, the oldest stuck messages, suspected
+    /// circuit-table leaks and the fault counters. Purely observational
+    /// and deterministic (messages are ordered by age, then packet id).
+    pub fn health(&self) -> HealthReport {
+        let mut msgs: Vec<StuckMessage> = self
+            .outstanding
+            .iter()
+            .map(|(id, rec)| StuckMessage {
+                packet: *id,
+                src: rec.src,
+                dst: rec.dst,
+                class: rec.class,
+                age: self.now.saturating_sub(rec.created_at),
+                retries: rec.retries,
+            })
+            .collect();
+        msgs.sort_by_key(|m| (std::cmp::Reverse(m.age), m.packet));
+        let oldest_age = msgs.first().map(|m| m.age);
+        msgs.truncate(self.watchdog.max_report_entries);
+
+        let mut leaked = Vec::new();
+        'scan: for (i, r) in self.routers.iter().enumerate() {
+            for (in_port, e, age) in r.circuits.stale_entries(self.watchdog.leak_age) {
+                if leaked.len() >= self.watchdog.max_report_entries {
+                    break 'scan;
+                }
+                leaked.push(LeakedCircuit {
+                    node: NodeId(i as u16),
+                    in_port,
+                    key: e.key,
+                    age,
+                    in_use: e.in_use,
+                });
+            }
+        }
+
+        HealthReport {
+            cycle: self.now,
+            stalled: self.stalled(),
+            last_progress: self.last_progress,
+            in_flight: self.outstanding.len() as u64,
+            ni_backlog: self.nis.iter().map(|ni| ni.backlog() as u64).sum(),
+            quiescent: self.is_quiescent(),
+            oldest_age,
+            stuck_messages: msgs,
+            leaked_circuits: leaked,
+            faults: self.fault_stats(),
+        }
     }
 }
 
@@ -326,7 +666,11 @@ mod tests {
     #[test]
     fn single_packet_crosses_baseline() {
         let mut n = net(MechanismConfig::baseline());
-        n.inject(PacketSpec::new(NodeId(0), NodeId(15), MessageClass::L1Request));
+        n.inject(PacketSpec::new(
+            NodeId(0),
+            NodeId(15),
+            MessageClass::L1Request,
+        ));
         run(&mut n, 60);
         let d = n.take_delivered(NodeId(15));
         assert_eq!(d.len(), 1);
@@ -339,14 +683,22 @@ mod tests {
     fn request_hop_latency_is_five_cycles() {
         // Uncontended: injection + 5 cycles/hop + ejection pipeline.
         let mut n = net(MechanismConfig::baseline());
-        n.inject(PacketSpec::new(NodeId(0), NodeId(1), MessageClass::L1Request));
+        n.inject(PacketSpec::new(
+            NodeId(0),
+            NodeId(1),
+            MessageClass::L1Request,
+        ));
         run(&mut n, 40);
         let d = n.take_delivered(NodeId(1));
         assert_eq!(d.len(), 1);
         let lat1 = d[0].delivered_at - d[0].injected_at;
 
         let mut n = net(MechanismConfig::baseline());
-        n.inject(PacketSpec::new(NodeId(0), NodeId(3), MessageClass::L1Request));
+        n.inject(PacketSpec::new(
+            NodeId(0),
+            NodeId(3),
+            MessageClass::L1Request,
+        ));
         run(&mut n, 60);
         let d = n.take_delivered(NodeId(3));
         let lat3 = d[0].delivered_at - d[0].injected_at;
@@ -360,7 +712,11 @@ mod tests {
     #[test]
     fn local_delivery_bypasses_network() {
         let mut n = net(MechanismConfig::baseline());
-        n.inject(PacketSpec::new(NodeId(5), NodeId(5), MessageClass::L1Request));
+        n.inject(PacketSpec::new(
+            NodeId(5),
+            NodeId(5),
+            MessageClass::L1Request,
+        ));
         let d = n.take_delivered(NodeId(5));
         assert_eq!(d.len(), 1);
     }

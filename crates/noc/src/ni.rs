@@ -77,6 +77,10 @@ pub(crate) struct NiOut {
     pub undos: Vec<(CircuitKey, NodeId)>,
     /// Fully received packets for the tile logic.
     pub delivered: Vec<Delivered>,
+    /// Packets that failed the NI's integrity check (corrupted by the
+    /// fault layer) and were discarded instead of delivered; the network
+    /// schedules their end-to-end retransmission.
+    pub corrupt_discards: Vec<PacketId>,
 }
 
 pub(crate) struct Ni {
@@ -248,8 +252,7 @@ impl Ni {
                     self.origins.remove(&key);
                 }
                 None => {
-                    outcome = if spec.class.circuit_eligible()
-                        && self.mechanism.circuits_enabled()
+                    outcome = if spec.class.circuit_eligible() && self.mechanism.circuits_enabled()
                     {
                         CircuitOutcome::Failed
                     } else {
@@ -330,6 +333,43 @@ impl Ni {
         self.queues[Vnet::Reply.index()].push_back(pending);
     }
 
+    /// End-to-end retransmission of a packet lost or corrupted by the
+    /// fault layer: same id, token and creation time, but a fresh plain
+    /// packet-switched traversal — a replacement circuit would need a new
+    /// request, so retries never ride one. Injection statistics are not
+    /// recounted (the original injection already was).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn reenqueue_retry(
+        &mut self,
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        class: MessageClass,
+        len: u32,
+        block: u64,
+        token: u64,
+        created_at: Cycle,
+        now: Cycle,
+    ) {
+        self.queues[class.vnet().index()].push_back(Pending {
+            id,
+            src,
+            dst,
+            class,
+            vnet: class.vnet(),
+            len,
+            block,
+            token,
+            created_at,
+            injected_at: None,
+            circuit: None,
+            on_circuit: None,
+            scrounger_final: None,
+            start_at: now,
+            count_injection: false,
+        });
+    }
+
     /// How long a circuit must have sat idle before a scrounger may take
     /// it. Scrounging *consumes* the circuit (DESIGN.md §4b), so stealing
     /// one whose reply is imminent trades a cheap ride for an expensive
@@ -390,6 +430,14 @@ impl Ni {
             .expect("assembly entry exists for the tail's packet");
         debug_assert_eq!(a.received, flit.len, "flits lost or duplicated in transit");
         let head = a.head.expect("head received before tail");
+
+        if head.corrupted {
+            // Failed the integrity check: discard here (even a scrounger
+            // leg — the data is bad everywhere) and let the network
+            // schedule an end-to-end retransmission from the source.
+            out.corrupt_discards.push(head.packet);
+            return;
+        }
 
         if let Some(final_dst) = head.scrounger_final {
             if final_dst != self.node {
@@ -501,7 +549,9 @@ impl Ni {
                 .allocatable_vcs(vnet)
                 .find(|&vc| self.streams[vc].is_none() && self.credits[vc] == self.buffer_depth);
             if let Some(vc) = vc {
-                let pending = self.queues[vn].pop_front().expect("queue checked non-empty");
+                let pending = self.queues[vn]
+                    .pop_front()
+                    .expect("queue checked non-empty");
                 self.streams[vc] = Some(Stream {
                     pending,
                     next_seq: 0,
@@ -534,13 +584,18 @@ impl Ni {
             class: p.class,
             vnet: p.vnet,
             vc: s.vc,
-            circuit: if kind.is_head() { p.circuit.clone() } else { None },
+            circuit: if kind.is_head() {
+                p.circuit.clone()
+            } else {
+                None
+            },
             on_circuit: p.on_circuit,
             scrounger_final: p.scrounger_final,
             block: p.block,
             token: p.token,
             created_at: p.created_at,
             injected_at: p.injected_at.expect("set on head emission"),
+            corrupted: false,
         };
         s.next_seq += 1;
         flit

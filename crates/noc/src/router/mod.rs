@@ -166,6 +166,8 @@ impl Router {
         for o in &mut self.outputs {
             o.busy = false;
         }
+        // Stamp the table's clock so leak detection can age entries.
+        self.circuits.note_now(now);
 
         // Credits (and the undo information they may carry, §4.4).
         for (dir, vc) in credits {
@@ -260,7 +262,9 @@ impl Router {
             // reservation there is missing (§4.2 "messages can always be
             // stored"). Without that guarantee the message takes the
             // pipeline here instead, and the local reservation is freed.
-            let gvc = self.layout.circuit_vc(entry.vc as usize % self.layout.circuit_vcs);
+            let gvc = self
+                .layout
+                .circuit_vc(entry.vc as usize % self.layout.circuit_vcs);
             // A head needs the downstream VC completely idle (all credits
             // home), like the packet-switched Draining rule.
             if self.outputs[entry.out_port.index()].credits[gvc] < self.buffer_depth {
@@ -309,7 +313,13 @@ impl Router {
     }
 
     /// One-cycle circuit traversal: straight through the crossbar (§4.3).
-    fn execute_bypass(&mut self, now: Cycle, dir: Direction, mut flit: Flit, out: &mut Vec<Outgoing>) {
+    fn execute_bypass(
+        &mut self,
+        now: Cycle,
+        dir: Direction,
+        mut flit: Flit,
+        out: &mut Vec<Outgoing>,
+    ) {
         let key = flit.on_circuit.expect("bypass requires a circuit key");
         let entry = *self
             .circuits
@@ -348,7 +358,8 @@ impl Router {
         o.busy = true;
         self.activity.xbar_traversals += 1;
         flit.vc = if self.layout.circuit_vcs > 0 {
-            self.layout.circuit_vc(entry.vc as usize % self.layout.circuit_vcs.max(1))
+            self.layout
+                .circuit_vc(entry.vc as usize % self.layout.circuit_vcs.max(1))
         } else {
             flit.vc
         };
@@ -703,6 +714,7 @@ mod tests {
             token: 0,
             created_at: 0,
             injected_at: 0,
+            corrupted: false,
         }
     }
 
@@ -723,7 +735,10 @@ mod tests {
         let out = tick(&mut r, 0, vec![(Direction::West, f)]);
         assert!(out.is_empty(), "cycle 0: buffered + route computed");
         assert!(tick(&mut r, 1, vec![]).is_empty(), "cycle 1: VC allocation");
-        assert!(tick(&mut r, 2, vec![]).is_empty(), "cycle 2: switch allocation");
+        assert!(
+            tick(&mut r, 2, vec![]).is_empty(),
+            "cycle 2: switch allocation"
+        );
         let out = tick(&mut r, 3, vec![]);
         let sent = out
             .iter()
@@ -737,7 +752,11 @@ mod tests {
         // The freed buffer slot returns upstream as a credit.
         assert!(out.iter().any(|o| matches!(
             o,
-            Outgoing::Credit { dir: Direction::West, vc: 0, .. }
+            Outgoing::Credit {
+                dir: Direction::West,
+                vc: 0,
+                ..
+            }
         )));
         assert_eq!(r.buffered_flits(), 0);
     }
@@ -750,7 +769,10 @@ mod tests {
         for now in 0..16u64 {
             let arrivals = if now < 5 {
                 let seq = now as u32;
-                vec![(Direction::West, flit(FlitKind::for_position(seq, 5), seq, 5, 6, 0))]
+                vec![(
+                    Direction::West,
+                    flit(FlitKind::for_position(seq, 5), seq, 5, 6, 0),
+                )]
             } else {
                 vec![]
             };
@@ -794,20 +816,32 @@ mod tests {
     fn reservation_happens_at_va_with_mirrored_ports() {
         let mut r = router(MechanismConfig::complete());
         let mut f = flit(FlitKind::HeadTail, 0, 1, 6, 0);
-        f.circuit = Some(Box::new(
-            rcsim_core::circuit::CircuitHandle::new(NodeId(4), 0x40, NodeId(6), 2, 5, 7),
-        ));
+        f.circuit = Some(Box::new(rcsim_core::circuit::CircuitHandle::new(
+            NodeId(4),
+            0x40,
+            NodeId(6),
+            2,
+            5,
+            7,
+        )));
         let _ = tick(&mut r, 0, vec![(Direction::West, f)]);
         assert_eq!(r.circuits.total_entries(), 0, "not during RC");
         let _ = tick(&mut r, 1, vec![]);
-        assert_eq!(r.circuits.total_entries(), 1, "reserved in parallel with VA");
+        assert_eq!(
+            r.circuits.total_entries(),
+            1,
+            "reserved in parallel with VA"
+        );
         // Reply arrives from where the request went (East) and leaves
         // where it came from (West).
         let key = rcsim_core::circuit::CircuitKey {
             requestor: NodeId(4),
             block: 0x40,
         };
-        let e = r.circuits.lookup(Direction::East, key).expect("entry at East input");
+        let e = r
+            .circuits
+            .lookup(Direction::East, key)
+            .expect("entry at East input");
         assert_eq!(e.out_port, Direction::West);
     }
 
@@ -872,7 +906,10 @@ mod tests {
         assert_eq!(r.circuits.total_entries(), 0);
         assert!(out.iter().any(|o| matches!(
             o,
-            Outgoing::Undo { dir: Direction::West, .. }
+            Outgoing::Undo {
+                dir: Direction::West,
+                ..
+            }
         )));
     }
 }

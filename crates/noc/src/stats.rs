@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The three message groups of Figure 7.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MessageGroup {
     /// Everything on the request VN.
     Request,
@@ -46,9 +44,7 @@ impl MessageGroup {
 /// How one reply ended up travelling — the categories of Figure 6.
 /// (`Eliminated` is recorded by the protocol layer, which is the one that
 /// skips generating the ack.)
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum CircuitOutcome {
     /// Travelled on its own circuit.
     OnCircuit,
@@ -63,17 +59,22 @@ pub enum CircuitOutcome {
     NotEligible,
     /// `L1_DATA_ACK` never sent thanks to a complete circuit (§4.6).
     Eliminated,
+    /// Committed to a circuit, but an injected fault broke it; the reply
+    /// fell back to the packet-switched pipeline (and was retransmitted
+    /// end-to-end if flits were lost).
+    FaultDegraded,
 }
 
 impl CircuitOutcome {
-    /// All outcomes in Figure 6 order.
-    pub const ALL: [CircuitOutcome; 6] = [
+    /// All outcomes in Figure 6 order (plus the fault-degradation bucket).
+    pub const ALL: [CircuitOutcome; 7] = [
         CircuitOutcome::OnCircuit,
         CircuitOutcome::Failed,
         CircuitOutcome::Undone,
         CircuitOutcome::Scrounger,
         CircuitOutcome::NotEligible,
         CircuitOutcome::Eliminated,
+        CircuitOutcome::FaultDegraded,
     ];
 
     /// Figure 6 legend label.
@@ -85,6 +86,7 @@ impl CircuitOutcome {
             CircuitOutcome::Scrounger => "scrounger",
             CircuitOutcome::NotEligible => "not_eligible",
             CircuitOutcome::Eliminated => "eliminated",
+            CircuitOutcome::FaultDegraded => "fault_degraded",
         }
     }
 }
@@ -152,16 +154,15 @@ pub struct NocStats {
     pub cycles: u64,
     /// Total flits injected (for the flits/node/100-cycles load metric).
     pub flits_injected: u64,
+    /// Packets abandoned after exhausting end-to-end retransmission
+    /// attempts under fault injection. Zero when faults are disabled.
+    #[serde(default)]
+    pub dropped_packets: u64,
 }
 
 impl NocStats {
     /// Records a packet delivery with its latencies.
-    pub fn record_delivery(
-        &mut self,
-        class: MessageClass,
-        queueing: u64,
-        network: u64,
-    ) {
+    pub fn record_delivery(&mut self, class: MessageClass, queueing: u64, network: u64) {
         let group = MessageGroup::of(class);
         self.network_latency
             .entry(group)
@@ -187,6 +188,20 @@ impl NocStats {
     /// Records a reply outcome (Figure 6).
     pub fn record_outcome(&mut self, outcome: CircuitOutcome) {
         *self.outcomes.entry(outcome).or_insert(0) += 1;
+    }
+
+    /// Moves one previously recorded outcome into another bucket. Used
+    /// when a fault invalidates an outcome that was committed at enqueue
+    /// time (e.g. `OnCircuit` → `FaultDegraded`), keeping the Figure 6
+    /// denominator unchanged.
+    pub fn reclassify_outcome(&mut self, from: CircuitOutcome, to: CircuitOutcome) {
+        let counted = self.outcomes.get(&from).copied().unwrap_or(0) > 0;
+        if counted {
+            *self.outcomes.entry(from).or_insert(0) -= 1;
+        }
+        // Even if the `from` bucket was emptied by a stats reset between
+        // enqueue and delivery, still record where the reply ended up.
+        *self.outcomes.entry(to).or_insert(0) += 1;
     }
 
     /// Total replies classified (the Figure 6 denominator).
@@ -247,6 +262,7 @@ impl NocStats {
         self.tables.merge(&other.tables);
         self.cycles += other.cycles;
         self.flits_injected += other.flits_injected;
+        self.dropped_packets += other.dropped_packets;
     }
 
     /// Total packets injected across classes.
@@ -266,12 +282,30 @@ mod tests {
 
     #[test]
     fn group_classification() {
-        assert_eq!(MessageGroup::of(MessageClass::L1Request), MessageGroup::Request);
-        assert_eq!(MessageGroup::of(MessageClass::WbData), MessageGroup::Request);
-        assert_eq!(MessageGroup::of(MessageClass::L2Reply), MessageGroup::CircuitRep);
-        assert_eq!(MessageGroup::of(MessageClass::MemoryReply), MessageGroup::CircuitRep);
-        assert_eq!(MessageGroup::of(MessageClass::L1DataAck), MessageGroup::NoCircuitRep);
-        assert_eq!(MessageGroup::of(MessageClass::L1ToL1), MessageGroup::NoCircuitRep);
+        assert_eq!(
+            MessageGroup::of(MessageClass::L1Request),
+            MessageGroup::Request
+        );
+        assert_eq!(
+            MessageGroup::of(MessageClass::WbData),
+            MessageGroup::Request
+        );
+        assert_eq!(
+            MessageGroup::of(MessageClass::L2Reply),
+            MessageGroup::CircuitRep
+        );
+        assert_eq!(
+            MessageGroup::of(MessageClass::MemoryReply),
+            MessageGroup::CircuitRep
+        );
+        assert_eq!(
+            MessageGroup::of(MessageClass::L1DataAck),
+            MessageGroup::NoCircuitRep
+        );
+        assert_eq!(
+            MessageGroup::of(MessageClass::L1ToL1),
+            MessageGroup::NoCircuitRep
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::flit::PacketSpec;
 use crate::network::Network;
-use rcsim_core::{MessageClass, NodeId};
 use rand::Rng;
+use rcsim_core::{MessageClass, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Spatial traffic pattern.
@@ -50,9 +50,16 @@ impl Generator {
     }
 
     /// Chooses a destination for `src` under the pattern.
+    ///
+    /// On a degenerate mesh with fewer than two nodes there is no valid
+    /// destination; `src` is returned and [`Generator::step`] skips the
+    /// self-addressed packet.
     pub fn destination<R: Rng>(&self, net: &Network, src: NodeId, rng: &mut R) -> NodeId {
         let mesh = net.config().mesh;
         let n = mesh.nodes() as u16;
+        if n < 2 {
+            return src;
+        }
         match self.pattern {
             Pattern::UniformRandom => loop {
                 let d = NodeId(rng.gen_range(0..n));
@@ -89,10 +96,18 @@ impl Generator {
     }
 
     /// Runs one injection step: every node flips its Bernoulli coin.
+    /// Out-of-range injection rates are clamped to `[0, 1]` rather than
+    /// panicking — a sweep script overshooting saturation degrades to
+    /// every-cycle injection.
     pub fn step<R: Rng>(&self, net: &mut Network, rng: &mut R, next_block: &mut u64) {
         let nodes = net.config().mesh.nodes() as u16;
+        let rate = if self.injection_rate.is_finite() {
+            self.injection_rate.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         for s in 0..nodes {
-            if rng.gen_bool(self.injection_rate) {
+            if rng.gen_bool(rate) {
                 let src = NodeId(s);
                 let dst = self.destination(net, src, rng);
                 if src == dst {

@@ -24,9 +24,7 @@ fn run(n: &mut Network, cycles: u64) {
 
 /// Sends a request, waits for delivery, returns the circuit key.
 fn send_request(n: &mut Network, src: u16, dst: u16, block: u64) -> CircuitKey {
-    n.inject(
-        PacketSpec::new(NodeId(src), NodeId(dst), MessageClass::L1Request).with_block(block),
-    );
+    n.inject(PacketSpec::new(NodeId(src), NodeId(dst), MessageClass::L1Request).with_block(block));
     for _ in 0..200 {
         n.tick();
         let d = n.take_delivered(NodeId(dst));
@@ -58,7 +56,11 @@ fn send_reply(n: &mut Network, src: u16, dst: u16, block: u64) -> (u64, bool, bo
         let d = n.take_delivered(NodeId(dst));
         if !d.is_empty() {
             assert_eq!(d[0].class, MessageClass::L2Reply);
-            return (d[0].delivered_at - d[0].injected_at, d[0].rode_circuit, committed);
+            return (
+                d[0].delivered_at - d[0].injected_at,
+                d[0].rode_circuit,
+                committed,
+            );
         }
     }
     panic!("reply {src}->{dst} never delivered");
@@ -84,7 +86,11 @@ fn reply_rides_complete_circuit_at_two_cycles_per_hop() {
     send_request(&mut n, 0, 1, 0x40);
     let (lat1, rode1, _) = send_reply(&mut n, 1, 0, 0x40);
     assert!(rode1);
-    assert_eq!(lat3 - lat1, 4, "2 cycles per extra hop (1-hop {lat1}, 3-hop {lat3})");
+    assert_eq!(
+        lat3 - lat1,
+        4,
+        "2 cycles per extra hop (1-hop {lat1}, 3-hop {lat3})"
+    );
 }
 
 #[test]
@@ -210,9 +216,15 @@ fn fragmented_partial_circuit_still_delivers() {
     let k1 = send_request(&mut n, 4, 6, 0x40);
     let k2 = send_request(&mut n, 4, 9, 0x80);
     assert!(n.has_circuit_origin(NodeId(6), k1));
-    assert!(n.has_circuit_origin(NodeId(9), k2), "fragmented keeps partial prefixes");
+    assert!(
+        n.has_circuit_origin(NodeId(9), k2),
+        "fragmented keeps partial prefixes"
+    );
     let (_, _, committed) = send_reply(&mut n, 9, 4, 0x80);
-    assert!(!committed, "fragmented never commits (NoAck needs complete)");
+    assert!(
+        !committed,
+        "fragmented never commits (NoAck needs complete)"
+    );
     let (lat, rode, _) = send_reply(&mut n, 6, 4, 0x40);
     assert!(rode, "fully reserved fragmented circuit rides");
     assert!(lat < 30);
@@ -224,7 +236,10 @@ fn ideal_mode_builds_conflicting_circuits() {
     let k1 = send_request(&mut n, 4, 6, 0x40);
     let k2 = send_request(&mut n, 4, 9, 0x80);
     assert!(n.has_circuit_origin(NodeId(6), k1));
-    assert!(n.has_circuit_origin(NodeId(9), k2), "ideal never fails reservations");
+    assert!(
+        n.has_circuit_origin(NodeId(9), k2),
+        "ideal never fails reservations"
+    );
     let (_, rode1, _) = send_reply(&mut n, 6, 4, 0x40);
     let (_, rode2, _) = send_reply(&mut n, 9, 4, 0x80);
     assert!(rode1 && rode2);
@@ -238,7 +253,10 @@ fn timed_circuit_rides_when_prompt() {
     // 7-cycle turnaround the request advertised: the window is met.
     run(&mut n, 7);
     let (_, rode, committed) = send_reply(&mut n, 15, 0, 0x40);
-    assert!(rode && committed, "prompt reply must meet the exact timed window");
+    assert!(
+        rode && committed,
+        "prompt reply must meet the exact timed window"
+    );
     let s = n.stats();
     assert_eq!(s.outcomes.get(&CircuitOutcome::OnCircuit), Some(&1));
 }
@@ -261,7 +279,10 @@ fn slack_tolerates_moderate_delay() {
     send_request(&mut n, 0, 15, 0x40);
     run(&mut n, 7 + 15);
     let (_, rode, committed) = send_reply(&mut n, 15, 0, 0x40);
-    assert!(rode && committed, "slack must absorb a 15-cycle turnaround overrun");
+    assert!(
+        rode && committed,
+        "slack must absorb a 15-cycle turnaround overrun"
+    );
 }
 
 #[test]
@@ -272,7 +293,13 @@ fn timed_windows_free_table_capacity() {
     send_request(&mut n, 0, 15, 0x40);
     run(&mut n, 400);
     // Five new circuits through the same column still succeed.
-    for (i, block) in [(1u16, 0x100u64), (2, 0x140), (4, 0x180), (5, 0x1c0), (6, 0x200)] {
+    for (i, block) in [
+        (1u16, 0x100u64),
+        (2, 0x140),
+        (4, 0x180),
+        (5, 0x1c0),
+        (6, 0x200),
+    ] {
         let key = send_request(&mut n, i, 15, block);
         let _ = key;
     }
@@ -350,7 +377,11 @@ fn latency_groups_are_tracked() {
     let mut n = net(MechanismConfig::complete());
     send_request(&mut n, 0, 15, 0x40);
     send_reply(&mut n, 15, 0, 0x40);
-    n.inject(PacketSpec::new(NodeId(3), NodeId(12), MessageClass::L1InvAck));
+    n.inject(PacketSpec::new(
+        NodeId(3),
+        NodeId(12),
+        MessageClass::L1InvAck,
+    ));
     run(&mut n, 200);
     let s = n.stats();
     assert_eq!(s.network_latency[&MessageGroup::Request].count(), 1);
@@ -372,7 +403,10 @@ fn activity_counters_move() {
     assert!(a.buffer_writes > 0);
     assert!(a.xbar_traversals > 0);
     assert!(a.link_flits > 0);
-    assert!(a.circuit_writes >= 7, "one reservation per router on a 6-hop path");
+    assert!(
+        a.circuit_writes >= 7,
+        "one reservation per router on a 6-hop path"
+    );
     assert!(a.circuit_lookups > 0);
     assert!(a.vc_allocs > 0 && a.sw_allocs > 0 && a.credits > 0);
 }
@@ -382,7 +416,7 @@ fn borrowing_scrounger_leaves_circuit_for_its_reply() {
     let mut n = net8(MechanismConfig::reuse_borrow_noack());
     send_request(&mut n, 0, 63, 0x40);
     run(&mut n, 150); // pass the scrounge idle-age gate
-    // A scrounger borrows the 63 -> 0 circuit to get near node 1.
+                      // A scrounger borrows the 63 -> 0 circuit to get near node 1.
     n.inject(PacketSpec::new(NodeId(63), NodeId(1), MessageClass::L1InvAck).with_block(0x999));
     run(&mut n, 120);
     assert_eq!(n.take_delivered(NodeId(1)).len(), 1);

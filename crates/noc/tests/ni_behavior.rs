@@ -6,7 +6,11 @@ use rcsim_core::{MechanismConfig, Mesh, MessageClass, NodeId};
 use rcsim_noc::{CircuitOutcome, Network, NocConfig, PacketSpec};
 
 fn net(mechanism: MechanismConfig) -> Network {
-    Network::new(NocConfig::paper_baseline(Mesh::new(4, 4).unwrap(), mechanism)).unwrap()
+    Network::new(NocConfig::paper_baseline(
+        Mesh::new(4, 4).unwrap(),
+        mechanism,
+    ))
+    .unwrap()
 }
 
 fn run(n: &mut Network, cycles: u64) {
@@ -149,8 +153,14 @@ fn timed_commit_respects_queue_occupancy() {
         }
     }
     assert_eq!(got, 2);
-    let k1 = CircuitKey { requestor: NodeId(0), block: 0x40 };
-    let k2 = CircuitKey { requestor: NodeId(4), block: 0x80 };
+    let k1 = CircuitKey {
+        requestor: NodeId(0),
+        block: 0x40,
+    };
+    let k2 = CircuitKey {
+        requestor: NodeId(4),
+        block: 0x80,
+    };
     run(&mut n, 7);
     let (_, c1) = n.inject(
         PacketSpec::new(NodeId(15), NodeId(0), MessageClass::L2Reply)
@@ -182,13 +192,15 @@ fn queueing_latency_is_measured() {
     let mut n = net(MechanismConfig::baseline());
     for i in 0..8u64 {
         n.inject(
-            PacketSpec::new(NodeId(0), NodeId(15), MessageClass::L2Reply)
-                .with_block((i + 1) * 64),
+            PacketSpec::new(NodeId(0), NodeId(15), MessageClass::L2Reply).with_block((i + 1) * 64),
         );
     }
     run(&mut n, 1_500);
     let s = n.stats();
     let q = &s.queueing_latency[&rcsim_noc::MessageGroup::CircuitRep];
     assert_eq!(q.count(), 8);
-    assert!(q.max().unwrap_or(0.0) > 0.0, "later packets must have queued");
+    assert!(
+        q.max().unwrap_or(0.0) > 0.0,
+        "later packets must have queued"
+    );
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rcsim_core::{MechanismConfig, Mesh, MessageClass, NodeId};
-use rcsim_noc::{Network, NocConfig, PacketSpec};
+use rcsim_noc::{FaultConfig, Network, NocConfig, PacketSpec};
 use std::collections::HashMap;
 
 fn any_mechanism() -> impl Strategy<Value = MechanismConfig> {
@@ -73,6 +73,65 @@ proptest! {
             }
         }
         prop_assert_eq!(got, expected);
+    }
+
+    /// Conservation holds with the fault layer active: every injected
+    /// packet is either delivered (possibly after retransmission) or
+    /// accounted as dropped-after-retries — nothing vanishes silently.
+    #[test]
+    fn packets_conserved_under_faults(
+        mechanism in any_mechanism(),
+        drop_rate in 0.0f64..0.15,
+        corrupt_rate in 0.0f64..0.15,
+        fault_seed in 0u64..1_000,
+        packets in prop::collection::vec((0u16..16, 0u16..16, any_class(), 0u64..64), 1..60),
+    ) {
+        let mesh = Mesh::new(4, 4).expect("valid");
+        let faults = FaultConfig {
+            link_drop_rate: drop_rate,
+            link_corrupt_rate: corrupt_rate,
+            seed: fault_seed,
+            ..FaultConfig::none()
+        };
+        let mut net = Network::with_faults(
+            NocConfig::paper_baseline(mesh, mechanism), faults,
+        ).expect("valid");
+        let mut expected = 0u64;
+        for (i, (src, dst, class, stagger)) in packets.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            for _ in 0..(*stagger % 4) {
+                net.tick();
+            }
+            net.inject(
+                PacketSpec::new(NodeId(*src), NodeId(*dst), *class)
+                    .with_block((i as u64 + 1) * 64)
+                    .with_token(i as u64),
+            );
+            expected += 1;
+        }
+        for _ in 0..40_000 {
+            net.tick();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        prop_assert!(
+            net.is_quiescent(),
+            "faulty network failed to drain under {}", mechanism.label()
+        );
+        let s = net.stats();
+        let delivered: u64 = (0..16u16)
+            .map(|d| net.take_delivered(NodeId(d)).len() as u64)
+            .sum();
+        prop_assert_eq!(s.total_injected(), expected);
+        prop_assert_eq!(
+            s.total_injected(),
+            delivered + s.dropped_packets,
+            "injected must equal delivered + dropped-after-retries ({:?})",
+            net.fault_stats()
+        );
     }
 
     /// Network latency never beats the physical lower bound:

@@ -91,7 +91,8 @@ fn drive(mechanism: MechanismConfig, cores: u16, requests: usize, seed: u64) {
     }
 
     assert_eq!(
-        completed, requests,
+        completed,
+        requests,
         "{} lost replies after {cycle} cycles ({})",
         requests - completed,
         mechanism.label()
@@ -109,7 +110,11 @@ fn drive(mechanism: MechanismConfig, cores: u16, requests: usize, seed: u64) {
         "undelivered packets under {}",
         mechanism.label()
     );
-    assert!(net.is_quiescent(), "network not quiescent under {}", mechanism.label());
+    assert!(
+        net.is_quiescent(),
+        "network not quiescent under {}",
+        mechanism.label()
+    );
 }
 
 #[test]

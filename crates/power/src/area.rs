@@ -141,7 +141,11 @@ mod tests {
                 .map(|(_, s)| *s)
                 .unwrap()
         };
-        assert!((0.35..=0.45).contains(&pct("buffers")), "buffers {}", pct("buffers"));
+        assert!(
+            (0.35..=0.45).contains(&pct("buffers")),
+            "buffers {}",
+            pct("buffers")
+        );
         assert!((0.22..=0.34).contains(&pct("crossbar")));
         assert!((0.08..=0.16).contains(&pct("allocators")));
         assert_eq!(pct("circuit_tables"), 0.0);
@@ -153,7 +157,10 @@ mod tests {
             let frag = area_savings(&MechanismConfig::fragmented(), cores);
             let complete = area_savings(&MechanismConfig::complete(), cores);
             let timed = area_savings(&MechanismConfig::timed_noack(), cores);
-            assert!(frag < -0.10, "fragmented grows the router ({frag:.3}, {cores} cores)");
+            assert!(
+                frag < -0.10,
+                "fragmented grows the router ({frag:.3}, {cores} cores)"
+            );
             assert!(
                 (0.03..=0.10).contains(&complete),
                 "complete saves ~6% ({complete:.3}, {cores} cores)"

@@ -71,8 +71,7 @@ impl EnergyModel {
             + (a.circuit_writes + a.circuit_lookups) as f64 * self.table_pj;
         let link_dynamic = a.link_flits as f64 * self.link_pj;
         let area = RouterArea::for_mechanism(mechanism, width * height).total();
-        let router_static =
-            stats.cycles as f64 * routers * area * self.router_static_pj_per_area;
+        let router_static = stats.cycles as f64 * routers * area * self.router_static_pj_per_area;
         let link_static = stats.cycles as f64 * links * self.link_static_pj;
         EnergyBreakdown {
             router_dynamic_pj: router_dynamic,
@@ -132,9 +131,7 @@ mod tests {
             let src = NodeId((i % 16) as u16);
             let dst = NodeId(((i * 7 + 3) % 16) as u16);
             if src != dst {
-                net.inject(
-                    PacketSpec::new(src, dst, MessageClass::L1Request).with_block(i * 64),
-                );
+                net.inject(PacketSpec::new(src, dst, MessageClass::L1Request).with_block(i * 64));
             }
             for _ in 0..25 {
                 net.tick();
@@ -149,12 +146,8 @@ mod tests {
     #[test]
     fn static_dominates_at_light_load() {
         let stats = run_light_load(MechanismConfig::baseline());
-        let e = EnergyModel::default_32nm().network_energy(
-            &stats,
-            &MechanismConfig::baseline(),
-            4,
-            4,
-        );
+        let e =
+            EnergyModel::default_32nm().network_energy(&stats, &MechanismConfig::baseline(), 4, 4);
         assert!(
             e.static_share() > 0.5,
             "static share {} should dominate at light load",

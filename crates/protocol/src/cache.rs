@@ -25,7 +25,10 @@ impl CacheConfig {
     pub fn from_capacity(bytes: usize, ways: usize) -> Self {
         let lines = bytes / 64;
         let sets = lines / ways;
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         Self {
             sets,
             ways,
@@ -119,7 +122,8 @@ impl<M> CacheArray<M> {
     /// Metadata of a cached block, without touching recency.
     pub fn peek(&self, block: u64) -> Option<&M> {
         let s = self.set_of(block);
-        self.find(block).map(|w| &self.sets[s].ways[w].as_ref().expect("found").meta)
+        self.find(block)
+            .map(|w| &self.sets[s].ways[w].as_ref().expect("found").meta)
     }
 
     /// Metadata of a cached block, updating recency.
@@ -153,7 +157,10 @@ impl<M> CacheArray<M> {
     ///
     /// Panics if the block is already cached.
     pub fn insert(&mut self, block: u64, meta: M) -> Option<(u64, M)> {
-        assert!(self.find(block).is_none(), "block {block:#x} already cached");
+        assert!(
+            self.find(block).is_none(),
+            "block {block:#x} already cached"
+        );
         let s = self.set_of(block);
         let tag = self.tag_of(block);
         let set = &mut self.sets[s];
@@ -234,7 +241,11 @@ mod tests {
     use super::*;
 
     fn small() -> CacheArray<u32> {
-        CacheArray::new(CacheConfig { sets: 4, ways: 2, index_shift: 0 })
+        CacheArray::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            index_shift: 0,
+        })
     }
 
     #[test]
@@ -276,7 +287,11 @@ mod tests {
 
     #[test]
     fn tag_reconstruction_is_exact() {
-        let mut c = CacheArray::new(CacheConfig { sets: 8, ways: 2, index_shift: 0 });
+        let mut c = CacheArray::new(CacheConfig {
+            sets: 8,
+            ways: 2,
+            index_shift: 0,
+        });
         // At most two blocks per set (sets = 8, ways = 2): no evictions.
         for block in [0u64, 7, 9, 255, (1 << 30) + 1] {
             c.insert(block, block as u32);

@@ -32,7 +32,11 @@ impl ProtocolConfig {
     /// bank-select bits (lines interleave over all tiles).
     pub fn paper_defaults(mesh: &Mesh) -> Self {
         let bank_bits = (mesh.nodes() as u64).trailing_zeros();
-        let bank_bits = if mesh.nodes().is_power_of_two() { bank_bits } else { 0 };
+        let bank_bits = if mesh.nodes().is_power_of_two() {
+            bank_bits
+        } else {
+            0
+        };
         Self {
             l1: CacheConfig::from_capacity(32 * 1024, 4),
             l2: CacheConfig::from_capacity(1024 * 1024, 16).with_index_shift(bank_bits),
@@ -93,8 +97,7 @@ mod tests {
     fn home_interleaves_over_all_tiles() {
         let mesh = Mesh::new(4, 4).unwrap();
         let cfg = ProtocolConfig::paper_defaults(&mesh);
-        let homes: std::collections::HashSet<_> =
-            (0..64u64).map(|b| cfg.home(&mesh, b)).collect();
+        let homes: std::collections::HashSet<_> = (0..64u64).map(|b| cfg.home(&mesh, b)).collect();
         assert_eq!(homes.len(), 16);
         // Stable mapping.
         assert_eq!(cfg.home(&mesh, 5), cfg.home(&mesh, 5 + 16));

@@ -132,7 +132,10 @@ impl L1Cache {
         write_value: Option<u64>,
         port: &mut dyn Port,
     ) -> Access {
-        assert!(self.miss.is_none(), "core accessed the L1 while a miss is pending");
+        assert!(
+            self.miss.is_none(),
+            "core accessed the L1 while a miss is pending"
+        );
         if let Some(line) = self.array.get_mut(block) {
             match (write, line.state) {
                 (false, _) => {
@@ -195,7 +198,12 @@ impl L1Cache {
 
     /// Handles a message addressed to this L1. `rode_circuit` is the NoC's
     /// report of whether the message arrived on a complete circuit.
-    pub fn handle(&mut self, msg: &Msg, rode_circuit: bool, port: &mut dyn Port) -> Option<MissDone> {
+    pub fn handle(
+        &mut self,
+        msg: &Msg,
+        rode_circuit: bool,
+        port: &mut dyn Port,
+    ) -> Option<MissDone> {
         match msg.class {
             MessageClass::L2Reply | MessageClass::L1ToL1 => self.fill(msg, rode_circuit, port),
             MessageClass::Invalidation => {
@@ -221,10 +229,7 @@ impl L1Cache {
             .unwrap_or_else(|| panic!("L1 {} got data with no miss pending", self.node));
         assert_eq!(pending.block, msg.block, "data reply for the wrong block");
         let (state, data) = match pending.kind {
-            ReqKind::GetX => (
-                L1State::Modified,
-                pending.write_value.unwrap_or(msg.data),
-            ),
+            ReqKind::GetX => (L1State::Modified, pending.write_value.unwrap_or(msg.data)),
             ReqKind::GetS => (
                 if msg.exclusive {
                     L1State::Exclusive
@@ -242,13 +247,17 @@ impl L1Cache {
         // Acknowledge to the home bank — unless the data came over a
         // complete circuit and the protocol elides the ACK (§4.6; the L2
         // self-acknowledged when the reply committed to the circuit).
-        let elide =
-            self.cfg.eliminate_acks && rode_circuit && msg.class == MessageClass::L2Reply;
+        let elide = self.cfg.eliminate_acks && rode_circuit && msg.class == MessageClass::L2Reply;
         if elide {
             self.stats.acks_elided += 1;
         } else {
             port.send(
-                Msg::new(MessageClass::L1DataAck, self.node, self.home(msg.block), msg.block),
+                Msg::new(
+                    MessageClass::L1DataAck,
+                    self.node,
+                    self.home(msg.block),
+                    msg.block,
+                ),
                 1,
             );
         }
@@ -266,8 +275,13 @@ impl L1Cache {
                 // The dirty data itself is the acknowledgement: the L2
                 // counts a WbData from a pending node as its inv-ack.
                 port.send(
-                    Msg::new(MessageClass::WbData, self.node, self.home(msg.block), msg.block)
-                        .with_data(line.data),
+                    Msg::new(
+                        MessageClass::WbData,
+                        self.node,
+                        self.home(msg.block),
+                        msg.block,
+                    )
+                    .with_data(line.data),
                     self.cfg.l2_hit_latency,
                 );
             }
@@ -308,10 +322,7 @@ impl L1Cache {
                             self.cfg.l2_hit_latency,
                         );
                     }
-                    self.array
-                        .peek_mut(msg.block)
-                        .expect("still cached")
-                        .state = L1State::Shared;
+                    self.array.peek_mut(msg.block).expect("still cached").state = L1State::Shared;
                 }
                 ReqKind::GetX => {
                     self.array.remove(msg.block);
@@ -429,7 +440,10 @@ mod tests {
         assert_eq!(done.value, 42);
         // Ack sent (no elision configured).
         assert_eq!(p.sent.last().unwrap().class, MessageClass::L1DataAck);
-        assert_eq!(c.access(0x100, false, None, &mut p), Access::Hit { value: 42 });
+        assert_eq!(
+            c.access(0x100, false, None, &mut p),
+            Access::Hit { value: 42 }
+        );
     }
 
     #[test]
@@ -440,7 +454,10 @@ mod tests {
         let msg = reply(&c, 0x100, 1).with_exclusive();
         c.handle(&msg, false, &mut p);
         // E -> M silently.
-        assert_eq!(c.access(0x100, true, Some(7), &mut p), Access::Hit { value: 7 });
+        assert_eq!(
+            c.access(0x100, true, Some(7), &mut p),
+            Access::Hit { value: 7 }
+        );
         assert_eq!(c.probe(0x100), Some((true, 7)));
     }
 
@@ -477,7 +494,11 @@ mod tests {
         c.access(0x100, false, None, &mut p);
         let before = p.sent.len();
         c.handle(&reply(&c, 0x100, 1), true, &mut p);
-        assert_eq!(p.sent.len(), before, "no L1_DATA_ACK when the reply rode a circuit");
+        assert_eq!(
+            p.sent.len(),
+            before,
+            "no L1_DATA_ACK when the reply rode a circuit"
+        );
         assert_eq!(c.stats().acks_elided, 1);
 
         // But an L1_TO_L1 is always acknowledged.
@@ -502,7 +523,11 @@ mod tests {
             c.handle(&reply(&c, b, 0), false, &mut p);
         }
         assert_eq!(c.stats().writebacks, 1);
-        let wb = *p.sent.iter().find(|m| m.class == MessageClass::WbData).unwrap();
+        let wb = *p
+            .sent
+            .iter()
+            .find(|m| m.class == MessageClass::WbData)
+            .unwrap();
         assert_eq!(wb.block, 0x100);
         assert_eq!(wb.data, 77);
 
@@ -557,7 +582,10 @@ mod tests {
         c.handle(&fwd, false, &mut p);
         assert_eq!(c.probe(0x100), None);
         let d = p.sent.last().unwrap();
-        assert_eq!((d.class, d.dst, d.data), (MessageClass::L1ToL1, NodeId(8), 5));
+        assert_eq!(
+            (d.class, d.dst, d.data),
+            (MessageClass::L1ToL1, NodeId(8), 5)
+        );
     }
 
     #[test]
@@ -571,7 +599,10 @@ mod tests {
             .with_requestor(NodeId(8));
         c.handle(&fwd, false, &mut p);
         let classes: Vec<_> = p.sent.iter().map(|m| m.class).collect();
-        assert!(classes.contains(&MessageClass::WbData), "dirty data synced to L2");
+        assert!(
+            classes.contains(&MessageClass::WbData),
+            "dirty data synced to L2"
+        );
         assert!(classes.contains(&MessageClass::L1ToL1));
         assert_eq!(c.probe(0x100), Some((false, 5)), "downgraded to Shared");
     }

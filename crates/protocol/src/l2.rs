@@ -23,7 +23,10 @@ fn nodes_of(mask: u64) -> impl Iterator<Item = NodeId> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Busy {
     /// Data reply sent; waiting for the requestor's `L1_DATA_ACK`.
-    WaitDataAck { requestor: NodeId, wb_ack_owed: Option<NodeId> },
+    WaitDataAck {
+        requestor: NodeId,
+        wb_ack_owed: Option<NodeId>,
+    },
     /// Forward sent to the old owner; waiting for the requestor's ack.
     WaitFwdAck {
         requestor: NodeId,
@@ -154,7 +157,10 @@ impl L2Bank {
             && self.wb_pending.is_empty()
             && self.inbox.is_empty()
             && self.stalled.is_empty()
-            && self.array.iter().all(|(_, l)| l.busy.is_none() && l.queue.is_empty())
+            && self
+                .array
+                .iter()
+                .all(|(_, l)| l.busy.is_none() && l.queue.is_empty())
     }
 
     fn set_index(&self, block: u64) -> usize {
@@ -235,7 +241,10 @@ impl L2Bank {
         let kind = msg.req.expect("L1 requests carry their kind");
         let block = msg.block;
         self.stats.hits += 1;
-        let line = self.array.get_mut(block).expect("serve requires a cached line");
+        let line = self
+            .array
+            .get_mut(block)
+            .expect("serve requires a cached line");
 
         if line.owner == Some(requestor) {
             if msg.wb_race {
@@ -288,10 +297,7 @@ impl L2Bank {
                     });
                     for n in nodes_of(others) {
                         self.stats.invalidations += 1;
-                        port.send(
-                            Msg::new(MessageClass::Invalidation, self.node, n, block),
-                            1,
-                        );
+                        port.send(Msg::new(MessageClass::Invalidation, self.node, n, block), 1);
                     }
                 } else {
                     line.sharers = 0;
@@ -314,7 +320,8 @@ impl L2Bank {
         wb_ack_owed: Option<NodeId>,
         port: &mut dyn Port,
     ) {
-        let mut reply = Msg::new(MessageClass::L2Reply, self.node, requestor, block).with_data(data);
+        let mut reply =
+            Msg::new(MessageClass::L2Reply, self.node, requestor, block).with_data(data);
         if exclusive {
             reply = reply.with_exclusive();
         }
@@ -345,7 +352,10 @@ impl L2Bank {
             .peek_mut(block)
             .unwrap_or_else(|| panic!("L2 {} data-ack for absent line {block:#x}", self.node));
         match line.busy {
-            Some(Busy::WaitDataAck { requestor, wb_ack_owed }) => {
+            Some(Busy::WaitDataAck {
+                requestor,
+                wb_ack_owed,
+            }) => {
                 assert_eq!(requestor, msg.src, "ack from the wrong node");
                 line.busy = None;
                 if let Some(owner) = wb_ack_owed {
@@ -440,8 +450,8 @@ impl L2Bank {
                 debug_assert!(!wb_ack_owed, "a received WB contradicts a stale forward");
                 line.owner = None;
                 line.busy = None;
-                let retry = Msg::new(MessageClass::L1Request, requestor, self.node, block)
-                    .with_req(kind);
+                let retry =
+                    Msg::new(MessageClass::L1Request, requestor, self.node, block).with_req(kind);
                 line.queue.push_front(retry);
                 self.drain_line_queue(block, port);
             }
@@ -503,7 +513,10 @@ impl L2Bank {
                     wb_ack_owed: true,
                 });
             }
-            Some(Busy::WaitDataAck { requestor, wb_ack_owed }) if requestor == from => {
+            Some(Busy::WaitDataAck {
+                requestor,
+                wb_ack_owed,
+            }) if requestor == from => {
                 // The new owner evicted before its ack arrived (reply-VN /
                 // request-VN reordering). Absorb and defer the WB ack.
                 debug_assert!(wb_ack_owed.is_none());
@@ -534,11 +547,15 @@ impl L2Bank {
 
     fn drain_line_queue(&mut self, block: u64, port: &mut dyn Port) {
         loop {
-            let Some(line) = self.array.peek_mut(block) else { return };
+            let Some(line) = self.array.peek_mut(block) else {
+                return;
+            };
             if line.busy.is_some() {
                 return;
             }
-            let Some(msg) = line.queue.pop_front() else { return };
+            let Some(msg) = line.queue.pop_front() else {
+                return;
+            };
             self.stats.busy_wait_cycles += 1;
             self.serve(msg, port);
         }
@@ -661,7 +678,10 @@ impl L2Bank {
         let set = self.set_index(fetch_for);
         *self.reserved_ways.entry(set).or_insert(0) += 1;
         self.drop_victim(victim, port);
-        let mshr = self.mshrs.get_mut(&fetch_for).expect("fetch waiting on eviction");
+        let mshr = self
+            .mshrs
+            .get_mut(&fetch_for)
+            .expect("fetch waiting on eviction");
         mshr.evicting_victim = None;
         self.fetch_from_memory(fetch_for, port);
     }
@@ -808,14 +828,20 @@ mod tests {
         let sent = p.take();
         assert_eq!(sent.len(), 1);
         let r = &sent[0];
-        assert_eq!((r.class, r.dst, r.data), (MessageClass::L2Reply, NodeId(3), 42));
+        assert_eq!(
+            (r.class, r.dst, r.data),
+            (MessageClass::L2Reply, NodeId(3), 42)
+        );
         assert!(r.exclusive, "sole requestor gets Exclusive");
         assert_eq!(l2.probe(0x100), Some((Some(NodeId(3)), 0)));
 
         // Line is busy until the ack.
         l2.receive(gets(5, 0x100), p.now);
         settle(&mut l2, &mut p);
-        assert!(p.take().is_empty(), "second request queues behind the busy line");
+        assert!(
+            p.take().is_empty(),
+            "second request queues behind the busy line"
+        );
         l2.receive(ack(3, 0x100), p.now);
         settle(&mut l2, &mut p);
         // Now the queued GetS is served: owner 3 gets a forward.
@@ -844,7 +870,10 @@ mod tests {
         // Requestor 5 acks after receiving L1_TO_L1.
         l2.receive(ack(5, 0x100), p.now);
         settle(&mut l2, &mut p);
-        assert_eq!(l2.probe(0x100), Some((None, bit(NodeId(3)) | bit(NodeId(5)))));
+        assert_eq!(
+            l2.probe(0x100),
+            Some((None, bit(NodeId(3)) | bit(NodeId(5))))
+        );
 
         // A third GetS is now served directly from the bank, Shared.
         l2.receive(gets(7, 0x100), p.now);
@@ -923,7 +952,11 @@ mod tests {
         l2.receive(gets(5, 0x100), p.now);
         settle(&mut l2, &mut p);
         let sent = p.take();
-        assert_eq!(sent[0].class, MessageClass::FwdRequest, "line was not blocked");
+        assert_eq!(
+            sent[0].class,
+            MessageClass::FwdRequest,
+            "line was not blocked"
+        );
     }
 
     #[test]
@@ -942,7 +975,10 @@ mod tests {
         settle(&mut l2, &mut p);
         let sent = p.take();
         assert_eq!(sent.len(), 1);
-        assert_eq!((sent[0].class, sent[0].dst), (MessageClass::L2WbAck, NodeId(3)));
+        assert_eq!(
+            (sent[0].class, sent[0].dst),
+            (MessageClass::L2WbAck, NodeId(3))
+        );
         assert_eq!(l2.probe(0x100), Some((None, 0)));
     }
 
@@ -970,7 +1006,10 @@ mod tests {
         let sent = p.take();
         let classes: Vec<_> = sent.iter().map(|m| m.class).collect();
         assert!(classes.contains(&MessageClass::L2WbAck));
-        let reply = sent.iter().find(|m| m.class == MessageClass::L2Reply).unwrap();
+        let reply = sent
+            .iter()
+            .find(|m| m.class == MessageClass::L2Reply)
+            .unwrap();
         assert_eq!(reply.data, 7, "re-fetch sees the written-back data");
     }
 
@@ -994,7 +1033,10 @@ mod tests {
         l2.receive(gets(12, b9), p.now);
         settle(&mut l2, &mut p);
         let sent = p.take();
-        let inv = sent.iter().find(|m| m.class == MessageClass::Invalidation).unwrap();
+        let inv = sent
+            .iter()
+            .find(|m| m.class == MessageClass::Invalidation)
+            .unwrap();
         assert!(
             !sent.iter().any(|m| m.class == MessageClass::MemRequest),
             "fetch must wait until the victim's L1 copy is invalidated"
@@ -1008,7 +1050,9 @@ mod tests {
         );
         settle(&mut l2, &mut p);
         let sent = p.take();
-        assert!(sent.iter().any(|m| m.class == MessageClass::MemRequest && m.block == b9));
+        assert!(sent
+            .iter()
+            .any(|m| m.class == MessageClass::MemRequest && m.block == b9));
         assert!(l2.probe(victim).is_none());
     }
 
@@ -1027,7 +1071,10 @@ mod tests {
         l2.receive(gets(3, 0x100), p.now);
         settle(&mut l2, &mut p);
         let sent = p.take();
-        let r = sent.iter().find(|m| m.class == MessageClass::L2Reply).unwrap();
+        let r = sent
+            .iter()
+            .find(|m| m.class == MessageClass::L2Reply)
+            .unwrap();
         assert_eq!(r.data, 9);
         assert!(r.exclusive);
     }
@@ -1053,7 +1100,10 @@ mod tests {
         );
         settle(&mut l2, &mut p);
         let sent = p.take();
-        let r = sent.iter().find(|m| m.class == MessageClass::L2Reply).unwrap();
+        let r = sent
+            .iter()
+            .find(|m| m.class == MessageClass::L2Reply)
+            .unwrap();
         assert_eq!((r.dst, r.data), (NodeId(5), 9));
     }
 

@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn read_after_latency() {
         let mut mc = MemoryController::new(NodeId(0), 160);
-        let mut p = TestPort { now: 0, sent: vec![] };
+        let mut p = TestPort {
+            now: 0,
+            sent: vec![],
+        };
         mc.receive(
             Msg::new(MessageClass::MemRequest, NodeId(5), NodeId(0), 0x40),
             0,
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn write_then_read_returns_data() {
         let mut mc = MemoryController::new(NodeId(0), 10);
-        let mut p = TestPort { now: 0, sent: vec![] };
+        let mut p = TestPort {
+            now: 0,
+            sent: vec![],
+        };
         mc.receive(
             Msg::new(MessageClass::MemWbData, NodeId(5), NodeId(0), 0x40).with_data(77),
             0,

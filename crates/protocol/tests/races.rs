@@ -79,9 +79,7 @@ impl Cluster {
                     | MessageClass::L1DataAck
                     | MessageClass::L1InvAck
                     | MessageClass::MemoryReply => self.l2.receive(msg, now),
-                    MessageClass::MemRequest | MessageClass::MemWbData => {
-                        self.mc.receive(msg, now)
-                    }
+                    MessageClass::MemRequest | MessageClass::MemWbData => self.mc.receive(msg, now),
                     _ => {
                         let l1 = &mut self.l1s[msg.dst.index()];
                         l1.handle(&msg, false, &mut self.wire);
@@ -128,7 +126,11 @@ fn read_write_read_propagates_values() {
     assert_eq!(c.access(1, B, false, None), 0, "cold line reads zero");
     c.access(2, B, true, Some(77));
     c.settle();
-    assert_eq!(c.access(1, B, false, None), 77, "reader sees the writer's value");
+    assert_eq!(
+        c.access(1, B, false, None),
+        77,
+        "reader sees the writer's value"
+    );
 }
 
 #[test]
@@ -157,7 +159,11 @@ fn many_readers_then_writer_invalidates_all() {
     c.access(5, B, true, Some(10));
     c.settle();
     for r in 0..5 {
-        assert_eq!(c.l1s[r].probe(B), None, "reader {r} still holds a stale copy");
+        assert_eq!(
+            c.l1s[r].probe(B),
+            None,
+            "reader {r} still holds a stale copy"
+        );
     }
     assert_eq!(c.access(2, B, false, None), 10);
 }
@@ -227,7 +233,10 @@ fn upgrade_losing_to_remote_write_still_completes() {
     // Exactly one writable copy remains and it holds one of the values.
     let w0 = c.l1s[0].probe(B).filter(|(w, _)| *w);
     let w1 = c.l1s[1].probe(B).filter(|(w, _)| *w);
-    assert!(w0.is_some() ^ w1.is_some(), "exactly one owner after racing writes");
+    assert!(
+        w0.is_some() ^ w1.is_some(),
+        "exactly one owner after racing writes"
+    );
     let v = w0.or(w1).expect("one owner").1;
     assert!(v == 100 || v == 200, "value {v}");
     // And the mesh invariant: home bank knows the owner.

@@ -6,7 +6,10 @@
 use crate::core_model::{Core, CoreAction};
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::{Cycle, MechanismConfig, Mesh, MessageClass, NodeId};
-use rcsim_noc::{CircuitOutcome, Network, NocConfig, NocStats, PacketSpec};
+use rcsim_noc::{
+    CircuitOutcome, FaultConfig, HealthReport, Network, NocConfig, NocStats, PacketSpec,
+    WatchdogConfig,
+};
 use rcsim_protocol::{Access, L1Cache, L2Bank, MemoryController, Msg, Port, ProtocolConfig};
 use rcsim_workload::Workload;
 use std::collections::{HashMap, HashSet};
@@ -104,14 +107,39 @@ impl Chip {
     pub fn new(
         mesh: Mesh,
         mechanism: MechanismConfig,
+        proto_cfg: ProtocolConfig,
+        workload: &Workload,
+    ) -> Result<Self, rcsim_core::ConfigError> {
+        Chip::with_faults(
+            mesh,
+            mechanism,
+            proto_cfg,
+            workload,
+            FaultConfig::none(),
+            WatchdogConfig::default(),
+        )
+    }
+
+    /// Assembles a chip with a fault-injection configuration and watchdog
+    /// thresholds. `FaultConfig::none()` is exactly [`Chip::new`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates mechanism-configuration validation errors.
+    pub fn with_faults(
+        mesh: Mesh,
+        mechanism: MechanismConfig,
         mut proto_cfg: ProtocolConfig,
         workload: &Workload,
+        faults: FaultConfig,
+        watchdog: WatchdogConfig,
     ) -> Result<Self, rcsim_core::ConfigError> {
         mechanism.validate()?;
         assert_eq!(workload.cores(), mesh.nodes(), "one thread per core");
         proto_cfg.eliminate_acks = mechanism.eliminate_acks;
         proto_cfg.undo_on_l2_miss = mechanism.undo_on_l2_miss;
-        let net = Network::new(NocConfig::paper_baseline(mesh, mechanism))?;
+        let mut net = Network::with_faults(NocConfig::paper_baseline(mesh, mechanism), faults)?;
+        net.set_watchdog(watchdog);
         let cores = (0..mesh.nodes())
             .map(|i| Core::new(i as u16, workload.core_trace(i)))
             .collect();
@@ -163,7 +191,12 @@ impl Chip {
 
         // Cores issue L1 accesses.
         for i in 0..n {
-            if let CoreAction::Access { block, write, value } = self.cores[i].poll(now, l1_hit) {
+            if let CoreAction::Access {
+                block,
+                write,
+                value,
+            } = self.cores[i].poll(now, l1_hit)
+            {
                 let mut port = ChipPort {
                     net: &mut self.net,
                     payloads: &mut self.payloads,
@@ -206,7 +239,10 @@ impl Chip {
                         circuits_enabled,
                         track_undone,
                     };
-                    if self.l1s[i].handle(&msg, d.rode_circuit, &mut port).is_some() {
+                    if self.l1s[i]
+                        .handle(&msg, d.rode_circuit, &mut port)
+                        .is_some()
+                    {
                         self.cores[i].miss_done(now, l1_hit);
                     }
                 }
@@ -244,11 +280,28 @@ impl Chip {
         }
     }
 
-    /// Runs `cycles` cycles.
-    pub fn run(&mut self, cycles: u64) {
+    /// Runs `cycles` cycles, watching for lost progress. Returns the
+    /// liveness report as the error if the network watchdog declares a
+    /// stall (deadlock/livelock) along the way; the chip is left at the
+    /// cycle the stall was detected for post-mortem inspection.
+    ///
+    /// # Errors
+    ///
+    /// [`HealthReport`] with `stalled == true` when in-flight traffic
+    /// stopped moving for the watchdog's stall window.
+    pub fn run(&mut self, cycles: u64) -> Result<(), Box<HealthReport>> {
         for _ in 0..cycles {
             self.tick();
+            if self.net.stalled() {
+                return Err(Box::new(self.net.health()));
+            }
         }
+        Ok(())
+    }
+
+    /// A liveness snapshot of the network (see [`Network::health`]).
+    pub fn health(&self) -> HealthReport {
+        self.net.health()
     }
 
     /// Zeroes every statistic after warm-up (traffic in flight continues).
@@ -327,7 +380,10 @@ impl Chip {
         for (block, hs) in &holders {
             let writers: Vec<_> = hs.iter().filter(|(_, w, _)| *w).collect();
             if writers.len() > 1 {
-                violations.push(format!("block {block:#x}: {} writable copies", writers.len()));
+                violations.push(format!(
+                    "block {block:#x}: {} writable copies",
+                    writers.len()
+                ));
             }
             if writers.len() == 1 && hs.len() > 1 {
                 violations.push(format!(

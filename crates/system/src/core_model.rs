@@ -69,7 +69,7 @@ impl Core {
                 if now < until {
                     return CoreAction::Idle;
                 }
-                if self.pending.is_none() {
+                let Some(op) = self.pending.take() else {
                     let op = self.trace.next_op();
                     // The compute gap plus the L1 lookup occupy the core.
                     self.instructions += op.gap as u64;
@@ -78,8 +78,7 @@ impl Core {
                     };
                     self.pending = Some(op);
                     return CoreAction::Idle;
-                }
-                let op = self.pending.take().expect("checked above");
+                };
                 let value = if op.write {
                     self.write_counter += 1;
                     ((self.id as u64) << 48) | self.write_counter

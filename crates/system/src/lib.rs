@@ -15,16 +15,14 @@
 //! use rcsim_system::{run_sim, SimConfig};
 //!
 //! let cfg = SimConfig {
-//!     cores: 16,
-//!     mechanism: MechanismConfig::complete_noack(),
-//!     workload: "blackscholes".into(),
 //!     seed: 1,
 //!     warmup_cycles: 500,
 //!     measure_cycles: 2_000,
-//!     small_caches: true,
+//!     ..SimConfig::quick(16, MechanismConfig::complete_noack(), "blackscholes")
 //! };
 //! let result = run_sim(&cfg)?;
 //! assert!(result.instructions > 0);
+//! assert!(result.health.healthy());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -38,5 +36,6 @@ mod sim;
 
 pub use chip::Chip;
 pub use core_model::Core;
+pub use rcsim_noc::{FaultConfig, FaultStats, HealthReport, StuckPortEvent, WatchdogConfig};
 pub use report::{LatencyRow, RunResult};
 pub use sim::{run_sim, SimConfig, SimError};

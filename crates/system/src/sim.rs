@@ -3,6 +3,7 @@
 use crate::chip::Chip;
 use crate::report::RunResult;
 use rcsim_core::{MechanismConfig, Mesh};
+use rcsim_noc::{FaultConfig, HealthReport, WatchdogConfig};
 use rcsim_power::{area_savings, EnergyModel};
 use rcsim_protocol::ProtocolConfig;
 use rcsim_workload::Workload;
@@ -31,6 +32,12 @@ pub struct SimConfig {
     /// Use the scaled-down cache geometry (fast runs with equivalent
     /// traffic shape); `false` uses the full Table 2 sizes.
     pub small_caches: bool,
+    /// Fault injection (default: none — zero-perturbation).
+    #[serde(default)]
+    pub faults: FaultConfig,
+    /// Progress-watchdog thresholds.
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
 }
 
 impl SimConfig {
@@ -44,6 +51,8 @@ impl SimConfig {
             warmup_cycles: 2_000,
             measure_cycles: 10_000,
             small_caches: true,
+            faults: FaultConfig::none(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -55,6 +64,12 @@ pub enum SimError {
     UnknownWorkload(String),
     /// Invalid mesh or mechanism configuration.
     Config(rcsim_core::ConfigError),
+    /// The watchdog declared the network dead (no flit movement with
+    /// traffic in flight): the attached report says what wedged.
+    Stalled {
+        /// The liveness snapshot taken when the stall was declared.
+        report: Box<HealthReport>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -62,6 +77,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
             SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Stalled { report } => {
+                write!(f, "simulation stalled at cycle {}\n{report}", report.cycle)
+            }
         }
     }
 }
@@ -90,11 +108,20 @@ pub fn run_sim(cfg: &SimConfig) -> Result<RunResult, SimError> {
     } else {
         ProtocolConfig::paper_defaults(&mesh)
     };
-    let mut chip = Chip::new(mesh, cfg.mechanism, proto, &workload)?;
+    let mut chip = Chip::with_faults(
+        mesh,
+        cfg.mechanism,
+        proto,
+        &workload,
+        cfg.faults.clone(),
+        cfg.watchdog,
+    )?;
 
-    chip.run(cfg.warmup_cycles);
+    chip.run(cfg.warmup_cycles)
+        .map_err(|report| SimError::Stalled { report })?;
     chip.reset_stats();
-    chip.run(cfg.measure_cycles);
+    chip.run(cfg.measure_cycles)
+        .map_err(|report| SimError::Stalled { report })?;
 
     let stats = chip.noc_stats();
     let l1 = chip.l1_totals();
@@ -128,6 +155,7 @@ pub fn run_sim(cfg: &SimConfig) -> Result<RunResult, SimError> {
         },
         acks_elided: l1.acks_elided,
         l2_queued_on_busy: l2.queued_on_busy,
+        health: chip.health(),
     };
     result.fill_noc_summaries(&stats);
     Ok(result)

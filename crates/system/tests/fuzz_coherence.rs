@@ -53,7 +53,7 @@ proptest! {
         .expect("valid configuration");
         let mut last_instructions = 0;
         for phase in 0..checks {
-            chip.run(1_500);
+            chip.run(1_500).expect("chip run must not stall");
             let violations = chip.coherence_violations();
             prop_assert!(
                 violations.is_empty(),

@@ -17,8 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("A request travels {src} → {dst} (XY) and reserves a circuit for its reply:\n");
     let fwd = route_path(&mesh, src, dst, Routing::Xy);
     let back = route_path(&mesh, dst, src, Routing::Yx);
-    println!("  request path (XY): {:?}", fwd.iter().map(|n| n.0).collect::<Vec<_>>());
-    println!("  reply path   (YX): {:?}", back.iter().map(|n| n.0).collect::<Vec<_>>());
+    println!(
+        "  request path (XY): {:?}",
+        fwd.iter().map(|n| n.0).collect::<Vec<_>>()
+    );
+    println!(
+        "  reply path   (YX): {:?}",
+        back.iter().map(|n| n.0).collect::<Vec<_>>()
+    );
     println!("  → same routers, opposite order: each hop of the request writes the");
     println!("    reply's (input port, output port) into that router's circuit table.\n");
 
@@ -33,15 +39,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "cycle {:>3}: request delivered; circuit reserved at {} routers ({}).",
                 d.delivered_at,
                 handle.built_hops,
-                if handle.fully_built() { "complete" } else { "partial" }
+                if handle.fully_built() {
+                    "complete"
+                } else {
+                    "partial"
+                }
             );
             break;
         }
     }
 
-    let key = CircuitKey { requestor: src, block };
+    let key = CircuitKey {
+        requestor: src,
+        block,
+    };
     assert!(net.has_circuit_origin(dst, key));
-    println!("cycle {:>3}: {dst}'s network interface holds the circuit origin.", net.now());
+    println!(
+        "cycle {:>3}: {dst}'s network interface holds the circuit origin.",
+        net.now()
+    );
 
     // The L2 would take 7 cycles; then the 5-flit data reply rides.
     for _ in 0..7 {

@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows: Vec<(&String, &u64)> = baseline.messages.iter().collect();
     rows.sort_by_key(|(_, n)| std::cmp::Reverse(**n));
     for (class, n) in rows {
-        println!("  {:<14} {:>7}  {:>5.1}%", class, n, 100.0 * *n as f64 / total as f64);
+        println!(
+            "  {:<14} {:>7}  {:>5.1}%",
+            class,
+            n,
+            100.0 * *n as f64 / total as f64
+        );
     }
     println!(
         "\nNetwork load: {:.2} flits/node/100 cycles (paper: < 4)",
@@ -29,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.mechanism = MechanismConfig::complete_noack();
     let noack = run_sim(&cfg)?;
     println!("\nComplete_NoAck vs baseline:");
-    println!("  speedup                  {:.3}x", noack.speedup_over(&baseline));
-    println!("  energy ratio             {:.3}", noack.energy_ratio_over(&baseline));
+    println!(
+        "  speedup                  {:.3}x",
+        noack.speedup_over(&baseline)
+    );
+    println!(
+        "  energy ratio             {:.3}",
+        noack.energy_ratio_over(&baseline)
+    );
     println!(
         "  L1_DATA_ACK messages     {} -> {}",
         baseline.messages.get("L1_DATA_ACK").unwrap_or(&0),

@@ -17,11 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Partitioned 8x8 chip: quadrants run {:?}\n", apps);
 
     let mut results = Vec::new();
-    for mechanism in [MechanismConfig::baseline(), MechanismConfig::complete_noack()] {
+    for mechanism in [
+        MechanismConfig::baseline(),
+        MechanismConfig::complete_noack(),
+    ] {
         let mut chip = Chip::new(mesh, mechanism, ProtocolConfig::paper_defaults(&mesh), &wl)?;
-        chip.run(50_000);
+        chip.run(50_000).expect("chip run must not stall");
         chip.reset_stats();
-        chip.run(25_000);
+        chip.run(25_000).expect("chip run must not stall");
         let violations = chip.coherence_violations();
         assert!(violations.is_empty(), "{violations:?}");
         let stats = chip.noc_stats();

@@ -58,9 +58,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nWith circuits:");
-    println!("  speedup           {:.3}x", circuits.speedup_over(&baseline));
-    println!("  energy ratio      {:.3}", circuits.energy_ratio_over(&baseline));
-    println!("  replies on circuit {:.1}%", 100.0 * circuits.outcomes["circuit"]);
-    println!("  acks eliminated    {:.1}%", 100.0 * circuits.outcomes["eliminated"]);
+    println!(
+        "  speedup           {:.3}x",
+        circuits.speedup_over(&baseline)
+    );
+    println!(
+        "  energy ratio      {:.3}",
+        circuits.energy_ratio_over(&baseline)
+    );
+    println!(
+        "  replies on circuit {:.1}%",
+        100.0 * circuits.outcomes["circuit"]
+    );
+    println!(
+        "  acks eliminated    {:.1}%",
+        100.0 * circuits.outcomes["eliminated"]
+    );
     Ok(())
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Continuous-integration gate: formatting, lints, release build, tests.
+#
+# Mirrors what a PR must pass locally. The wedge-detection test
+# (tests/cross_crate.rs::wedged_network_surfaces_as_stalled_error) rides
+# in the tier-1 `cargo test` step, so a hung-network regression fails CI
+# with a HealthReport dump instead of a timeout.
+#
+# Usage: scripts/ci.sh [extra cargo args...]
+# CARGO=... overrides the cargo invocation (e.g. a wrapper that adds
+# --offline and local registry patches on air-gapped builders).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO=${CARGO:-cargo}
+
+echo "==> cargo fmt --check"
+$CARGO fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+$CARGO clippy --workspace --all-targets "$@" -- -D warnings
+
+echo "==> cargo build --release"
+$CARGO build --release "$@"
+
+echo "==> cargo test (tier-1)"
+$CARGO test -q "$@"
+
+echo "==> cargo test --workspace"
+$CARGO test --workspace "$@"
+
+echo "CI gate passed."

@@ -47,9 +47,12 @@ pub use rcsim_workload as workload;
 /// The most common imports for experiments.
 pub mod prelude {
     pub use rcsim_core::{CircuitMode, MechanismConfig, Mesh, MessageClass, NodeId, TimedPolicy};
-    pub use rcsim_noc::{CircuitOutcome, MessageGroup, Network, NocConfig, PacketSpec};
+    pub use rcsim_noc::{
+        CircuitOutcome, FaultConfig, FaultStats, HealthReport, MessageGroup, Network, NocConfig,
+        PacketSpec, StuckPortEvent, WatchdogConfig,
+    };
     pub use rcsim_power::{area_savings, EnergyModel, RouterArea};
     pub use rcsim_stats::{geometric_mean, Accumulator};
-    pub use rcsim_system::{run_sim, Chip, RunResult, SimConfig};
+    pub use rcsim_system::{run_sim, Chip, RunResult, SimConfig, SimError};
     pub use rcsim_workload::{workload_names, Workload};
 }

@@ -1,0 +1,28 @@
+//! Offline stand-in for serde_json. Serialization returns a placeholder
+//! document; deserialization always errors. Tests that assert on real JSON
+//! content will fail under this stub (expected local-only artifact).
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Ok("{}".to_owned())
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Ok("{}".to_owned())
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error("deserialization unavailable in offline stub".to_owned()))
+}

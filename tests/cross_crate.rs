@@ -27,14 +27,20 @@ fn runs_are_deterministic() {
     let mut other = quick(MechanismConfig::slack_delay(1), "dedup");
     other.seed += 1;
     let c = run_sim(&other).unwrap();
-    assert_ne!(a.instructions, c.instructions, "different seed, different run");
+    assert_ne!(
+        a.instructions, c.instructions,
+        "different seed, different run"
+    );
 }
 
 #[test]
 fn area_and_energy_are_consistent_across_crates() {
     // The RunResult's area saving must equal the power crate's number.
     let r = run_sim(&quick(MechanismConfig::complete(), "swaptions")).unwrap();
-    assert_eq!(r.area_savings, area_savings(&MechanismConfig::complete(), 16));
+    assert_eq!(
+        r.area_savings,
+        area_savings(&MechanismConfig::complete(), 16)
+    );
     assert!(r.energy.total_pj() > 0.0);
     assert!(r.energy.static_share() > 0.0 && r.energy.static_share() < 1.0);
 }
@@ -57,16 +63,53 @@ fn geometric_mean_speedup_over_apps() {
 fn network_is_usable_standalone() {
     // The NoC crate works without the protocol on top.
     let mesh = Mesh::new(4, 4).unwrap();
-    let mut net = Network::new(NocConfig::paper_baseline(
-        mesh,
-        MechanismConfig::complete(),
-    ))
-    .unwrap();
+    let mut net =
+        Network::new(NocConfig::paper_baseline(mesh, MechanismConfig::complete())).unwrap();
     net.inject(PacketSpec::new(NodeId(0), NodeId(15), MessageClass::L1Request).with_block(64));
     for _ in 0..100 {
         net.tick();
     }
     assert_eq!(net.take_delivered(NodeId(15)).len(), 1);
+}
+
+#[test]
+fn wedged_network_surfaces_as_stalled_error() {
+    // Total credit loss deadlocks the mesh; run_sim must return
+    // SimError::Stalled with a diagnostic report instead of spinning
+    // through the full cycle budget with a dead network.
+    let mut cfg = quick(MechanismConfig::baseline(), "fft");
+    cfg.faults = FaultConfig {
+        credit_loss_rate: 1.0,
+        ..FaultConfig::none()
+    };
+    cfg.watchdog = WatchdogConfig {
+        stall_window: 300,
+        ..WatchdogConfig::default()
+    };
+    match run_sim(&cfg) {
+        Err(SimError::Stalled { report }) => {
+            assert!(report.stalled);
+            assert!(report.in_flight > 0);
+            assert!(
+                report.cycle <= cfg.warmup_cycles + cfg.measure_cycles,
+                "stall must be declared during the run, not after it"
+            );
+            assert!(report.faults.credits_lost > 0);
+        }
+        other => panic!("expected SimError::Stalled, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_free_config_is_zero_perturbation() {
+    // The fault/watchdog layer defaults must not move a single number.
+    let a = run_sim(&quick(MechanismConfig::complete_noack(), "fft")).unwrap();
+    let mut cfg = quick(MechanismConfig::complete_noack(), "fft");
+    cfg.faults = FaultConfig::none();
+    cfg.watchdog = WatchdogConfig::default();
+    let b = run_sim(&cfg).unwrap();
+    assert_eq!(a, b, "FaultConfig::none() must be bit-identical");
+    assert!(a.health.healthy());
 }
 
 #[test]
