@@ -1,4 +1,4 @@
-//! Ablations beyond the paper's main grid (DESIGN.md §7):
+//! Ablations beyond the paper's main grid (DESIGN.md §8):
 //!
 //! 1. circuits-per-input sweep (the paper picks 5 experimentally, §4.2);
 //! 2. keep vs undo circuits on L2 miss (§4.4 says keeping wins);
@@ -8,7 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rcsim_bench::{measure_cycles, run_point, save_json, warmup_cycles};
+use rcsim_bench::{
+    bench_row, measure_cycles, run_point, save_bench_summary, save_json, warmup_cycles, BenchRow,
+    BenchSummary,
+};
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::{MechanismConfig, Mesh, MessageClass, NodeId};
 use rcsim_noc::{MessageGroup, Network, NocConfig, PacketSpec};
@@ -20,7 +23,7 @@ fn app() -> String {
         .unwrap_or_else(|| "canneal".to_owned())
 }
 
-fn circuits_per_input_sweep() {
+fn circuits_per_input_sweep(summary: &mut BenchSummary) {
     println!(
         "== circuits per input port (Complete_NoAck, 64 cores, '{}') ==",
         app()
@@ -41,13 +44,17 @@ fn circuits_per_input_sweep() {
             100.0 * r.outcomes["failed"],
             r.reservation_failures[0],
         );
+        let mut row = bench_row(&format!("entries_{entries}"), 64, std::slice::from_ref(&r));
+        row.extra
+            .insert("storage_failures".into(), r.reservation_failures[0] as f64);
+        summary.push(row);
         rows.push((entries, r.outcomes["circuit"], r.reservation_failures[0]));
     }
     println!("(the paper settles on 5: enough entries that storage failures vanish)\n");
     save_json("ablation_entries", &rows);
 }
 
-fn undo_on_l2_miss() {
+fn undo_on_l2_miss(summary: &mut BenchSummary) {
     println!(
         "== keep vs undo circuits on L2 miss (§4.4, 64 cores, '{}') ==",
         app()
@@ -68,10 +75,15 @@ fn undo_on_l2_miss() {
         100.0 * undo.outcomes["circuit"],
         100.0 * undo.outcomes["undone"]
     );
+    for (label, r) in [("l2miss_keep", &keep), ("l2miss_undo", &undo)] {
+        let mut row = bench_row(label, 64, std::slice::from_ref(r));
+        row.extra.insert("speedup".into(), r.speedup_over(&base));
+        summary.push(row);
+    }
     println!("(the paper found keeping them performs better)\n");
 }
 
-fn scrounger_modes() {
+fn scrounger_modes(summary: &mut BenchSummary) {
     println!("== scrounger semantics (64 cores, '{}') ==", app());
     let base = run_point(64, MechanismConfig::baseline(), &app(), 1);
     for (name, mechanism) in [
@@ -88,12 +100,21 @@ fn scrounger_modes() {
             100.0 * r.outcomes["scrounger"],
             100.0 * r.outcomes["failed"],
         );
+        let mut row = bench_row(
+            &format!("scrounger_{}", name.replace(' ', "_")),
+            64,
+            std::slice::from_ref(&r),
+        );
+        row.extra.insert("speedup".into(), r.speedup_over(&base));
+        row.extra
+            .insert("scrounger_frac".into(), r.outcomes["scrounger"]);
+        summary.push(row);
     }
     println!("(the paper leaves the borrow-vs-consume choice open; borrowing keeps");
     println!(" the circuit alive for its own reply, consuming steals it)\n");
 }
 
-fn slack_sweep() {
+fn slack_sweep(summary: &mut BenchSummary) {
     println!("== slack sweep (timed circuits, 64 cores, '{}') ==", app());
     println!(
         "{:>7} {:>10} {:>10} {:>10}",
@@ -114,6 +135,9 @@ fn slack_sweep() {
             100.0 * r.outcomes["failed"],
             100.0 * r.outcomes["undone"],
         );
+        let mut row = bench_row(&format!("slack_{k}"), 64, std::slice::from_ref(&r));
+        row.extra.insert("undone_frac".into(), r.outcomes["undone"]);
+        summary.push(row);
         rows.push((k, r.outcomes["circuit"]));
     }
     println!("(small slack loses to delays; large slack re-creates conflicts)\n");
@@ -121,7 +145,7 @@ fn slack_sweep() {
 }
 
 /// Network-only load sweep: circuit-reply latency gain vs injection rate.
-fn load_threshold() {
+fn load_threshold(summary: &mut BenchSummary) {
     println!("== congestion threshold (synthetic request/reply, 8x8) ==");
     println!(
         "{:>9} {:>12} {:>12} {:>9}",
@@ -166,6 +190,21 @@ fn load_threshold() {
             c,
             100.0 * (b - c) / b
         );
+        // Synthetic network-only points: no RunResult exists, so the row
+        // carries the circuit-reply latency directly.
+        summary.push(BenchRow {
+            label: format!("load_{rate}"),
+            cores: 64,
+            avg_latency: c,
+            p99_latency: 0.0,
+            circuit_hit_rate: 0.0,
+            extra: [
+                ("baseline_latency".to_owned(), b),
+                ("rate".to_owned(), rate),
+            ]
+            .into_iter()
+            .collect(),
+        });
         rows.push((rate, b, c));
     }
     println!("(gains shrink as conflicts prevent circuit construction — §5.5)\n");
@@ -178,10 +217,12 @@ fn main() {
         measure_cycles(),
         warmup_cycles()
     );
-    circuits_per_input_sweep();
-    undo_on_l2_miss();
-    scrounger_modes();
-    slack_sweep();
-    load_threshold();
+    let mut summary = BenchSummary::new("ablations");
+    circuits_per_input_sweep(&mut summary);
+    undo_on_l2_miss(&mut summary);
+    scrounger_modes(&mut summary);
+    slack_sweep(&mut summary);
+    load_threshold(&mut summary);
+    save_bench_summary(&summary);
     let _ = NodeId(0);
 }

@@ -5,7 +5,7 @@
 //!
 //! `RC_APPS` picks the workload (first entry; default canneal).
 
-use rcsim_bench::{max_cycles, run_or_die, save_json};
+use rcsim_bench::{bench_row, max_cycles, run_or_die, save_bench_summary, save_json, BenchSummary};
 use rcsim_core::MechanismConfig;
 use rcsim_system::SimConfig;
 
@@ -20,6 +20,7 @@ fn main() {
         "warmup", "L2_Reply", "DATA_ACK", "WB_ACK", "INV_ACK", "MEMORY", "load"
     );
     let mut rows = Vec::new();
+    let mut summary = BenchSummary::new("convergence");
     for warmup in [5_000u64, 20_000, 60_000, 150_000, 400_000] {
         let warmup = warmup.min(max_cycles() - 1);
         let cfg = SimConfig {
@@ -42,8 +43,12 @@ fn main() {
             pct("MEMORY"),
             r.load
         );
+        let mut row = bench_row(&format!("warmup_{warmup}"), 64, std::slice::from_ref(&r));
+        row.extra.insert("load".into(), r.load);
+        summary.push(row);
         rows.push((warmup, r.messages.clone(), r.load));
     }
+    save_bench_summary(&summary);
     println!("\npaper steady state: L2_Reply 22.6%, L1_DATA_ACK 23.0%, L2_WB_ACK 4.7%,");
     println!("L1_INV_ACK 1.1%, MEMORY 0.9% (after 200M warm-up cycles)");
     save_json("convergence", &rows);

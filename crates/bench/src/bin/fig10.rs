@@ -4,7 +4,9 @@
 //! Run with `RC_APPS=all` to sweep all 21 applications plus the mix, as
 //! the paper does.
 
-use rcsim_bench::{experiment_apps, run_point, save_json};
+use rcsim_bench::{
+    bench_row, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+};
 use rcsim_core::MechanismConfig;
 use rcsim_stats::geometric_mean;
 
@@ -20,6 +22,7 @@ fn main() {
     let mechanism = MechanismConfig::slack_delay(1);
     let mut speedups = Vec::new();
     let mut raw = Vec::new();
+    let mut summary = BenchSummary::new("fig10");
     for app in experiment_apps() {
         let base = run_point(64, MechanismConfig::baseline(), &app, 1);
         let r = run_point(64, mechanism, &app, 1);
@@ -32,8 +35,13 @@ fn main() {
             r.load
         );
         speedups.push(s);
+        let mut row = bench_row(&app, 64, std::slice::from_ref(&r));
+        row.extra.insert("speedup".into(), s);
+        row.extra.insert("load".into(), r.load);
+        summary.push(row);
         raw.push((app.clone(), s));
     }
+    save_bench_summary(&summary);
     if let Some(g) = geometric_mean(speedups.iter().copied()) {
         println!("\ngeometric mean speedup: {g:.3} (paper average: 1.060)");
     }

@@ -2,9 +2,51 @@
 //! failed circuit / with an undone circuit / as scroungers / not eligible
 //! / eliminated, for every circuit-building configuration, on 16- and
 //! 64-core chips.
+//!
+//! Besides the human-readable table this binary writes:
+//!
+//! - `target/experiments/BENCH_fig6.json` — machine-readable summary
+//!   (per-version avg/p99 packet latency, circuit hit rate, outcome
+//!   fractions) validated by `validate_bench`;
+//! - `target/experiments/fig6_trace.json` — a Chrome trace of one small
+//!   traced run, loadable in Perfetto / `chrome://tracing` (see
+//!   EXPERIMENTS.md for the walkthrough).
 
-use rcsim_bench::{cores_list, mean_outcomes, run_apps, save_json};
+use rcsim_bench::{
+    bench_row, cores_list, experiment_apps, mean_outcomes, run_apps, save_bench_summary, save_json,
+    save_text, BenchSummary,
+};
 use rcsim_core::MechanismConfig;
+use rcsim_system::{run_sim_traced, SimConfig, TraceConfig};
+use rcsim_trace::chrome_trace_json;
+
+/// One extra small traced run whose event log becomes a Chrome trace:
+/// enough cycles to show circuit construction and reply slices without
+/// bloating the JSON.
+fn export_chrome_trace() {
+    let app = experiment_apps()
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "blackscholes".to_owned());
+    let cfg = SimConfig {
+        seed: 1,
+        warmup_cycles: 1_000,
+        measure_cycles: 3_000,
+        ..SimConfig::quick(16, MechanismConfig::complete_noack(), &app)
+    };
+    match run_sim_traced(&cfg, &TraceConfig::default()) {
+        Ok((_, report)) => {
+            save_text("fig6_trace.json", &chrome_trace_json(&report.events));
+            eprintln!(
+                "(trace: {} events, {} dropped, {:.1}% of delivered replies rode a circuit)",
+                report.events.len(),
+                report.dropped,
+                100.0 * report.breakdown.circuit_ride_fraction()
+            );
+        }
+        Err(e) => eprintln!("(chrome trace export skipped: {e})"),
+    }
+}
 
 fn main() {
     println!("Figure 6 — reply outcome breakdown per configuration\n");
@@ -14,6 +56,7 @@ fn main() {
     println!("Ideal is the upper bound; ~40%+ of replies are never eligible.\n");
 
     let mut raw = Vec::new();
+    let mut summary = BenchSummary::new("fig6");
     for cores in cores_list() {
         println!("== {cores} cores ==");
         println!(
@@ -39,9 +82,16 @@ fn main() {
                 100.0 * o["not_eligible"],
                 100.0 * o["eliminated"],
             );
+            let mut row = bench_row(&mechanism.label(), cores, &results);
+            for (k, v) in &o {
+                row.extra.insert(format!("outcome.{k}"), *v);
+            }
+            summary.push(row);
             raw.push((cores, mechanism.label(), o));
         }
         println!();
     }
     save_json("fig6", &raw);
+    save_bench_summary(&summary);
+    export_chrome_trace();
 }

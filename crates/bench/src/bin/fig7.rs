@@ -2,7 +2,7 @@
 //! circuit-eligible replies, other replies) across the key mechanism
 //! configurations.
 
-use rcsim_bench::{cores_list, run_apps, save_json};
+use rcsim_bench::{bench_row, cores_list, run_apps, save_bench_summary, save_json, BenchSummary};
 use rcsim_core::MechanismConfig;
 use rcsim_stats::Accumulator;
 use rcsim_system::RunResult;
@@ -20,6 +20,7 @@ fn main() {
     println!("non-circuit VC; Postponed forces waits; requests are unchanged.\n");
 
     let mut raw = Vec::new();
+    let mut summary = BenchSummary::new("fig7");
     for cores in cores_list() {
         println!("== {cores} cores ==");
         println!(
@@ -47,6 +48,12 @@ fn main() {
                 nc_q,
                 load.mean()
             );
+            let mut row = bench_row(&mechanism.label(), cores, &results);
+            row.extra.insert("request_net".into(), rq_n);
+            row.extra.insert("circuit_rep_net".into(), cr_n);
+            row.extra.insert("nocircuit_rep_net".into(), nc_n);
+            row.extra.insert("load".into(), load.mean());
+            summary.push(row);
             raw.push((cores, mechanism.label(), rq_n, cr_n, nc_n, cr_q));
         }
         // §4.1 diagnostic: circuit set-up takes ~5 cycles per request hop.
@@ -56,4 +63,5 @@ fn main() {
         );
     }
     save_json("fig7", &raw);
+    save_bench_summary(&summary);
 }

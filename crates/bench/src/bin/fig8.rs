@@ -1,7 +1,9 @@
 //! Figure 8 — network energy per configuration, normalized to the
 //! baseline, with standard error across applications.
 
-use rcsim_bench::{cores_list, experiment_apps, run_point, save_json};
+use rcsim_bench::{
+    bench_row, cores_list, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+};
 use rcsim_core::MechanismConfig;
 use rcsim_stats::Accumulator;
 
@@ -13,6 +15,7 @@ fn main() {
     println!("storage cancels part of the buffer removal).\n");
 
     let mut raw = Vec::new();
+    let mut summary = BenchSummary::new("fig8");
     for cores in cores_list() {
         println!("== {cores} cores ==");
         println!("{:<22} {:>10} {:>9}", "configuration", "energy", "stderr");
@@ -33,6 +36,9 @@ fn main() {
         for mechanism in MechanismConfig::key_configs() {
             if mechanism == MechanismConfig::baseline() {
                 println!("{:<22} {:>10.3} {:>9.3}", "Baseline", 1.0, 0.0);
+                let mut row = bench_row("Baseline", cores, &baselines);
+                row.extra.insert("energy_ratio".into(), 1.0);
+                summary.push(row);
                 continue;
             }
             if mechanism == MechanismConfig::ideal() {
@@ -41,10 +47,16 @@ fn main() {
                 continue;
             }
             let mut acc = Accumulator::new();
+            let mut runs = Vec::new();
             for ((app, s), base) in points.iter().zip(&baselines) {
                 let r = run_point(cores, mechanism, app, *s);
                 acc.add(r.energy_ratio_over(base));
+                runs.push(r);
             }
+            let mut row = bench_row(&mechanism.label(), cores, &runs);
+            row.extra.insert("energy_ratio".into(), acc.mean());
+            row.extra.insert("stderr".into(), acc.std_err());
+            summary.push(row);
             println!(
                 "{:<22} {:>10.3} {:>9.3}  {}",
                 mechanism.label(),
@@ -58,4 +70,5 @@ fn main() {
     }
     println!("paper reference: Complete_NoAck = 0.848 (16 cores), 0.792 (64 cores)");
     save_json("fig8", &raw);
+    save_bench_summary(&summary);
 }

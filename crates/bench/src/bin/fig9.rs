@@ -1,7 +1,9 @@
 //! Figure 9 — system speedup per configuration vs the baseline, with
 //! standard error across applications.
 
-use rcsim_bench::{cores_list, experiment_apps, run_point, save_json};
+use rcsim_bench::{
+    bench_row, cores_list, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+};
 use rcsim_core::MechanismConfig;
 use rcsim_stats::Accumulator;
 
@@ -13,6 +15,7 @@ fn main() {
     println!("+3.8% / +4.8%; everything sits close to Ideal.\n");
 
     let mut raw = Vec::new();
+    let mut summary = BenchSummary::new("fig9");
     for cores in cores_list() {
         println!("== {cores} cores ==");
         println!("{:<22} {:>10} {:>9}", "configuration", "speedup", "stderr");
@@ -31,13 +34,22 @@ fn main() {
             .collect();
         for mechanism in MechanismConfig::key_configs() {
             if mechanism == MechanismConfig::baseline() {
+                let mut row = bench_row("Baseline", cores, &baselines);
+                row.extra.insert("speedup".into(), 1.0);
+                summary.push(row);
                 continue;
             }
             let mut acc = Accumulator::new();
+            let mut runs = Vec::new();
             for ((app, s), base) in points.iter().zip(&baselines) {
                 let r = run_point(cores, mechanism, app, *s);
                 acc.add(r.speedup_over(base));
+                runs.push(r);
             }
+            let mut row = bench_row(&mechanism.label(), cores, &runs);
+            row.extra.insert("speedup".into(), acc.mean());
+            row.extra.insert("stderr".into(), acc.std_err());
+            summary.push(row);
             println!(
                 "{:<22} {:>10.3} {:>9.3}  {}",
                 mechanism.label(),
@@ -50,4 +62,5 @@ fn main() {
         println!();
     }
     save_json("fig9", &raw);
+    save_bench_summary(&summary);
 }

@@ -3,7 +3,7 @@
 //! complete circuits harder to build — the reason the paper argues for
 //! timed circuits and partitioned usage at larger scales.
 
-use rcsim_bench::{run_point, save_json};
+use rcsim_bench::{bench_row, run_point, save_bench_summary, save_json, BenchSummary};
 use rcsim_core::MechanismConfig;
 
 fn main() {
@@ -17,10 +17,16 @@ fn main() {
         "cores", "Complete", "SlackDelay", "circuit%", "sd-circ%", "failed%"
     );
     let mut rows = Vec::new();
+    let mut summary = BenchSummary::new("scaling");
     for cores in [16u16, 32, 64] {
         let base = run_point(cores, MechanismConfig::baseline(), &app, 1);
         let complete = run_point(cores, MechanismConfig::complete_noack(), &app, 1);
         let slack = run_point(cores, MechanismConfig::slack_delay(1), &app, 1);
+        for r in [&complete, &slack] {
+            let mut row = bench_row(&r.mechanism, cores, std::slice::from_ref(r));
+            row.extra.insert("speedup".into(), r.speedup_over(&base));
+            summary.push(row);
+        }
         println!(
             "{:<8} {:>11.3}x {:>11.3}x {:>9.1}% {:>9.1}% {:>9.1}%",
             cores,
@@ -39,4 +45,5 @@ fn main() {
     println!("\n(§5.2: circuit usage falls with chip size; §5.5: timed circuits and");
     println!(" partitioning — see `examples/partitioned.rs` — are the remedies)");
     save_json("scaling", &rows);
+    save_bench_summary(&summary);
 }

@@ -1,7 +1,9 @@
 //! Table 1 — percentage of messages traversing the network, by type
 //! (64-core chip, average over all benchmarks, baseline network).
 
-use rcsim_bench::{experiment_apps, run_point, save_json};
+use rcsim_bench::{
+    bench_row, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+};
 use rcsim_core::MechanismConfig;
 use std::collections::BTreeMap;
 
@@ -28,11 +30,13 @@ const REQUEST_CLASSES: &[&str] = &[
 fn main() {
     println!("Table 1 — message mix (64 cores, baseline, avg over apps)\n");
     let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    let mut runs = Vec::new();
     for app in experiment_apps() {
         let r = run_point(64, MechanismConfig::baseline(), &app, 1);
-        for (k, v) in r.messages {
-            *totals.entry(k).or_insert(0) += v;
+        for (k, v) in &r.messages {
+            *totals.entry(k.clone()).or_insert(0) += v;
         }
+        runs.push(r);
     }
     let all: u64 = totals.values().sum();
     let share = |label: &str| -> f64 {
@@ -60,4 +64,13 @@ fn main() {
         experiment_apps().len()
     );
     save_json("table1", &totals);
+
+    let mut summary = BenchSummary::new("table1");
+    let mut row = bench_row("Baseline", 64, &runs);
+    for (label, _) in PAPER {
+        row.extra.insert(format!("share.{label}"), share(label));
+    }
+    row.extra.insert("share.Replies (total)".into(), replies);
+    summary.push(row);
+    save_bench_summary(&summary);
 }

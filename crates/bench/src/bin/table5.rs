@@ -2,7 +2,9 @@
 //! reservation lands in (Complete_NoAck, 64 cores), plus the failed
 //! fraction.
 
-use rcsim_bench::{experiment_apps, run_point, save_json};
+use rcsim_bench::{
+    bench_row, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+};
 use rcsim_core::MechanismConfig;
 
 const PAPER: [f64; 6] = [48.0, 24.0, 7.0, 6.0, 6.0, 9.0]; // 1st..5th, failed
@@ -11,12 +13,14 @@ fn main() {
     println!("Table 5 — circuit reservations per input-port entry (Complete_NoAck, 64 cores)\n");
     let mut at_index = [0u64; 8];
     let mut failed = 0u64;
+    let mut runs = Vec::new();
     for app in experiment_apps() {
         let r = run_point(64, MechanismConfig::complete_noack(), &app, 1);
         for (i, n) in r.reservations_at_index.iter().enumerate() {
             at_index[i.min(7)] += n;
         }
         failed += r.reservations_failed;
+        runs.push(r);
     }
     let total = at_index.iter().sum::<u64>() + failed;
     let pct = |n: u64| 100.0 * n as f64 / total.max(1) as f64;
@@ -41,4 +45,13 @@ fn main() {
     );
     println!("\n({total} reservation attempts at routers)");
     save_json("table5", &(at_index.to_vec(), failed));
+
+    let mut summary = BenchSummary::new("table5");
+    let mut row = bench_row("Complete_NoAck", 64, &runs);
+    for (i, n) in at_index.iter().enumerate().take(5) {
+        row.extra.insert(format!("entry_{}_pct", i + 1), pct(*n));
+    }
+    row.extra.insert("failed_pct".into(), pct(failed));
+    summary.push(row);
+    save_bench_summary(&summary);
 }

@@ -1,9 +1,10 @@
 //! Table 6 — router area savings per mechanism version (analytical model;
 //! no simulation needed).
 
-use rcsim_bench::save_json;
+use rcsim_bench::{save_bench_summary, save_json, BenchRow, BenchSummary};
 use rcsim_core::MechanismConfig;
 use rcsim_power::{area_savings, RouterArea};
+use std::collections::BTreeMap;
 
 fn main() {
     println!("Table 6 — router area savings vs the baseline 4-VC router\n");
@@ -19,6 +20,7 @@ fn main() {
         "", "paper", "model", "paper", "model"
     );
     let mut out = Vec::new();
+    let mut summary = BenchSummary::new("table6");
     for (name, mechanism, p16, p64) in rows {
         let m16 = 100.0 * area_savings(&mechanism, 16);
         let m64 = 100.0 * area_savings(&mechanism, 64);
@@ -26,8 +28,24 @@ fn main() {
             "{:<16} {:>8.2}% {:>7.2}% {:>8.2}% {:>7.2}%",
             name, p16, m16, p64, m64
         );
+        // Analytical model — no simulated traffic, so the latency fields
+        // stay at zero and the payload lives in `extra`.
+        for (cores, modeled, paper) in [(16usize, m16, p16), (64, m64, p64)] {
+            summary.push(BenchRow {
+                label: name.to_owned(),
+                cores,
+                avg_latency: 0.0,
+                p99_latency: 0.0,
+                circuit_hit_rate: 0.0,
+                extra: BTreeMap::from([
+                    ("area_savings_pct".to_owned(), modeled),
+                    ("paper_pct".to_owned(), paper),
+                ]),
+            });
+        }
         out.push((name, m16, m64));
     }
+    save_bench_summary(&summary);
 
     println!("\nBaseline router component shares (64 cores):");
     let base = RouterArea::for_mechanism(&MechanismConfig::baseline(), 64);

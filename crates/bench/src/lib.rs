@@ -27,6 +27,8 @@ use rcsim_system::{run_sim, RunResult, SimConfig, SimError};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
+pub use rcsim_trace::{BenchRow, BenchSummary};
+
 /// The workloads an experiment sweeps (see `RC_APPS`).
 pub fn experiment_apps() -> Vec<String> {
     match std::env::var("RC_APPS") {
@@ -172,6 +174,77 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Condenses a batch of runs into one machine-readable summary row:
+/// count-weighted mean network latency across the Figure 7 message
+/// groups, the worst group p99 (a conservative tail envelope — p99s
+/// cannot be averaged), and the mean fraction of replies that rode a
+/// circuit.
+pub fn bench_row(label: &str, cores: u16, results: &[RunResult]) -> BenchRow {
+    let mut weighted = 0.0;
+    let mut count = 0u64;
+    let mut p99 = 0.0f64;
+    for r in results {
+        for row in r.latency.values() {
+            weighted += row.network * row.count as f64;
+            count += row.count;
+            p99 = p99.max(row.p99);
+        }
+    }
+    let hit: Accumulator = results
+        .iter()
+        .map(|r| r.outcomes.get("circuit").copied().unwrap_or(0.0))
+        .collect();
+    BenchRow {
+        label: label.to_owned(),
+        cores: cores as usize,
+        avg_latency: if count == 0 {
+            0.0
+        } else {
+            weighted / count as f64
+        },
+        p99_latency: p99,
+        circuit_hit_rate: hit.mean().clamp(0.0, 1.0),
+        extra: BTreeMap::new(),
+    }
+}
+
+/// Writes a bench summary to `target/experiments/BENCH_<name>.json` —
+/// the machine-readable counterpart of the human-readable stdout tables,
+/// consumed by `validate_bench` and external dashboards.
+///
+/// # Panics
+///
+/// Panics when the summary violates its own invariants (see
+/// [`BenchSummary::validate`]) — a malformed summary must fail the run,
+/// not poison downstream consumers.
+pub fn save_bench_summary(summary: &BenchSummary) {
+    let problems = summary.validate();
+    assert!(
+        problems.is_empty(),
+        "invalid bench summary '{}': {problems:?}",
+        summary.bench
+    );
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("BENCH_{}.json", summary.bench));
+        if let Ok(s) = serde_json::to_string_pretty(summary) {
+            let _ = std::fs::write(&path, s);
+            eprintln!("(bench summary written to {})", path.display());
+        }
+    }
+}
+
+/// Writes pre-rendered text (e.g. a Chrome trace) to
+/// `target/experiments/<name>`.
+pub fn save_text(name: &str, contents: &str) {
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(name);
+        let _ = std::fs::write(&path, contents);
+        eprintln!("(written to {})", path.display());
+    }
+}
+
 /// Pretty percentage.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
@@ -214,5 +287,58 @@ mod tests {
         let r: Vec<RunResult> = Vec::new();
         let (m, ci) = mean_ci(&r, |x| x.instructions as f64);
         assert_eq!((m, ci), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bench_row_weights_latency_by_count() {
+        use rcsim_system::LatencyRow;
+        let mut r = RunResult {
+            workload: "x".into(),
+            mechanism: "Baseline".into(),
+            cores: 16,
+            cycles: 1000,
+            instructions: 1000,
+            messages: BTreeMap::new(),
+            latency: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+            reservations_at_index: vec![],
+            reservations_failed: 0,
+            reservation_failures: [0; 4],
+            load: 0.0,
+            energy: Default::default(),
+            area_savings: 0.0,
+            l1_miss_rate: 0.0,
+            acks_elided: 0,
+            l2_queued_on_busy: 0,
+            health: Default::default(),
+        };
+        r.latency.insert(
+            "Request".into(),
+            LatencyRow {
+                network: 10.0,
+                queueing: 0.0,
+                p99: 40.0,
+                count: 3,
+            },
+        );
+        r.latency.insert(
+            "Circuit_Rep".into(),
+            LatencyRow {
+                network: 20.0,
+                queueing: 0.0,
+                p99: 25.0,
+                count: 1,
+            },
+        );
+        r.outcomes.insert("circuit".into(), 0.5);
+        let row = bench_row("test", 16, &[r]);
+        // (10*3 + 20*1) / 4 = 12.5; worst p99 wins; hit rate passes through.
+        assert!((row.avg_latency - 12.5).abs() < 1e-12);
+        assert!((row.p99_latency - 40.0).abs() < 1e-12);
+        assert!((row.circuit_hit_rate - 0.5).abs() < 1e-12);
+
+        let mut summary = BenchSummary::new("unit");
+        summary.push(row);
+        assert!(summary.validate().is_empty());
     }
 }

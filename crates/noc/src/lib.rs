@@ -56,5 +56,5 @@ pub use config::{NocConfig, VcLayout};
 pub use fault::{FaultConfig, FaultStats, StuckPortEvent};
 pub use flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
 pub use health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
-pub use network::Network;
+pub use network::{Network, NetworkTelemetry};
 pub use stats::{CircuitOutcome, MessageGroup, NocStats};

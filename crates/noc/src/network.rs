@@ -11,7 +11,20 @@ use crate::router::{Outgoing, Router};
 use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::{ConfigError, Cycle, Direction, MessageClass, NodeId};
+use rcsim_trace::{EventKind, TraceSink};
 use std::collections::{HashMap, HashSet};
+
+/// A whole-network occupancy snapshot, taken between cycles. Feeds the
+/// trace layer's periodic `EpochSample` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkTelemetry {
+    /// Live circuit-table entries across all routers.
+    pub circuit_entries: u64,
+    /// Flits sitting in router input VC buffers.
+    pub buffered_flits: u64,
+    /// Packets queued or streaming at the NIs.
+    pub ni_backlog: u64,
+}
 
 /// Messages in flight towards one router.
 #[derive(Debug, Default)]
@@ -98,6 +111,8 @@ pub struct Network {
     faulted_circuits: HashSet<CircuitKey>,
     /// Last cycle any flit moved (arrived, ejected or was delivered).
     last_progress: Cycle,
+    /// Where trace events go; [`TraceSink::Disabled`] by default.
+    sink: TraceSink,
 }
 
 impl Network {
@@ -142,7 +157,34 @@ impl Network {
             retry_queue: Vec::new(),
             faulted_circuits: HashSet::new(),
             last_progress: 0,
+            sink: TraceSink::default(),
         })
+    }
+
+    /// Installs a trace sink, fanning it out to every NI and router so the
+    /// whole fabric records into one shared event log. Pass
+    /// [`TraceSink::Disabled`] to turn tracing back off.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        for ni in &mut self.nis {
+            ni.set_trace_sink(sink.clone());
+        }
+        for r in &mut self.routers {
+            r.set_trace_sink(sink.clone());
+        }
+        self.sink = sink;
+    }
+
+    /// The occupancy snapshot the trace layer samples once per epoch.
+    pub fn telemetry(&self) -> NetworkTelemetry {
+        NetworkTelemetry {
+            circuit_entries: self
+                .routers
+                .iter()
+                .map(|r| r.circuits.total_entries() as u64)
+                .sum(),
+            buffered_flits: self.routers.iter().map(|r| r.buffered_flits() as u64).sum(),
+            ni_backlog: self.nis.iter().map(|ni| ni.backlog() as u64).sum(),
+        }
     }
 
     /// Replaces the watchdog thresholds.
@@ -181,7 +223,28 @@ impl Network {
         assert!(spec.dst.index() < self.cfg.mesh.nodes(), "dst out of range");
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
+        self.sink.emit(|| rcsim_trace::TraceEvent {
+            cycle: self.now,
+            kind: EventKind::NiEnqueue {
+                packet: id.0,
+                src: spec.src.0,
+                dst: spec.dst.0,
+                class: spec.class.label(),
+            },
+        });
         if spec.src == spec.dst {
+            // Tile-local traffic never enters the network; record its
+            // ejection here so the lifecycle invariant (one terminal event
+            // per enqueue) holds for every packet.
+            self.sink.emit(|| rcsim_trace::TraceEvent {
+                cycle: self.now + 1,
+                kind: EventKind::NiEject {
+                    packet: id.0,
+                    node: spec.dst.0,
+                    rode_circuit: false,
+                    retries: 0,
+                },
+            });
             self.delivered[spec.dst.index()].push(Delivered {
                 packet: id,
                 src: spec.src,
@@ -314,7 +377,16 @@ impl Network {
                 self.schedule_retry(id, now);
             }
             for mut d in out.delivered.drain(..) {
-                self.note_delivered(&mut d);
+                let retries = self.note_delivered(&mut d);
+                self.sink.emit(|| rcsim_trace::TraceEvent {
+                    cycle: now,
+                    kind: EventKind::NiEject {
+                        packet: d.packet.0,
+                        node: d.dst.0,
+                        rode_circuit: d.rode_circuit,
+                        retries,
+                    },
+                });
                 self.delivered[i].push(d);
             }
         }
@@ -397,10 +469,10 @@ impl Network {
     /// the way (retransmitted, or its circuit corrupted out of a table),
     /// reclassifies its Figure 6 outcome as `FaultDegraded` and keeps the
     /// delivery's `rode_circuit` flag consistent with the sender's §4.6
-    /// NoAck commitment.
-    fn note_delivered(&mut self, d: &mut Delivered) {
+    /// NoAck commitment. Returns the packet's end-to-end retry count.
+    fn note_delivered(&mut self, d: &mut Delivered) -> u32 {
         let Some(rec) = self.outstanding.remove(&d.packet) else {
-            return;
+            return 0;
         };
         let key_faulted = rec
             .circuit_key
@@ -412,6 +484,7 @@ impl Network {
             // must still elide its ack even though the reply limped home.
             d.rode_circuit = true;
         }
+        rec.retries
     }
 
     /// Marks `id` as hit by a fault and schedules its next end-to-end
@@ -427,12 +500,28 @@ impl Network {
         if rec.retries < fs.cfg.max_retries {
             rec.retries += 1;
             fs.stats.retransmissions += 1;
-            let backoff = fs.cfg.retry_backoff.max(1) * rec.retries as Cycle;
+            let attempt = rec.retries;
+            let backoff = fs.cfg.retry_backoff.max(1) * attempt as Cycle;
             self.retry_queue.push((at + backoff, id));
+            self.sink.emit(|| rcsim_trace::TraceEvent {
+                cycle: at,
+                kind: EventKind::NiRetry {
+                    packet: id.0,
+                    attempt,
+                },
+            });
         } else {
             fs.stats.packets_abandoned += 1;
             self.stats.dropped_packets += 1;
+            let retries = rec.retries;
             self.outstanding.remove(&id);
+            self.sink.emit(|| rcsim_trace::TraceEvent {
+                cycle: at,
+                kind: EventKind::PacketDropped {
+                    packet: id.0,
+                    retries,
+                },
+            });
         }
     }
 

@@ -10,6 +10,7 @@ use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::{CircuitHandle, CircuitKey};
 use rcsim_core::routing::hop_count;
 use rcsim_core::{CircuitMode, Cycle, MechanismConfig, Mesh, MessageClass, NodeId, Vnet};
+use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -108,6 +109,8 @@ pub(crate) struct Ni {
     assembling: HashMap<PacketId, Assembly>,
     /// Undos decided at enqueue time, drained at the next tick.
     pending_undos: Vec<(CircuitKey, NodeId)>,
+    /// Where trace events go; disabled by default.
+    sink: TraceSink,
 }
 
 impl Ni {
@@ -132,7 +135,12 @@ impl Ni {
             origins: HashMap::new(),
             assembling: HashMap::new(),
             pending_undos: Vec::new(),
+            sink: TraceSink::default(),
         }
+    }
+
+    pub(crate) fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// `true` if a fully built circuit origin for `key` is registered here.
@@ -459,6 +467,14 @@ impl Ni {
                 CircuitMode::None => false,
             };
             if register {
+                self.sink.emit(|| TraceEvent {
+                    cycle: now,
+                    kind: EventKind::CircuitConfirm {
+                        node: self.node.0,
+                        requestor: h.key.requestor.0,
+                        block: h.key.block,
+                    },
+                });
                 self.origins.insert(
                     h.key,
                     Origin {
@@ -572,6 +588,15 @@ impl Ni {
             if p.count_injection {
                 stats.record_injection(p.class, p.len);
             }
+            // Scrounger legs and retransmissions re-emit: the breakdown
+            // post-pass keeps the first injection per packet id.
+            self.sink.emit(|| TraceEvent {
+                cycle: now,
+                kind: EventKind::NiInject {
+                    packet: p.id.0,
+                    node: self.node.0,
+                },
+            });
         }
         let kind = FlitKind::for_position(s.next_seq, p.len);
         let flit = Flit {

@@ -21,6 +21,7 @@ use rcsim_core::circuit::timing::{router_window, REQ_HOP_CYCLES};
 use rcsim_core::circuit::{CircuitKey, ReserveRequest, RouterCircuits};
 use rcsim_core::routing::{next_hop, Routing};
 use rcsim_core::{CircuitMode, Cycle, Direction, MechanismConfig, Mesh, NodeId};
+use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// A message leaving the router this cycle, to be routed by the network.
@@ -116,6 +117,8 @@ pub(crate) struct Router {
     /// arrived while an earlier flit of the same stream is still queued.
     bypass_retry: Vec<VecDeque<Flit>>,
     pub(crate) activity: Activity,
+    /// Where trace events go; disabled by default.
+    sink: TraceSink,
 }
 
 impl Router {
@@ -150,7 +153,12 @@ impl Router {
             va_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
             bypass_retry: (0..5).map(|_| VecDeque::new()).collect(),
             activity: Activity::default(),
+            sink: TraceSink::default(),
         }
+    }
+
+    pub(crate) fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// Runs one cycle. `arrivals`, `credits` and `undos` are the messages
@@ -203,7 +211,17 @@ impl Router {
     /// towards the circuit destination (it rides credits, 1 cycle/hop).
     fn process_undo(&mut self, now: Cycle, key: CircuitKey, dst: NodeId, out: &mut Vec<Outgoing>) {
         let dir = match self.circuits.undo(key) {
-            Some(entry) => entry.out_port,
+            Some(entry) => {
+                self.sink.emit(|| TraceEvent {
+                    cycle: now,
+                    kind: EventKind::CircuitTear {
+                        node: self.node.0,
+                        requestor: key.requestor.0,
+                        block: key.block,
+                    },
+                });
+                entry.out_port
+            }
             // No reservation here (fragmented gap, or already expired):
             // keep following the reply path towards the destination.
             None => {
@@ -327,6 +345,13 @@ impl Router {
             .expect("caller checked the entry exists");
         if flit.kind.is_head() {
             self.circuits.begin_use(dir, key);
+            self.sink.emit(|| TraceEvent {
+                cycle: now,
+                kind: EventKind::CircuitBypass {
+                    packet: flit.packet.0,
+                    node: self.node.0,
+                },
+            });
         }
         if flit.kind.is_tail() {
             if flit.scrounger_final.is_some() && self.mechanism.scrounger_borrow {
@@ -422,6 +447,15 @@ impl Router {
             if is_tail {
                 vc.reset(now);
             }
+            if flit.kind.is_head() {
+                self.sink.emit(|| TraceEvent {
+                    cycle: now,
+                    kind: EventKind::StageSt {
+                        packet: flit.packet.0,
+                        node: self.node.0,
+                    },
+                });
+            }
             self.activity.buffer_reads += 1;
             self.activity.xbar_traversals += 1;
 
@@ -512,6 +546,17 @@ impl Router {
                 if vc.state == VcState::WaitSa {
                     vc.state = VcState::Active;
                     vc.state_since = now;
+                    let head = vc.buffer.front().expect("granted VC holds a flit");
+                    if head.kind.is_head() {
+                        let packet = head.packet.0;
+                        self.sink.emit(|| TraceEvent {
+                            cycle: now,
+                            kind: EventKind::StageSa {
+                                packet,
+                                node: self.node.0,
+                            },
+                        });
+                    }
                 }
                 self.activity.sw_allocs += 1;
                 self.st_pending.push(StGrant {
@@ -582,6 +627,19 @@ impl Router {
                     vc.out_vc = Some(ovc);
                     vc.state = VcState::WaitSa;
                     vc.state_since = now;
+                    let packet = vc
+                        .buffer
+                        .front()
+                        .expect("WaitVa VC holds its head")
+                        .packet
+                        .0;
+                    self.sink.emit(|| TraceEvent {
+                        cycle: now,
+                        kind: EventKind::StageVa {
+                            packet,
+                            node: self.node.0,
+                        },
+                    });
                     self.activity.vc_allocs += 1;
                     granted = true;
                 }
@@ -589,9 +647,9 @@ impl Router {
         }
     }
 
-    /// Number of flits buffered across all input VCs (whitebox tests).
-    #[cfg(test)]
-    fn buffered_flits(&self) -> usize {
+    /// Number of flits buffered across all input VCs (occupancy telemetry
+    /// and whitebox tests).
+    pub(crate) fn buffered_flits(&self) -> usize {
         self.inputs
             .iter()
             .flat_map(|p| p.vcs.iter())
@@ -641,10 +699,19 @@ impl Router {
             window,
             max_extra_shift,
         };
+        let key = handle.key;
         match self.circuits.try_reserve(&req) {
             Ok(outcome) => {
                 handle.built_hops += 1;
                 self.activity.circuit_writes += 1;
+                self.sink.emit(|| TraceEvent {
+                    cycle: now,
+                    kind: EventKind::CircuitReserve {
+                        node: self.node.0,
+                        requestor: key.requestor.0,
+                        block: key.block,
+                    },
+                });
                 if let Some(t) = handle.timing.as_mut() {
                     t.shift += outcome.extra_shift;
                     t.narrow(nominal, slack);
@@ -658,28 +725,37 @@ impl Router {
                     }
                 }
             }
-            Err(_) => match self.mechanism.mode {
-                CircuitMode::Complete => {
-                    handle.failed = true;
-                    let built = handle.built_hops;
-                    let key = handle.key;
-                    if built > 0 {
-                        self.activity.credits += 1;
-                        out.push(Outgoing::Undo {
-                            dir: out_port_reply,
-                            key,
-                            dst: key.requestor,
-                            arrive: now + self.link_latency as Cycle,
-                        });
+            Err(_) => {
+                self.sink.emit(|| TraceEvent {
+                    cycle: now,
+                    kind: EventKind::CircuitConflict {
+                        node: self.node.0,
+                        requestor: key.requestor.0,
+                        block: key.block,
+                    },
+                });
+                match self.mechanism.mode {
+                    CircuitMode::Complete => {
+                        handle.failed = true;
+                        let built = handle.built_hops;
+                        if built > 0 {
+                            self.activity.credits += 1;
+                            out.push(Outgoing::Undo {
+                                dir: out_port_reply,
+                                key,
+                                dst: key.requestor,
+                                arrive: now + self.link_latency as Cycle,
+                            });
+                        }
+                    }
+                    // Fragmented circuits keep the partial prefix and try
+                    // again at the next hop (§4.2).
+                    CircuitMode::Fragmented => {}
+                    CircuitMode::None | CircuitMode::Ideal => {
+                        unreachable!("these modes never fail reservations")
                     }
                 }
-                // Fragmented circuits keep the partial prefix and try
-                // again at the next hop (§4.2).
-                CircuitMode::Fragmented => {}
-                CircuitMode::None | CircuitMode::Ideal => {
-                    unreachable!("these modes never fail reservations")
-                }
-            },
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 
 use rcsim_core::circuit::TableStats;
 use rcsim_core::MessageClass;
-use rcsim_stats::{Accumulator, Histogram};
+use rcsim_stats::LatencyStat;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -132,13 +132,13 @@ impl Activity {
 /// Aggregated statistics for one network run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct NocStats {
-    /// Network latency (injection → tail delivery) per message group.
-    pub network_latency: BTreeMap<MessageGroup, Accumulator>,
-    /// Network-latency distribution per message group (5-cycle bins up to
-    /// 500 cycles), for tail-latency analysis.
-    pub latency_hist: BTreeMap<MessageGroup, Histogram>,
-    /// Queueing latency (enqueue → injection) per message group.
-    pub queueing_latency: BTreeMap<MessageGroup, Accumulator>,
+    /// Network latency (injection → tail delivery) per message group:
+    /// mean/CI plus a 5-cycle-bin distribution up to 500 cycles for
+    /// tail-latency queries, fed by one accumulation path.
+    pub network_latency: BTreeMap<MessageGroup, LatencyStat>,
+    /// Queueing latency (enqueue → injection) per message group, same
+    /// shape as [`NocStats::network_latency`].
+    pub queueing_latency: BTreeMap<MessageGroup, LatencyStat>,
     /// Count of packets injected, per message class.
     pub injected: BTreeMap<MessageClass, u64>,
     /// Count of packets delivered, per message class.
@@ -161,21 +161,23 @@ pub struct NocStats {
 }
 
 impl NocStats {
+    /// The histogram geometry shared by every latency statistic: 5-cycle
+    /// bins up to 500 cycles (everything beyond lands in the overflow bin).
+    fn new_latency_stat() -> LatencyStat {
+        LatencyStat::new(5.0, 100)
+    }
+
     /// Records a packet delivery with its latencies.
     pub fn record_delivery(&mut self, class: MessageClass, queueing: u64, network: u64) {
         let group = MessageGroup::of(class);
         self.network_latency
             .entry(group)
-            .or_default()
-            .add(network as f64);
-        self.latency_hist
-            .entry(group)
-            .or_insert_with(|| Histogram::new(5.0, 100))
+            .or_insert_with(Self::new_latency_stat)
             .record(network as f64);
         self.queueing_latency
             .entry(group)
-            .or_default()
-            .add(queueing as f64);
+            .or_insert_with(Self::new_latency_stat)
+            .record(queueing as f64);
         *self.delivered.entry(class).or_insert(0) += 1;
     }
 
@@ -222,7 +224,7 @@ impl NocStats {
     /// Tail latency of a message group at quantile `q` (approximate,
     /// 5-cycle bins). `None` when the group has no samples.
     pub fn latency_quantile(&self, group: MessageGroup, q: f64) -> Option<f64> {
-        self.latency_hist.get(&group).and_then(|h| h.quantile(q))
+        self.network_latency.get(&group).and_then(|s| s.quantile(q))
     }
 
     /// Average injected flits per node per 100 cycles (the paper's load
@@ -238,16 +240,16 @@ impl NocStats {
     /// Merges stats from another run segment.
     pub fn merge(&mut self, other: &NocStats) {
         for (k, v) in &other.network_latency {
-            self.network_latency.entry(*k).or_default().merge(v);
-        }
-        for (k, v) in &other.latency_hist {
-            self.latency_hist
+            self.network_latency
                 .entry(*k)
-                .or_insert_with(|| Histogram::new(5.0, 100))
+                .or_insert_with(Self::new_latency_stat)
                 .merge(v);
         }
         for (k, v) in &other.queueing_latency {
-            self.queueing_latency.entry(*k).or_default().merge(v);
+            self.queueing_latency
+                .entry(*k)
+                .or_insert_with(Self::new_latency_stat)
+                .merge(v);
         }
         for (k, v) in &other.injected {
             *self.injected.entry(*k).or_insert(0) += v;

@@ -6,6 +6,7 @@ use crate::cache::CacheArray;
 use crate::config::ProtocolConfig;
 use crate::msg::{Msg, Port, ReqKind};
 use rcsim_core::{Cycle, Mesh, MessageClass, NodeId};
+use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -84,6 +85,8 @@ pub struct L1Cache {
     miss: Option<PendingMiss>,
     wb_buffer: HashMap<u64, u64>,
     stats: L1Stats,
+    /// Where trace events go; disabled by default.
+    sink: TraceSink,
 }
 
 impl L1Cache {
@@ -98,7 +101,14 @@ impl L1Cache {
             miss: None,
             wb_buffer: HashMap::new(),
             stats: L1Stats::default(),
+            sink: TraceSink::default(),
         }
+    }
+
+    /// Installs a trace sink (share one across the chip to get a single
+    /// event log). Pass [`TraceSink::Disabled`] to turn tracing back off.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// Event counters.
@@ -162,6 +172,13 @@ impl L1Cache {
             }
         }
         self.stats.misses += 1;
+        self.sink.emit(|| TraceEvent {
+            cycle: port.now(),
+            kind: EventKind::L1MissStart {
+                node: self.node.0,
+                block,
+            },
+        });
         let kind = if write { ReqKind::GetX } else { ReqKind::GetS };
         self.miss = Some(PendingMiss {
             block,
@@ -261,6 +278,13 @@ impl L1Cache {
                 1,
             );
         }
+        self.sink.emit(|| TraceEvent {
+            cycle: port.now(),
+            kind: EventKind::L1MissEnd {
+                node: self.node.0,
+                block: msg.block,
+            },
+        });
         Some(MissDone {
             block: msg.block,
             value: data,

@@ -8,6 +8,7 @@ use crate::cache::CacheArray;
 use crate::config::ProtocolConfig;
 use crate::msg::{Msg, Port, ReqKind};
 use rcsim_core::{Cycle, Mesh, MessageClass, NodeId};
+use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
@@ -115,6 +116,8 @@ pub struct L2Bank {
     /// Requests that found no evictable victim; retried every cycle.
     stalled: VecDeque<Msg>,
     stats: L2Stats,
+    /// Where trace events go; disabled by default.
+    sink: TraceSink,
 }
 
 impl L2Bank {
@@ -138,7 +141,14 @@ impl L2Bank {
             inbox: VecDeque::new(),
             stalled: VecDeque::new(),
             stats: L2Stats::default(),
+            sink: TraceSink::default(),
         }
+    }
+
+    /// Installs a trace sink (share one across the chip to get a single
+    /// event log). Pass [`TraceSink::Disabled`] to turn tracing back off.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// Event counters.
@@ -241,6 +251,14 @@ impl L2Bank {
         let kind = msg.req.expect("L1 requests carry their kind");
         let block = msg.block;
         self.stats.hits += 1;
+        self.sink.emit(|| TraceEvent {
+            cycle: port.now(),
+            kind: EventKind::L2Access {
+                node: self.node.0,
+                block,
+                hit: true,
+            },
+        });
         let line = self
             .array
             .get_mut(block)
@@ -566,6 +584,14 @@ impl L2Bank {
     fn start_fetch(&mut self, msg: Msg, port: &mut dyn Port) {
         let block = msg.block;
         self.stats.misses += 1;
+        self.sink.emit(|| TraceEvent {
+            cycle: port.now(),
+            kind: EventKind::L2Access {
+                node: self.node.0,
+                block,
+                hit: false,
+            },
+        });
         if self.cfg.undo_on_l2_miss {
             // §4.4 ablation: release the circuit while the request goes to
             // memory (the paper found keeping it performs better).

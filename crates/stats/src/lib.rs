@@ -11,6 +11,8 @@
 //!   error and CI95 half-width;
 //! * [`Histogram`] — fixed-width binned latency distributions with
 //!   percentile queries;
+//! * [`LatencyStat`] — an accumulator and a histogram fed by one `record`
+//!   call, so mean and p50/p99 can never drift apart;
 //! * [`geometric_mean`] / [`harmonic_mean`] — the means used for speedup
 //!   aggregation.
 //!
@@ -33,8 +35,10 @@
 
 mod accumulator;
 mod histogram;
+mod latency;
 mod means;
 
 pub use accumulator::Accumulator;
 pub use histogram::Histogram;
+pub use latency::LatencyStat;
 pub use means::{geometric_mean, harmonic_mean, weighted_mean};

@@ -11,6 +11,7 @@ use rcsim_noc::{
     WatchdogConfig,
 };
 use rcsim_protocol::{Access, L1Cache, L2Bank, MemoryController, Msg, Port, ProtocolConfig};
+use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use rcsim_workload::Workload;
 use std::collections::{HashMap, HashSet};
 
@@ -96,6 +97,10 @@ pub struct Chip {
     payloads: HashMap<u64, Msg>,
     next_token: u64,
     undone: HashSet<CircuitKey>,
+    /// Where trace events go; disabled by default.
+    sink: TraceSink,
+    /// Cycles between whole-network occupancy samples (0 = never).
+    trace_epoch: u64,
 }
 
 impl Chip {
@@ -167,7 +172,30 @@ impl Chip {
             payloads: HashMap::new(),
             next_token: 0,
             undone: HashSet::new(),
+            sink: TraceSink::default(),
+            trace_epoch: 0,
         })
+    }
+
+    /// Installs a trace sink, fanned out to the network (NIs and routers)
+    /// and every cache so the whole chip records into one shared event
+    /// log. Pass [`TraceSink::Disabled`] to turn tracing back off.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.net.set_trace_sink(sink.clone());
+        for l1 in &mut self.l1s {
+            l1.set_trace_sink(sink.clone());
+        }
+        for l2 in &mut self.l2s {
+            l2.set_trace_sink(sink.clone());
+        }
+        self.sink = sink;
+    }
+
+    /// Sets the occupancy-sampling period: every `epoch` cycles the chip
+    /// emits an [`EventKind::EpochSample`] with circuit-table, VC-buffer
+    /// and NI-queue occupancy. `0` disables sampling.
+    pub fn set_trace_epoch(&mut self, epoch: u64) {
+        self.trace_epoch = epoch;
     }
 
     /// Current cycle.
@@ -216,6 +244,18 @@ impl Chip {
         // The network moves.
         self.net.tick();
         let now = self.net.now();
+
+        if self.trace_epoch > 0 && now.is_multiple_of(self.trace_epoch) && self.sink.is_enabled() {
+            let t = self.net.telemetry();
+            self.sink.emit(|| TraceEvent {
+                cycle: now,
+                kind: EventKind::EpochSample {
+                    circuit_entries: t.circuit_entries,
+                    buffered_flits: t.buffered_flits,
+                    ni_backlog: t.ni_backlog,
+                },
+            });
+        }
 
         // Deliveries fan out to the tile components.
         for (node, d) in self.net.take_all_delivered() {

@@ -38,4 +38,4 @@ pub use chip::Chip;
 pub use core_model::Core;
 pub use rcsim_noc::{FaultConfig, FaultStats, HealthReport, StuckPortEvent, WatchdogConfig};
 pub use report::{LatencyRow, RunResult};
-pub use sim::{run_sim, SimConfig, SimError};
+pub use sim::{run_sim, run_sim_traced, SimConfig, SimError, TraceConfig, TraceReport};

@@ -6,6 +6,7 @@ use rcsim_core::{MechanismConfig, Mesh};
 use rcsim_noc::{FaultConfig, HealthReport, WatchdogConfig};
 use rcsim_power::{area_savings, EnergyModel};
 use rcsim_protocol::ProtocolConfig;
+use rcsim_trace::{LatencyBreakdown, MetricsRegistry, TraceEvent, TraceSink};
 use rcsim_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -92,12 +93,71 @@ impl From<rcsim_core::ConfigError> for SimError {
     }
 }
 
+/// How to trace a run (see [`run_sim_traced`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Ring capacity in events; the newest `capacity` events survive.
+    pub capacity: usize,
+    /// Cycles between occupancy samples (0 = no sampling).
+    pub epoch: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1 << 20,
+            epoch: 100,
+        }
+    }
+}
+
+/// Everything the trace layer collected over the measure window.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The raw event log, in emission order (a suffix of the run when the
+    /// ring overflowed).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow during the measure window.
+    pub dropped: u64,
+    /// Per-message latency phases reconstructed from the events.
+    pub breakdown: LatencyBreakdown,
+    /// Event counts by kind plus last-sample occupancy gauges.
+    pub metrics: MetricsRegistry,
+}
+
 /// Runs one simulation point and gathers every measured quantity.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] for unknown workloads or invalid configurations.
 pub fn run_sim(cfg: &SimConfig) -> Result<RunResult, SimError> {
+    run_sim_inner(cfg, None).map(|(result, _)| result)
+}
+
+/// [`run_sim`] with event tracing: identical simulation (the trace layer
+/// is purely observational — see the bit-identity test), plus a
+/// [`TraceReport`] covering the measure window (the warm-up's events are
+/// discarded at the reset boundary).
+///
+/// # Errors
+///
+/// Returns [`SimError`] for unknown workloads or invalid configurations.
+pub fn run_sim_traced(
+    cfg: &SimConfig,
+    trace: &TraceConfig,
+) -> Result<(RunResult, TraceReport), SimError> {
+    run_sim_inner(cfg, Some(trace)).map(|(result, report)| {
+        (
+            result,
+            report.expect("tracing was requested, so a report exists"),
+        )
+    })
+}
+
+fn run_sim_inner(
+    cfg: &SimConfig,
+    trace: Option<&TraceConfig>,
+) -> Result<(RunResult, Option<TraceReport>), SimError> {
     // Square for the paper's 16/64-core chips; the most nearly square
     // rectangle otherwise (scalability sweeps at 32, 48, … cores).
     let mesh = Mesh::square(cfg.cores).or_else(|_| Mesh::near_square(cfg.cores))?;
@@ -117,11 +177,39 @@ pub fn run_sim(cfg: &SimConfig) -> Result<RunResult, SimError> {
         cfg.watchdog,
     )?;
 
+    let sink = match trace {
+        Some(t) => {
+            let sink = TraceSink::ring(t.capacity);
+            chip.set_trace_sink(sink.clone());
+            chip.set_trace_epoch(t.epoch);
+            sink
+        }
+        None => TraceSink::Disabled,
+    };
+
     chip.run(cfg.warmup_cycles)
         .map_err(|report| SimError::Stalled { report })?;
     chip.reset_stats();
+    // Discard warm-up events so the trace covers the measure window only
+    // (packets already in flight keep their enqueue/inject events, which
+    // the breakdown post-pass counts as unresolved).
+    sink.drain();
     chip.run(cfg.measure_cycles)
         .map_err(|report| SimError::Stalled { report })?;
+
+    let trace_report = trace.map(|_| {
+        let dropped = sink.dropped();
+        let events = sink.drain();
+        let breakdown = LatencyBreakdown::from_events(&events);
+        let mut metrics = MetricsRegistry::new();
+        metrics.tally_events(&events);
+        TraceReport {
+            events,
+            dropped,
+            breakdown,
+            metrics,
+        }
+    });
 
     let stats = chip.noc_stats();
     let l1 = chip.l1_totals();
@@ -158,5 +246,5 @@ pub fn run_sim(cfg: &SimConfig) -> Result<RunResult, SimError> {
         health: chip.health(),
     };
     result.fill_noc_summaries(&stats);
-    Ok(result)
+    Ok((result, trace_report))
 }

@@ -1,0 +1,170 @@
+//! Machine-readable benchmark output: the `BENCH_<name>.json` summary
+//! every bench bin writes, and the validator the CI smoke step runs
+//! against it.
+//!
+//! The schema is deliberately tiny and flat so downstream tooling (CI
+//! diffing, plotting scripts) never needs to understand simulator
+//! internals: one row per measured configuration with the three headline
+//! numbers the paper reports everywhere — average packet latency, tail
+//! latency, and how often traffic rode a circuit — plus a free-form
+//! `extra` map for bench-specific values.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Version stamped into every summary; bump when a field changes meaning.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One measured configuration (one workload × mechanism × core-count
+/// point) inside a bench summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Human label for the point, e.g. `"canneal/complete"`.
+    pub label: String,
+    /// Core count the point ran with.
+    pub cores: usize,
+    /// Mean network latency over reply messages, in cycles.
+    pub avg_latency: f64,
+    /// 99th-percentile network latency, in cycles.
+    pub p99_latency: f64,
+    /// Fraction of circuit-eligible replies that rode a complete circuit,
+    /// in `[0, 1]`.
+    pub circuit_hit_rate: f64,
+    /// Bench-specific extra values (speedups, energy, hop counts, ...).
+    #[serde(default)]
+    pub extra: BTreeMap<String, f64>,
+}
+
+/// The document written to `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSummary {
+    /// Bench bin name (`fig6`, `table5`, ...).
+    pub bench: String,
+    /// Schema version, [`BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// One row per measured configuration.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchSummary {
+    /// An empty summary for bench `name` at the current schema version.
+    pub fn new(name: &str) -> Self {
+        Self {
+            bench: name.to_owned(),
+            schema_version: BENCH_SCHEMA_VERSION,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Checks the summary against the schema's semantic constraints and
+    /// returns every violation found (empty means valid). The JSON-level
+    /// shape is already guaranteed by deserialization; this catches the
+    /// constraints a type system can't: finite latencies, a hit rate
+    /// inside `[0, 1]`, non-empty labels, a known schema version.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        if self.bench.is_empty() {
+            errors.push("bench name is empty".to_owned());
+        }
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            errors.push(format!(
+                "schema_version {} != supported {}",
+                self.schema_version, BENCH_SCHEMA_VERSION
+            ));
+        }
+        if self.rows.is_empty() {
+            errors.push("summary has no rows".to_owned());
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.label.is_empty() {
+                errors.push(format!("row {i}: empty label"));
+            }
+            if row.cores == 0 {
+                errors.push(format!("row {i} ({}): cores is 0", row.label));
+            }
+            for (what, v) in [
+                ("avg_latency", row.avg_latency),
+                ("p99_latency", row.p99_latency),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    errors.push(format!("row {i} ({}): {what} = {v} is invalid", row.label));
+                }
+            }
+            if !(0.0..=1.0).contains(&row.circuit_hit_rate) {
+                errors.push(format!(
+                    "row {i} ({}): circuit_hit_rate = {} outside [0, 1]",
+                    row.label, row.circuit_hit_rate
+                ));
+            }
+            for (k, v) in &row.extra {
+                if !v.is_finite() {
+                    errors.push(format!("row {i} ({}): extra.{k} is not finite", row.label));
+                }
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str) -> BenchRow {
+        BenchRow {
+            label: label.to_owned(),
+            cores: 16,
+            avg_latency: 31.5,
+            p99_latency: 88.0,
+            circuit_hit_rate: 0.42,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn valid_summary_round_trips() {
+        let mut s = BenchSummary::new("fig6");
+        s.push(row("canneal/complete"));
+        assert!(s.validate().is_empty(), "{:?}", s.validate());
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: BenchSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let mut s = BenchSummary::new("fig6");
+        let mut bad = row("");
+        bad.circuit_hit_rate = 1.5;
+        bad.avg_latency = f64::NAN;
+        s.push(bad);
+        let errors = s.validate();
+        assert!(errors.iter().any(|e| e.contains("empty label")));
+        assert!(errors.iter().any(|e| e.contains("circuit_hit_rate")));
+        assert!(errors.iter().any(|e| e.contains("avg_latency")));
+    }
+
+    #[test]
+    fn empty_and_wrong_version_rejected() {
+        let mut s = BenchSummary::new("x");
+        assert!(s.validate().iter().any(|e| e.contains("no rows")));
+        s.push(row("a"));
+        s.schema_version = 99;
+        assert!(s.validate().iter().any(|e| e.contains("schema_version")));
+    }
+
+    #[test]
+    fn extra_defaults_when_absent_from_json() {
+        let json = r#"{"bench":"t","schema_version":1,"rows":[
+            {"label":"a","cores":4,"avg_latency":1.0,"p99_latency":2.0,"circuit_hit_rate":0.5}
+        ]}"#;
+        let s: BenchSummary = serde_json::from_str(json).unwrap();
+        assert!(s.rows[0].extra.is_empty());
+        assert!(s.validate().is_empty());
+    }
+}

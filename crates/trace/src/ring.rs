@@ -1,0 +1,106 @@
+//! The bounded in-memory event log.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+
+/// A bounded single-writer event ring: the newest `capacity` events are
+/// kept, the oldest are overwritten, and every overwrite is counted so a
+/// post-pass knows the log is a suffix of the run rather than all of it.
+///
+/// The storage is allocated once up front and never grows; pushing into a
+/// full ring pops the oldest slot first, so the steady state performs no
+/// allocation at all.
+#[derive(Debug)]
+pub struct RingLog {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingLog {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a trace ring needs at least one slot");
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one event, overwriting the oldest when full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all held events in emission order.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Copies the held events in emission order without removing them.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind: EventKind::NiInject {
+                packet: cycle,
+                node: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut r = RingLog::new(3);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let cycles: Vec<u64> = r.drain().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let mut r = RingLog::new(8);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.snapshot().len(), 2);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -30,4 +30,16 @@ $CARGO test -q "$@"
 echo "==> cargo test --workspace"
 $CARGO test --workspace "$@"
 
+echo "==> bench telemetry smoke (traced fig6 + summary validation)"
+# A tiny traced fig6 run must emit its machine-readable summary and a
+# Chrome trace; validate_bench then checks every BENCH_*.json written so
+# far against scripts/bench_schema.json. Catches a bench binary that
+# silently stops writing (or corrupts) its summary.
+RC_APPS=blackscholes RC_CYCLES=2000 RC_WARMUP=1000 RC_SMALL_CACHES=1 \
+  RC_CORES=16 RC_MAX_CYCLES=10000 \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null
+test -s target/experiments/BENCH_fig6.json
+test -s target/experiments/fig6_trace.json
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
+
 echo "CI gate passed."

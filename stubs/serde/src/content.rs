@@ -1,0 +1,160 @@
+//! The stub's self-describing value tree — a minimal serde data model that
+//! doubles as `serde_json::Value`.
+
+use std::fmt;
+
+/// Error produced when a content tree does not match the requested shape.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// A self-describing value: the serde data model of the offline stub, and
+/// the `serde_json::Value` of the patched workspace.
+///
+/// Maps preserve insertion order (like serde_json's `preserve_order`
+/// feature) so structs round-trip field-for-field.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Content {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always `< 0` when produced by the parser).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+
+    /// The value as an unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(n) => Some(*n),
+            Content::I64(n) => u64::try_from(*n).ok(),
+            Content::F64(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(n) => Some(*n),
+            Content::U64(n) => i64::try_from(*n).ok(),
+            Content::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert; `"inf"`-style strings
+    /// written by the serializer for non-finite floats convert back).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(x) => Some(*x),
+            Content::U64(n) => Some(*n as f64),
+            Content::I64(n) => Some(*n as f64),
+            Content::Str(s) => match s.as_str() {
+                "inf" | "Infinity" => Some(f64::INFINITY),
+                "-inf" | "-Infinity" => Some(f64::NEG_INFINITY),
+                "NaN" | "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object's entries, in insertion order.
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// `true` for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Member lookup on objects (`None` for other variants or missing key).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_object()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// First value for `key` in an object's entry slice (derive-macro helper).
+pub fn find<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// "missing field" error (derive-macro helper).
+pub fn missing_field(ty: &str, field: &str) -> Error {
+    Error::msg(format!("missing field `{field}` of `{ty}`"))
+}
+
+/// "expected map" error (derive-macro helper).
+pub fn expected_map(ty: &str, got: &Content) -> Error {
+    Error::msg(format!("expected object for `{ty}`, got {}", got.kind()))
+}

@@ -1,19 +1,377 @@
-//! Offline stand-in for serde: the trait names exist (satisfied by every
-//! type via blanket impls) and the derive macros expand to nothing.
+//! Offline stand-in for serde with a *working* self-describing data model.
+//!
+//! The original stub made `Serialize`/`Deserialize` empty marker traits, so
+//! `serde_json` could only emit a `{}` placeholder and never parse anything
+//! back. This version keeps the same public surface the workspace uses
+//! (`serde::{Serialize, Deserialize}`, the derive macros, `#[serde(default)]`)
+//! but gives the traits one real method each over a small self-describing
+//! value tree ([`content::Content`]): enough for faithful JSON round-trips of
+//! every type in the workspace, while staying hermetic (no crates.io).
+
 pub use serde_derive::{Deserialize, Serialize};
 
-pub trait Serialize {}
-impl<T: ?Sized> Serialize for T {}
+pub mod content;
 
-pub trait Deserialize<'de>: Sized {}
-impl<'de, T> Deserialize<'de> for T {}
+/// Types that can be converted into the self-describing [`content::Content`]
+/// tree (the stub's whole serde data model).
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> content::Content;
+}
 
+/// Types that can be rebuilt from a [`content::Content`] tree.
+///
+/// The lifetime parameter exists only for signature compatibility with real
+/// serde (`from_str::<T>` takes `T: Deserialize<'a>`); the stub always
+/// deserializes from owned data.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds the value from a content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first shape mismatch.
+    fn from_content(c: &content::Content) -> Result<Self, content::Error>;
+}
+
+/// Owned-data deserialization (blanket, as in real serde).
 pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
 impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 
 pub mod de {
+    //! Deserialization re-exports (API compatibility).
     pub use super::{Deserialize, DeserializeOwned};
 }
 pub mod ser {
+    //! Serialization re-exports (API compatibility).
     pub use super::Serialize;
+}
+
+use content::{Content, Error};
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = c.as_u64().ok_or_else(|| {
+                    Error::msg(format!("expected unsigned integer, got {}", c.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::msg("unsigned integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let n = c.as_i64().ok_or_else(|| {
+                    Error::msg(format!("expected integer, got {}", c.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, got {}", c.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!(
+                "expected single-char string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / smart-pointer impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequence impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let v: Vec<T> = Vec::from_content(c)?;
+        let got = v.len();
+        v.try_into()
+            .map_err(|_| Error::msg(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Vec::from_content(c).map(Vec::into_iter).map(|i| i.collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::Seq(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected {}-tuple, got {}", [$($n),+].len(), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+// ---------------------------------------------------------------------------
+// Map impls (JSON object keys must stringify; unit enum variants and
+// integers qualify, matching real serde_json)
+// ---------------------------------------------------------------------------
+
+fn key_to_string(c: Content) -> Result<String, Error> {
+    match c {
+        Content::Str(s) => Ok(s),
+        Content::U64(n) => Ok(n.to_string()),
+        Content::I64(n) => Ok(n.to_string()),
+        other => Err(Error::msg(format!(
+            "map key must serialize to a string, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn key_from_string<'de, K: Deserialize<'de>>(s: &str) -> Result<K, Error> {
+    // Try the string itself first (String / unit-enum keys), then fall
+    // back to a numeric reparse for integer-keyed maps.
+    K::from_content(&Content::Str(s.to_owned())).or_else(|e| {
+        if let Ok(u) = s.parse::<u64>() {
+            return K::from_content(&Content::U64(u));
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            return K::from_content(&Content::I64(i));
+        }
+        Err(e)
+    })
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = key_to_string(k.to_content()).expect("unstringifiable map key");
+            entries.push((key, v.to_content()));
+        }
+        Content::Map(entries)
+    }
+}
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(k.to_content()).expect("unstringifiable map key");
+                (key, v.to_content())
+            })
+            .collect();
+        // Deterministic output regardless of hash order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+// Content serializes/deserializes as itself, so `serde_json::Value`
+// (an alias for it) works with the generic entry points.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
 }
