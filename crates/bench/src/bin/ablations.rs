@@ -9,8 +9,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rcsim_bench::{
-    bench_row, measure_cycles, run_point, save_bench_summary, save_json, warmup_cycles, BenchRow,
-    BenchSummary,
+    bench_row, measure_cycles, run_points, save_bench_summary, save_json, warmup_cycles, BenchRow,
+    BenchSummary, PointSpec,
 };
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::{MechanismConfig, Mesh, MessageClass, NodeId};
@@ -32,11 +32,18 @@ fn circuits_per_input_sweep(summary: &mut BenchSummary) {
         "{:>9} {:>10} {:>10} {:>12}",
         "entries", "circuit%", "failed%", "storage-fail"
     );
+    let entries_sweep = [1u8, 2, 3, 5, 8];
+    let specs: Vec<PointSpec> = entries_sweep
+        .iter()
+        .map(|&entries| {
+            let mut mechanism = MechanismConfig::complete_noack();
+            mechanism.max_circuits_per_input = entries;
+            PointSpec::new(64, mechanism, &app(), 1)
+        })
+        .collect();
+    let runs = run_points(&specs);
     let mut rows = Vec::new();
-    for entries in [1u8, 2, 3, 5, 8] {
-        let mut mechanism = MechanismConfig::complete_noack();
-        mechanism.max_circuits_per_input = entries;
-        let r = run_point(64, mechanism, &app(), 1);
+    for (&entries, r) in entries_sweep.iter().zip(&runs) {
         println!(
             "{:>9} {:>9.1}% {:>9.1}% {:>12}",
             entries,
@@ -44,7 +51,7 @@ fn circuits_per_input_sweep(summary: &mut BenchSummary) {
             100.0 * r.outcomes["failed"],
             r.reservation_failures[0],
         );
-        let mut row = bench_row(&format!("entries_{entries}"), 64, std::slice::from_ref(&r));
+        let mut row = bench_row(&format!("entries_{entries}"), 64, std::slice::from_ref(r));
         row.extra
             .insert("storage_failures".into(), r.reservation_failures[0] as f64);
         summary.push(row);
@@ -59,25 +66,29 @@ fn undo_on_l2_miss(summary: &mut BenchSummary) {
         "== keep vs undo circuits on L2 miss (§4.4, 64 cores, '{}') ==",
         app()
     );
-    let base = run_point(64, MechanismConfig::baseline(), &app(), 1);
-    let keep = run_point(64, MechanismConfig::complete_noack(), &app(), 1);
     let mut undo_mech = MechanismConfig::complete_noack();
     undo_mech.undo_on_l2_miss = true;
-    let undo = run_point(64, undo_mech, &app(), 1);
+    let specs = [
+        PointSpec::new(64, MechanismConfig::baseline(), &app(), 1),
+        PointSpec::new(64, MechanismConfig::complete_noack(), &app(), 1),
+        PointSpec::new(64, undo_mech, &app(), 1),
+    ];
+    let runs = run_points(&specs);
+    let (base, keep, undo) = (&runs[0], &runs[1], &runs[2]);
     println!(
         "  keep built: speedup {:.3}, circuit {:.1}%",
-        keep.speedup_over(&base),
+        keep.speedup_over(base),
         100.0 * keep.outcomes["circuit"]
     );
     println!(
         "  undo at miss: speedup {:.3}, circuit {:.1}%, undone {:.1}%",
-        undo.speedup_over(&base),
+        undo.speedup_over(base),
         100.0 * undo.outcomes["circuit"],
         100.0 * undo.outcomes["undone"]
     );
-    for (label, r) in [("l2miss_keep", &keep), ("l2miss_undo", &undo)] {
+    for (label, r) in [("l2miss_keep", keep), ("l2miss_undo", undo)] {
         let mut row = bench_row(label, 64, std::slice::from_ref(r));
-        row.extra.insert("speedup".into(), r.speedup_over(&base));
+        row.extra.insert("speedup".into(), r.speedup_over(base));
         summary.push(row);
     }
     println!("(the paper found keeping them performs better)\n");
@@ -85,17 +96,24 @@ fn undo_on_l2_miss(summary: &mut BenchSummary) {
 
 fn scrounger_modes(summary: &mut BenchSummary) {
     println!("== scrounger semantics (64 cores, '{}') ==", app());
-    let base = run_point(64, MechanismConfig::baseline(), &app(), 1);
-    for (name, mechanism) in [
+    let modes = [
         ("no reuse", MechanismConfig::complete_noack()),
         ("consume", MechanismConfig::reuse_noack()),
         ("borrow", MechanismConfig::reuse_borrow_noack()),
-    ] {
-        let r = run_point(64, mechanism, &app(), 1);
+    ];
+    let mut specs = vec![PointSpec::new(64, MechanismConfig::baseline(), &app(), 1)];
+    specs.extend(
+        modes
+            .iter()
+            .map(|(_, mechanism)| PointSpec::new(64, *mechanism, &app(), 1)),
+    );
+    let runs = run_points(&specs);
+    let base = &runs[0];
+    for ((name, _), r) in modes.iter().zip(&runs[1..]) {
         println!(
             "  {:<9} speedup {:.3}, circuit {:>4.1}%, scrounger {:>4.1}%, failed {:>4.1}%",
             name,
-            r.speedup_over(&base),
+            r.speedup_over(base),
             100.0 * r.outcomes["circuit"],
             100.0 * r.outcomes["scrounger"],
             100.0 * r.outcomes["failed"],
@@ -103,9 +121,9 @@ fn scrounger_modes(summary: &mut BenchSummary) {
         let mut row = bench_row(
             &format!("scrounger_{}", name.replace(' ', "_")),
             64,
-            std::slice::from_ref(&r),
+            std::slice::from_ref(r),
         );
-        row.extra.insert("speedup".into(), r.speedup_over(&base));
+        row.extra.insert("speedup".into(), r.speedup_over(base));
         row.extra
             .insert("scrounger_frac".into(), r.outcomes["scrounger"]);
         summary.push(row);
@@ -120,14 +138,21 @@ fn slack_sweep(summary: &mut BenchSummary) {
         "{:>7} {:>10} {:>10} {:>10}",
         "slack", "circuit%", "failed%", "undone%"
     );
+    let slacks = [0u32, 1, 2, 4, 8];
+    let specs: Vec<PointSpec> = slacks
+        .iter()
+        .map(|&k| {
+            let mechanism = if k == 0 {
+                MechanismConfig::timed_noack()
+            } else {
+                MechanismConfig::slack(k)
+            };
+            PointSpec::new(64, mechanism, &app(), 1)
+        })
+        .collect();
+    let runs = run_points(&specs);
     let mut rows = Vec::new();
-    for k in [0u32, 1, 2, 4, 8] {
-        let mechanism = if k == 0 {
-            MechanismConfig::timed_noack()
-        } else {
-            MechanismConfig::slack(k)
-        };
-        let r = run_point(64, mechanism, &app(), 1);
+    for (&k, r) in slacks.iter().zip(&runs) {
         println!(
             "{:>7} {:>9.1}% {:>9.1}% {:>9.1}%",
             k,
@@ -135,7 +160,7 @@ fn slack_sweep(summary: &mut BenchSummary) {
             100.0 * r.outcomes["failed"],
             100.0 * r.outcomes["undone"],
         );
-        let mut row = bench_row(&format!("slack_{k}"), 64, std::slice::from_ref(&r));
+        let mut row = bench_row(&format!("slack_{k}"), 64, std::slice::from_ref(r));
         row.extra.insert("undone_frac".into(), r.outcomes["undone"]);
         summary.push(row);
         rows.push((k, r.outcomes["circuit"]));
@@ -145,6 +170,8 @@ fn slack_sweep(summary: &mut BenchSummary) {
 }
 
 /// Network-only load sweep: circuit-reply latency gain vs injection rate.
+/// Synthetic points drive `Network` directly (no `SimConfig`), so this
+/// sweep stays serial rather than going through the sweep runner.
 fn load_threshold(summary: &mut BenchSummary) {
     println!("== congestion threshold (synthetic request/reply, 8x8) ==");
     println!(
@@ -223,6 +250,6 @@ fn main() {
     scrounger_modes(&mut summary);
     slack_sweep(&mut summary);
     load_threshold(&mut summary);
-    save_bench_summary(&summary);
+    save_bench_summary(&mut summary);
     let _ = NodeId(0);
 }

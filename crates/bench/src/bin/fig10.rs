@@ -5,7 +5,7 @@
 //! the paper does.
 
 use rcsim_bench::{
-    bench_row, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+    bench_row, experiment_apps, run_points, save_bench_summary, save_json, BenchSummary, PointSpec,
 };
 use rcsim_core::MechanismConfig;
 use rcsim_stats::geometric_mean;
@@ -20,13 +20,25 @@ fn main() {
     );
 
     let mechanism = MechanismConfig::slack_delay(1);
+    // One (baseline, slack) pair per application, submitted as one flat
+    // job list so the sweep runner fans the whole figure across workers.
+    let specs: Vec<PointSpec> = experiment_apps()
+        .iter()
+        .flat_map(|app| {
+            [
+                PointSpec::new(64, MechanismConfig::baseline(), app, 1),
+                PointSpec::new(64, mechanism, app, 1),
+            ]
+        })
+        .collect();
+    let all = run_points(&specs);
+
     let mut speedups = Vec::new();
     let mut raw = Vec::new();
     let mut summary = BenchSummary::new("fig10");
-    for app in experiment_apps() {
-        let base = run_point(64, MechanismConfig::baseline(), &app, 1);
-        let r = run_point(64, mechanism, &app, 1);
-        let s = r.speedup_over(&base);
+    for (app, pair) in experiment_apps().iter().zip(all.chunks(2)) {
+        let (base, r) = (&pair[0], &pair[1]);
+        let s = r.speedup_over(base);
         println!(
             "{:<18} {:>9.3} {:>10.1}% {:>9.2}",
             app,
@@ -35,13 +47,13 @@ fn main() {
             r.load
         );
         speedups.push(s);
-        let mut row = bench_row(&app, 64, std::slice::from_ref(&r));
+        let mut row = bench_row(app, 64, std::slice::from_ref(r));
         row.extra.insert("speedup".into(), s);
         row.extra.insert("load".into(), r.load);
         summary.push(row);
         raw.push((app.clone(), s));
     }
-    save_bench_summary(&summary);
+    save_bench_summary(&mut summary);
     if let Some(g) = geometric_mean(speedups.iter().copied()) {
         println!("\ngeometric mean speedup: {g:.3} (paper average: 1.060)");
     }

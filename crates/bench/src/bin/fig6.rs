@@ -13,8 +13,8 @@
 //!   EXPERIMENTS.md for the walkthrough).
 
 use rcsim_bench::{
-    bench_row, cores_list, experiment_apps, mean_outcomes, run_apps, save_bench_summary, save_json,
-    save_text, BenchSummary,
+    app_seed_points, bench_row, cores_list, experiment_apps, mean_outcomes, run_points,
+    save_bench_summary, save_json, save_text, seeds, BenchSummary, PointSpec,
 };
 use rcsim_core::MechanismConfig;
 use rcsim_system::{run_sim_traced, SimConfig, TraceConfig};
@@ -55,6 +55,25 @@ fn main() {
     println!("fail more; slack recovers them but large slack re-creates conflicts;");
     println!("Ideal is the upper bound; ~40%+ of replies are never eligible.\n");
 
+    // The whole (cores × mechanism × app × seed) grid goes to the sweep
+    // runner as one job list, so RC_JOBS workers parallelize across
+    // mechanisms as well as apps; results come back in submission order.
+    let grid: Vec<(u16, MechanismConfig)> = cores_list()
+        .into_iter()
+        .flat_map(|c| {
+            MechanismConfig::figure6_grid()
+                .into_iter()
+                .map(move |m| (c, m))
+        })
+        .collect();
+    let specs: Vec<PointSpec> = grid
+        .iter()
+        .flat_map(|&(c, m)| app_seed_points(c, m, 1))
+        .collect();
+    let per_point = experiment_apps().len() * seeds().len();
+    let all = run_points(&specs);
+    let mut chunks = all.chunks(per_point);
+
     let mut raw = Vec::new();
     let mut summary = BenchSummary::new("fig6");
     for cores in cores_list() {
@@ -70,8 +89,8 @@ fn main() {
             "eliminated"
         );
         for mechanism in MechanismConfig::figure6_grid() {
-            let results = run_apps(cores, mechanism, 1);
-            let o = mean_outcomes(&results);
+            let results = chunks.next().expect("grid-aligned result chunks");
+            let o = mean_outcomes(results);
             println!(
                 "{:<22} {:>8.1}% {:>8.1}% {:>8.1}% {:>9.1}% {:>12.1}% {:>11.1}%",
                 mechanism.label(),
@@ -82,7 +101,7 @@ fn main() {
                 100.0 * o["not_eligible"],
                 100.0 * o["eliminated"],
             );
-            let mut row = bench_row(&mechanism.label(), cores, &results);
+            let mut row = bench_row(&mechanism.label(), cores, results);
             for (k, v) in &o {
                 row.extra.insert(format!("outcome.{k}"), *v);
             }
@@ -92,6 +111,6 @@ fn main() {
         println!();
     }
     save_json("fig6", &raw);
-    save_bench_summary(&summary);
+    save_bench_summary(&mut summary);
     export_chrome_trace();
 }

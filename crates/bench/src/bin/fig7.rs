@@ -2,7 +2,10 @@
 //! circuit-eligible replies, other replies) across the key mechanism
 //! configurations.
 
-use rcsim_bench::{bench_row, cores_list, run_apps, save_bench_summary, save_json, BenchSummary};
+use rcsim_bench::{
+    app_seed_points, bench_row, cores_list, experiment_apps, run_points, save_bench_summary,
+    save_json, seeds, BenchSummary, PointSpec,
+};
 use rcsim_core::MechanismConfig;
 use rcsim_stats::Accumulator;
 use rcsim_system::RunResult;
@@ -19,6 +22,25 @@ fn main() {
     println!("drops NoCircuit_Rep latency (the acks vanish) and relieves the");
     println!("non-circuit VC; Postponed forces waits; requests are unchanged.\n");
 
+    // One flat job list over the whole (cores × mechanism × app × seed)
+    // grid: the sweep runner fans it across RC_JOBS workers and returns
+    // results in submission order, which the loops below re-chunk.
+    let grid: Vec<(u16, MechanismConfig)> = cores_list()
+        .into_iter()
+        .flat_map(|c| {
+            MechanismConfig::key_configs()
+                .into_iter()
+                .map(move |m| (c, m))
+        })
+        .collect();
+    let specs: Vec<PointSpec> = grid
+        .iter()
+        .flat_map(|&(c, m)| app_seed_points(c, m, 1))
+        .collect();
+    let per_point = experiment_apps().len() * seeds().len();
+    let all = run_points(&specs);
+    let mut chunks = all.chunks(per_point);
+
     let mut raw = Vec::new();
     let mut summary = BenchSummary::new("fig7");
     for cores in cores_list() {
@@ -32,10 +54,10 @@ fn main() {
             "", "net", "queue", "net", "queue", "net", "queue", "f/n/100c"
         );
         for mechanism in MechanismConfig::key_configs() {
-            let results = run_apps(cores, mechanism, 1);
-            let (rq_n, rq_q) = group(&results, "Request");
-            let (cr_n, cr_q) = group(&results, "Circuit_Rep");
-            let (nc_n, nc_q) = group(&results, "NoCircuit_Rep");
+            let results = chunks.next().expect("grid-aligned result chunks");
+            let (rq_n, rq_q) = group(results, "Request");
+            let (cr_n, cr_q) = group(results, "Circuit_Rep");
+            let (nc_n, nc_q) = group(results, "NoCircuit_Rep");
             let load: Accumulator = results.iter().map(|r| r.load).collect();
             println!(
                 "{:<22} {:>7.1} {:>6.1} {:>9.1} {:>6.1} {:>11.1} {:>6.1} {:>8.2}",
@@ -48,7 +70,7 @@ fn main() {
                 nc_q,
                 load.mean()
             );
-            let mut row = bench_row(&mechanism.label(), cores, &results);
+            let mut row = bench_row(&mechanism.label(), cores, results);
             row.extra.insert("request_net".into(), rq_n);
             row.extra.insert("circuit_rep_net".into(), cr_n);
             row.extra.insert("nocircuit_rep_net".into(), nc_n);
@@ -63,5 +85,5 @@ fn main() {
         );
     }
     save_json("fig7", &raw);
-    save_bench_summary(&summary);
+    save_bench_summary(&mut summary);
 }

@@ -2,7 +2,7 @@
 //! (64-core chip, average over all benchmarks, baseline network).
 
 use rcsim_bench::{
-    bench_row, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+    bench_row, experiment_apps, run_points, save_bench_summary, save_json, BenchSummary, PointSpec,
 };
 use rcsim_core::MechanismConfig;
 use std::collections::BTreeMap;
@@ -29,14 +29,16 @@ const REQUEST_CLASSES: &[&str] = &[
 
 fn main() {
     println!("Table 1 — message mix (64 cores, baseline, avg over apps)\n");
+    let specs: Vec<PointSpec> = experiment_apps()
+        .iter()
+        .map(|app| PointSpec::new(64, MechanismConfig::baseline(), app, 1))
+        .collect();
+    let runs = run_points(&specs);
     let mut totals: BTreeMap<String, u64> = BTreeMap::new();
-    let mut runs = Vec::new();
-    for app in experiment_apps() {
-        let r = run_point(64, MechanismConfig::baseline(), &app, 1);
+    for r in &runs {
         for (k, v) in &r.messages {
             *totals.entry(k.clone()).or_insert(0) += v;
         }
-        runs.push(r);
     }
     let all: u64 = totals.values().sum();
     let share = |label: &str| -> f64 {
@@ -72,5 +74,5 @@ fn main() {
     }
     row.extra.insert("share.Replies (total)".into(), replies);
     summary.push(row);
-    save_bench_summary(&summary);
+    save_bench_summary(&mut summary);
 }

@@ -3,7 +3,7 @@
 //! fraction.
 
 use rcsim_bench::{
-    bench_row, experiment_apps, run_point, save_bench_summary, save_json, BenchSummary,
+    bench_row, experiment_apps, run_points, save_bench_summary, save_json, BenchSummary, PointSpec,
 };
 use rcsim_core::MechanismConfig;
 
@@ -11,16 +11,18 @@ const PAPER: [f64; 6] = [48.0, 24.0, 7.0, 6.0, 6.0, 9.0]; // 1st..5th, failed
 
 fn main() {
     println!("Table 5 — circuit reservations per input-port entry (Complete_NoAck, 64 cores)\n");
+    let specs: Vec<PointSpec> = experiment_apps()
+        .iter()
+        .map(|app| PointSpec::new(64, MechanismConfig::complete_noack(), app, 1))
+        .collect();
+    let runs = run_points(&specs);
     let mut at_index = [0u64; 8];
     let mut failed = 0u64;
-    let mut runs = Vec::new();
-    for app in experiment_apps() {
-        let r = run_point(64, MechanismConfig::complete_noack(), &app, 1);
+    for r in &runs {
         for (i, n) in r.reservations_at_index.iter().enumerate() {
             at_index[i.min(7)] += n;
         }
         failed += r.reservations_failed;
-        runs.push(r);
     }
     let total = at_index.iter().sum::<u64>() + failed;
     let pct = |n: u64| 100.0 * n as f64 / total.max(1) as f64;
@@ -53,5 +55,5 @@ fn main() {
     }
     row.extra.insert("failed_pct".into(), pct(failed));
     summary.push(row);
-    save_bench_summary(&summary);
+    save_bench_summary(&mut summary);
 }

@@ -45,7 +45,7 @@ fn main() {
         }
         out.push((name, m16, m64));
     }
-    save_bench_summary(&summary);
+    save_bench_summary(&mut summary);
 
     println!("\nBaseline router component shares (64 cores):");
     let base = RouterArea::for_mechanism(&MechanismConfig::baseline(), 64);

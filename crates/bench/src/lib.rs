@@ -17,17 +17,24 @@
 //! | `RC_CORES` | comma list of core counts | `16,64` |
 //! | `RC_SMALL_CACHES` | `1` = scaled-down caches (smoke runs) | paper's Table 2 sizes |
 //! | `RC_MAX_CYCLES` | hard per-run cycle budget (warm-up + measure) | 2 000 000 |
+//! | `RC_JOBS` | sweep worker threads (`1` = serial path) | available parallelism |
+//! | `RC_NO_CACHE` | `1` = bypass the on-disk result cache | cache enabled |
+//! | `RC_CACHE_DIR` | result-cache location | `target/experiments/cache` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod sweep;
+
 use rcsim_core::MechanismConfig;
 use rcsim_stats::Accumulator;
-use rcsim_system::{run_sim, RunResult, SimConfig, SimError};
+use rcsim_system::{RunResult, SimConfig, SimError};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 pub use rcsim_trace::{BenchRow, BenchSummary};
+pub use sweep::{cache_key, SweepOutcome, SweepRunner, SweepStats, CACHE_FORMAT_VERSION};
 
 /// The workloads an experiment sweeps (see `RC_APPS`).
 pub fn experiment_apps() -> Vec<String> {
@@ -93,67 +100,193 @@ pub fn cores_list() -> Vec<u16> {
     }
 }
 
+/// One sweep point: workload × chip size × mechanism × seed, with the
+/// harness-wide `RC_*` settings applied when lowered to a [`SimConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Core count.
+    pub cores: u16,
+    /// Mechanism configuration.
+    pub mechanism: MechanismConfig,
+    /// Workload name.
+    pub app: String,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl PointSpec {
+    /// A point for `app` on a `cores`-core chip under `mechanism`.
+    pub fn new(cores: u16, mechanism: MechanismConfig, app: &str, seed: u64) -> Self {
+        Self {
+            cores,
+            mechanism,
+            app: app.to_owned(),
+            seed,
+        }
+    }
+
+    /// The diagnostic label progress lines and failure reports use.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}c seed {}",
+            self.app,
+            self.mechanism.label(),
+            self.cores,
+            self.seed
+        )
+    }
+
+    /// Lowers the point to a full [`SimConfig`] with the harness-wide
+    /// settings applied: warm-up and measurement clamped to the
+    /// [`max_cycles`] budget, cache geometry per `RC_SMALL_CACHES`.
+    pub fn config(&self) -> SimConfig {
+        let budget = max_cycles();
+        let warmup = warmup_cycles().min(budget - 1);
+        SimConfig {
+            cores: self.cores,
+            mechanism: self.mechanism,
+            workload: self.app.clone(),
+            seed: self.seed,
+            warmup_cycles: warmup,
+            measure_cycles: measure_cycles().clamp(1, budget - warmup),
+            // Experiments default to the paper's Table 2 cache sizes; set
+            // RC_SMALL_CACHES=1 for quick smoke runs.
+            small_caches: std::env::var("RC_SMALL_CACHES").is_ok_and(|v| v == "1"),
+            ..SimConfig::quick(self.cores, self.mechanism, &self.app)
+        }
+    }
+}
+
+/// The (app × seed) point grid one `run_apps` call sweeps; experiment
+/// binaries concatenate several of these into one big job list so the
+/// whole figure parallelizes, not just one mechanism at a time.
+pub fn app_seed_points(cores: u16, mechanism: MechanismConfig, seed: u64) -> Vec<PointSpec> {
+    let mut out = Vec::new();
+    for app in experiment_apps() {
+        for s in seeds() {
+            out.push(PointSpec::new(cores, mechanism, &app, seed + s - 1));
+        }
+    }
+    out
+}
+
+/// Cross-sweep totals for the current process, stamped into every bench
+/// summary by [`save_bench_summary`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepTotals {
+    /// Wall-clock ms spent inside sweeps.
+    pub wall_ms: f64,
+    /// Sum of individual point run times in ms.
+    pub busy_ms: f64,
+    /// Points executed or served from cache.
+    pub points: usize,
+    /// Points served from the on-disk result cache.
+    pub cached: usize,
+    /// Largest worker count any sweep used.
+    pub jobs: usize,
+}
+
+static SWEEP_TOTALS: Mutex<SweepTotals> = Mutex::new(SweepTotals {
+    wall_ms: 0.0,
+    busy_ms: 0.0,
+    points: 0,
+    cached: 0,
+    jobs: 0,
+});
+
+fn note_sweep(stats: &SweepStats) {
+    let mut t = SWEEP_TOTALS.lock().expect("sweep totals poisoned");
+    t.wall_ms += stats.wall_ms;
+    t.busy_ms += stats.busy_ms;
+    t.points += stats.points;
+    t.cached += stats.cached;
+    t.jobs = t.jobs.max(stats.jobs);
+}
+
+/// Snapshot of this process's accumulated sweep counters.
+pub fn sweep_totals() -> SweepTotals {
+    SWEEP_TOTALS.lock().expect("sweep totals poisoned").clone()
+}
+
+/// Runs labelled configurations through the [`SweepRunner`] (parallel +
+/// cached, see `RC_JOBS` / `RC_NO_CACHE`), or terminates the binary with
+/// a diagnostic dump. Failures are aggregated: every failed point is
+/// reported before the process exits, so one stalled configuration no
+/// longer hides the rest of the sweep. A watchdog-declared stall prints
+/// the [`rcsim_system::HealthReport`] (what wedged, the oldest in-flight
+/// messages, suspected circuit-table leaks) to stderr and exits with
+/// status 2 — CI gets an actionable log instead of a hung or garbage run.
+///
+/// # Panics
+///
+/// Panics when a configuration is invalid (unknown workload etc.) —
+/// experiment binaries fail loudly.
+pub fn run_configs(jobs: Vec<(String, SimConfig)>) -> Vec<RunResult> {
+    let outcome = SweepRunner::from_env().run(&jobs);
+    note_sweep(&outcome.stats);
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut failures = Vec::new();
+    let mut stalled = false;
+    for ((label, _), res) in jobs.iter().zip(outcome.results) {
+        match res {
+            Ok(r) => results.push(r),
+            Err(SimError::Stalled { report }) => {
+                stalled = true;
+                failures.push(format!("{label}: network stalled\n{report}"));
+            }
+            Err(e) => failures.push(format!("{label}: {e}")),
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("{} of {} sweep points failed:", failures.len(), jobs.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        if stalled {
+            std::process::exit(2);
+        }
+        panic!("{} sweep points failed", failures.len());
+    }
+    results
+}
+
+/// [`run_configs`] over [`PointSpec`]s (the common case).
+pub fn run_points(specs: &[PointSpec]) -> Vec<RunResult> {
+    run_configs(specs.iter().map(|s| (s.label(), s.config())).collect())
+}
+
 /// Runs one configuration, or terminates the binary with a diagnostic
-/// dump. A watchdog-declared stall prints the [`rcsim_system::HealthReport`]
-/// (what wedged, the oldest in-flight messages, suspected circuit-table
-/// leaks) to stderr and exits with status 2 — CI gets an actionable log
-/// instead of a hung or garbage run.
+/// dump (see [`run_configs`] for the failure contract).
 ///
 /// # Panics
 ///
 /// Panics when the configuration is invalid (unknown workload etc.) —
 /// experiment binaries fail loudly.
 pub fn run_or_die(cfg: &SimConfig, label: &str) -> RunResult {
-    match run_sim(cfg) {
-        Ok(r) => r,
-        Err(SimError::Stalled { report }) => {
-            eprintln!("{label}: network stalled, aborting this experiment\n{report}");
-            std::process::exit(2);
-        }
-        Err(e) => panic!("{label}: {e}"),
-    }
+    run_configs(vec![(label.to_owned(), cfg.clone())])
+        .pop()
+        .expect("one job in, one result out")
 }
 
 /// One experiment run with the harness-wide settings applied. Warm-up and
 /// measurement are clamped to the [`max_cycles`] budget, and a wedged
-/// network aborts with a diagnostic dump (see [`run_or_die`]).
+/// network aborts with a diagnostic dump (see [`run_configs`]).
 ///
 /// # Panics
 ///
 /// Panics when the configuration is invalid (unknown workload etc.) —
 /// experiment binaries fail loudly.
 pub fn run_point(cores: u16, mechanism: MechanismConfig, app: &str, seed: u64) -> RunResult {
-    let budget = max_cycles();
-    let warmup = warmup_cycles().min(budget - 1);
-    let cfg = SimConfig {
-        cores,
-        mechanism,
-        workload: app.to_owned(),
-        seed,
-        warmup_cycles: warmup,
-        measure_cycles: measure_cycles().clamp(1, budget - warmup),
-        // Experiments default to the paper's Table 2 cache sizes; set
-        // RC_SMALL_CACHES=1 for quick smoke runs.
-        small_caches: std::env::var("RC_SMALL_CACHES").is_ok_and(|v| v == "1"),
-        ..SimConfig::quick(cores, mechanism, app)
-    };
-    run_or_die(
-        &cfg,
-        &format!("{app}/{}/{cores}c seed {seed}", mechanism.label()),
-    )
+    run_points(&[PointSpec::new(cores, mechanism, app, seed)])
+        .pop()
+        .expect("one point in, one result out")
 }
 
-/// Runs `mechanism` over all experiment apps (× `RC_SEEDS` seeds);
-/// returns one result per (app, seed). `seed` offsets the seed sequence
-/// so paired comparisons stay paired.
+/// Runs `mechanism` over all experiment apps (× `RC_SEEDS` seeds) through
+/// the sweep runner; returns one result per (app, seed), in grid order.
+/// `seed` offsets the seed sequence so paired comparisons stay paired.
 pub fn run_apps(cores: u16, mechanism: MechanismConfig, seed: u64) -> Vec<RunResult> {
-    let mut out = Vec::new();
-    for app in experiment_apps() {
-        for s in seeds() {
-            out.push(run_point(cores, mechanism, &app, seed + s - 1));
-        }
-    }
-    out
+    run_points(&app_seed_points(cores, mechanism, seed))
 }
 
 /// Mean of a per-run metric across applications, with CI95 half-width.
@@ -210,14 +343,23 @@ pub fn bench_row(label: &str, cores: u16, results: &[RunResult]) -> BenchRow {
 
 /// Writes a bench summary to `target/experiments/BENCH_<name>.json` —
 /// the machine-readable counterpart of the human-readable stdout tables,
-/// consumed by `validate_bench` and external dashboards.
+/// consumed by `validate_bench` and external dashboards. The process's
+/// accumulated sweep counters ([`sweep_totals`]) are stamped into the
+/// summary's `wall_ms`/`busy_ms`/`jobs`/`cached_points` fields, so every
+/// `BENCH_<name>.json` records how fast its sweep executed and how much
+/// the result cache saved.
 ///
 /// # Panics
 ///
 /// Panics when the summary violates its own invariants (see
 /// [`BenchSummary::validate`]) — a malformed summary must fail the run,
 /// not poison downstream consumers.
-pub fn save_bench_summary(summary: &BenchSummary) {
+pub fn save_bench_summary(summary: &mut BenchSummary) {
+    let totals = sweep_totals();
+    summary.wall_ms = totals.wall_ms;
+    summary.busy_ms = totals.busy_ms;
+    summary.jobs = totals.jobs;
+    summary.cached_points = totals.cached;
     let problems = summary.validate();
     assert!(
         problems.is_empty(),

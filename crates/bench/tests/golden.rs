@@ -1,0 +1,154 @@
+//! Golden regression tests: the headline metrics of `SimConfig::quick`
+//! runs are pinned in `tests/golden_quick.json`. The simulator is
+//! seed-deterministic, so any drift here is a behaviour change — either a
+//! bug or an intentional model change. For the latter, regenerate with
+//!
+//! ```text
+//! RC_UPDATE_GOLDEN=1 cargo test -p rcsim-bench --test golden
+//! ```
+//!
+//! and review the diff of the golden file like any other code change.
+
+use rcsim_bench::SweepRunner;
+use rcsim_core::MechanismConfig;
+use rcsim_system::{RunResult, SimConfig};
+use serde::{Deserialize, Serialize};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_quick.json");
+const WORKLOAD: &str = "blackscholes";
+const CORES: u16 = 16;
+
+/// The pinned slice of a [`RunResult`]: enough to catch behaviour drift in
+/// the core, protocol and NoC layers without freezing every last counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenPoint {
+    mechanism: String,
+    /// Instructions retired in the fixed window (the performance metric).
+    instructions: u64,
+    /// Total messages injected into the network.
+    total_messages: u64,
+    /// Count-weighted mean network latency over all message groups.
+    avg_latency: f64,
+    /// Fraction of replies delivered over a circuit.
+    circuit_hit_rate: f64,
+    /// Failed reservation attempts.
+    reservations_failed: u64,
+}
+
+impl GoldenPoint {
+    fn from_run(r: &RunResult) -> Self {
+        let (mut lat_sum, mut lat_n) = (0.0, 0u64);
+        for row in r.latency.values() {
+            lat_sum += row.network * row.count as f64;
+            lat_n += row.count;
+        }
+        GoldenPoint {
+            mechanism: r.mechanism.clone(),
+            instructions: r.instructions,
+            total_messages: r.messages.values().sum(),
+            avg_latency: lat_sum / lat_n.max(1) as f64,
+            circuit_hit_rate: r.outcomes.get("circuit").copied().unwrap_or(0.0),
+            reservations_failed: r.reservations_failed,
+        }
+    }
+}
+
+fn mechanisms() -> [MechanismConfig; 3] {
+    [
+        MechanismConfig::baseline(),
+        MechanismConfig::fragmented(),
+        MechanismConfig::complete(),
+    ]
+}
+
+fn measure() -> Vec<GoldenPoint> {
+    let jobs: Vec<(String, SimConfig)> = mechanisms()
+        .into_iter()
+        .map(|mechanism| {
+            (
+                format!("golden/{}", mechanism.label()),
+                SimConfig::quick(CORES, mechanism, WORKLOAD),
+            )
+        })
+        .collect();
+    // Serial, uncached: goldens must reflect a fresh simulation.
+    SweepRunner::new(1, None)
+        .run(&jobs)
+        .results
+        .iter()
+        .map(|r| GoldenPoint::from_run(r.as_ref().expect("quick configs run")))
+        .collect()
+}
+
+#[test]
+fn quick_runs_match_goldens() {
+    let measured = measure();
+    if std::env::var("RC_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        let json = serde_json::to_string_pretty(&measured).unwrap();
+        std::fs::write(GOLDEN_PATH, json + "\n").unwrap();
+        eprintln!("golden file regenerated: {GOLDEN_PATH}");
+        return;
+    }
+    let text = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file present (regenerate with RC_UPDATE_GOLDEN=1)");
+    let golden: Vec<GoldenPoint> = serde_json::from_str(&text).expect("golden file parses");
+    assert_eq!(golden.len(), measured.len(), "golden point count");
+    for (g, m) in golden.iter().zip(&measured) {
+        assert_eq!(g.mechanism, m.mechanism);
+        assert_eq!(
+            g.instructions, m.instructions,
+            "[{}] instructions drifted (RC_UPDATE_GOLDEN=1 if intended)",
+            g.mechanism
+        );
+        assert_eq!(
+            g.total_messages, m.total_messages,
+            "[{}] message count drifted",
+            g.mechanism
+        );
+        assert_eq!(
+            g.reservations_failed, m.reservations_failed,
+            "[{}] failed-reservation count drifted",
+            g.mechanism
+        );
+        // Floats: the simulation is deterministic and the golden file
+        // round-trips f64 exactly, so a tiny tolerance only guards against
+        // hand-edited files.
+        assert!(
+            (g.avg_latency - m.avg_latency).abs() <= 1e-9 * g.avg_latency.abs().max(1.0),
+            "[{}] avg latency drifted: golden {} vs measured {}",
+            g.mechanism,
+            g.avg_latency,
+            m.avg_latency
+        );
+        assert!(
+            (g.circuit_hit_rate - m.circuit_hit_rate).abs() <= 1e-12,
+            "[{}] circuit hit rate drifted: golden {} vs measured {}",
+            g.mechanism,
+            g.circuit_hit_rate,
+            m.circuit_hit_rate
+        );
+    }
+}
+
+#[test]
+fn goldens_are_distinct_per_mechanism() {
+    // Sanity on the golden file itself: the three mechanisms must pin
+    // genuinely different behaviour (a copy-paste golden would hide bugs).
+    if std::env::var("RC_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        // The sibling test is rewriting the file; don't race its writes.
+        return;
+    }
+    let text = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file present (regenerate with RC_UPDATE_GOLDEN=1)");
+    let golden: Vec<GoldenPoint> = serde_json::from_str(&text).expect("golden file parses");
+    assert_eq!(golden.len(), 3);
+    assert_eq!(golden[0].mechanism, "Baseline");
+    assert_eq!(
+        golden[0].circuit_hit_rate, 0.0,
+        "the baseline builds no circuits"
+    );
+    assert!(
+        golden[1].circuit_hit_rate > 0.0 && golden[2].circuit_hit_rate > 0.0,
+        "circuit mechanisms must actually use circuits"
+    );
+}

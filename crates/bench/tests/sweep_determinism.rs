@@ -1,0 +1,105 @@
+//! The sweep engine's core contract: results are identical — field for
+//! field and byte for byte — whether a sweep runs serially, across worker
+//! threads, or from a warm cache.
+
+use rcsim_bench::SweepRunner;
+use rcsim_core::MechanismConfig;
+use rcsim_system::{RunResult, SimConfig};
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcsim-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small grid that still exercises every mechanism-dependent code path:
+/// two mechanisms × two workloads, short windows.
+fn jobs() -> Vec<(String, SimConfig)> {
+    let mut jobs = Vec::new();
+    for mechanism in [
+        MechanismConfig::baseline(),
+        MechanismConfig::complete_noack(),
+    ] {
+        for app in ["fft", "blackscholes"] {
+            let cfg = SimConfig {
+                warmup_cycles: 200,
+                measure_cycles: 1_000,
+                ..SimConfig::quick(16, mechanism, app)
+            };
+            jobs.push((format!("{app}/{}", mechanism.label()), cfg));
+        }
+    }
+    jobs
+}
+
+fn unwrap_all(results: Vec<Result<RunResult, rcsim_system::SimError>>) -> Vec<RunResult> {
+    results
+        .into_iter()
+        .map(|r| r.expect("every point succeeds"))
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_matches_serial_sweep() {
+    let jobs = jobs();
+    let serial_dir = tmp_dir("det-serial");
+    let parallel_dir = tmp_dir("det-parallel");
+    let serial = SweepRunner::new(1, Some(serial_dir.clone()));
+    let parallel = SweepRunner::new(4, Some(parallel_dir.clone()));
+
+    let cold_serial = serial.run(&jobs);
+    assert_eq!(cold_serial.stats.jobs, 1);
+    assert_eq!(cold_serial.stats.cached, 0, "cold cache");
+    assert_eq!(cold_serial.stats.failed, 0);
+
+    let cold_parallel = parallel.run(&jobs);
+    assert_eq!(cold_parallel.stats.jobs, 4);
+    assert_eq!(cold_parallel.stats.cached, 0, "separate cold cache");
+
+    let rs = unwrap_all(cold_serial.results);
+    let rp = unwrap_all(cold_parallel.results);
+    assert_eq!(rs, rp, "RC_JOBS must not change any result field");
+    // Stronger than PartialEq: the serialized form — what lands in
+    // BENCH_<name>.json — must be byte-identical too.
+    assert_eq!(
+        serde_json::to_string(&rs).unwrap(),
+        serde_json::to_string(&rp).unwrap(),
+        "serialized results differ between worker counts"
+    );
+
+    // A cache-warm rerun returns the same bytes without recomputing.
+    let warm = parallel.run(&jobs);
+    assert_eq!(
+        warm.stats.cached,
+        jobs.len(),
+        "every point served from cache"
+    );
+    let rw = unwrap_all(warm.results);
+    assert_eq!(
+        serde_json::to_string(&rw).unwrap(),
+        serde_json::to_string(&rp).unwrap(),
+        "cache round-trip changed the results"
+    );
+
+    let _ = std::fs::remove_dir_all(serial_dir);
+    let _ = std::fs::remove_dir_all(parallel_dir);
+}
+
+#[test]
+fn more_workers_than_jobs_is_fine() {
+    let jobs = &jobs()[..1];
+    let runner = SweepRunner::new(16, None);
+    let out = runner.run(jobs);
+    assert_eq!(out.results.len(), 1);
+    assert_eq!(out.stats.jobs, 1, "workers clamp to the job count");
+    assert!(out.results[0].is_ok());
+}
+
+#[test]
+fn empty_sweep_is_a_no_op() {
+    let out = SweepRunner::new(4, None).run(&[]);
+    assert!(out.results.is_empty());
+    assert_eq!(out.stats.points, 0);
+    assert_eq!(out.stats.cached, 0);
+}

@@ -1,0 +1,229 @@
+//! Property-based tests for the circuit-table invariants the paper's
+//! mechanisms rely on (§4.2): per-input storage caps, the complete-mode
+//! output-conflict rule, and clean tear-down under arbitrary interleavings
+//! of reserve / release / undo / begin_use / end_use.
+
+use proptest::prelude::*;
+use rcsim_core::circuit::{CircuitKey, ReserveError, ReserveRequest, RouterCircuits};
+use rcsim_core::{CircuitMode, Direction, NodeId};
+use std::collections::BTreeMap;
+
+const DIRS: [Direction; 5] = [
+    Direction::North,
+    Direction::East,
+    Direction::South,
+    Direction::West,
+    Direction::Local,
+];
+
+/// One step of a random table workout. Reservations are untimed so the
+/// complete-mode conflict rules apply in their strictest form.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `(source, in_port index, out_port index)` — the key is derived from
+    /// the op's position so every reservation has a unique identity.
+    Reserve(u16, usize, usize),
+    /// Target the `n`-th live circuit (modulo the live count).
+    Release(usize),
+    Undo(usize),
+    BeginUse(usize),
+    EndUse(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let reserve = || (0u16..4, 0usize..5, 0usize..5).prop_map(|(s, i, o)| Op::Reserve(s, i, o));
+    prop_oneof![
+        // The reserve branch is repeated to weight the mix towards
+        // reservations, so tables actually fill up.
+        reserve(),
+        reserve(),
+        reserve(),
+        (0usize..16).prop_map(Op::Release),
+        (0usize..16).prop_map(Op::Undo),
+        (0usize..16).prop_map(Op::BeginUse),
+        (0usize..16).prop_map(Op::EndUse),
+    ]
+}
+
+/// What the test believes the table holds: key → (in_port, out_port,
+/// source, in_use, undo_pending). Kept in sync op by op and cross-checked
+/// against the table's own accounting after every step.
+type Shadow = BTreeMap<u64, (Direction, Direction, NodeId, bool, bool)>;
+
+fn nth_key(shadow: &Shadow, n: usize) -> Option<u64> {
+    if shadow.is_empty() {
+        return None;
+    }
+    shadow.keys().nth(n % shadow.len()).copied()
+}
+
+fn key(block: u64) -> CircuitKey {
+    CircuitKey {
+        requestor: NodeId((block % 97) as u16),
+        block,
+    }
+}
+
+/// Drives `ops` through a table, checking the mode's invariants after every
+/// step, then tears everything down and requires an empty table.
+fn workout(
+    mode: CircuitMode,
+    capacity: u8,
+    circuit_vcs: usize,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let mut rc = RouterCircuits::new(mode, capacity, circuit_vcs);
+    let mut shadow: Shadow = BTreeMap::new();
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Reserve(source, in_idx, out_idx) => {
+                let (in_port, out_port) = (DIRS[in_idx], DIRS[out_idx]);
+                let block = i as u64 * 64;
+                let req = ReserveRequest {
+                    key: key(block),
+                    source: NodeId(source),
+                    in_port,
+                    out_port,
+                    window: None,
+                    max_extra_shift: 0,
+                };
+                match rc.try_reserve(&req) {
+                    Ok(_) => {
+                        // The table accepted: the mode's conflict rules must
+                        // have held *before* insertion.
+                        prop_assert!(
+                            shadow.values().filter(|e| e.0 == in_port).count() < capacity as usize,
+                            "reservation accepted at a full input port"
+                        );
+                        if mode == CircuitMode::Complete {
+                            prop_assert!(
+                                !shadow.values().any(|e| e.0 != in_port && e.1 == out_port),
+                                "two complete circuits with different input \
+                                 ports share output {out_port:?}"
+                            );
+                            prop_assert!(
+                                !shadow.values().any(|e| e.0 == in_port && e.2 != req.source),
+                                "complete circuits at one input port must \
+                                 share their source"
+                            );
+                        }
+                        if mode == CircuitMode::Fragmented {
+                            prop_assert!(
+                                shadow.values().filter(|e| e.1 == out_port).count() < circuit_vcs,
+                                "more fragmented circuits than circuit VCs \
+                                 at output {out_port:?}"
+                            );
+                        }
+                        shadow.insert(block, (in_port, out_port, req.source, false, false));
+                    }
+                    Err(ReserveError::NoStorage) => prop_assert_eq!(
+                        shadow.values().filter(|e| e.0 == in_port).count(),
+                        capacity as usize,
+                        "NoStorage reported below the per-input cap"
+                    ),
+                    Err(_) => {}
+                }
+            }
+            Op::Release(n) => {
+                if let Some(block) = nth_key(&shadow, n) {
+                    let (in_port, ..) = shadow[&block];
+                    prop_assert!(rc.release(in_port, key(block)).is_some());
+                    shadow.remove(&block);
+                }
+            }
+            Op::Undo(n) => {
+                if let Some(block) = nth_key(&shadow, n) {
+                    let entry = shadow.get_mut(&block).expect("picked from shadow");
+                    if entry.3 {
+                        // In use: the undo is deferred, not applied.
+                        prop_assert!(rc.undo(key(block)).is_none());
+                        entry.4 = true;
+                    } else {
+                        let removed = rc.undo(key(block)).expect("live circuit undone");
+                        prop_assert_eq!(removed.out_port, entry.1);
+                        shadow.remove(&block);
+                    }
+                }
+            }
+            Op::BeginUse(n) => {
+                if let Some(block) = nth_key(&shadow, n) {
+                    let entry = shadow.get_mut(&block).expect("picked from shadow");
+                    prop_assert!(rc.begin_use(entry.0, key(block)));
+                    entry.3 = true;
+                }
+            }
+            Op::EndUse(n) => {
+                if let Some(block) = nth_key(&shadow, n) {
+                    let entry = *shadow.get(&block).expect("picked from shadow");
+                    let removed = rc.end_use(entry.0, key(block));
+                    if entry.4 {
+                        prop_assert!(removed.is_some(), "pending undo resumes at end_use");
+                        shadow.remove(&block);
+                    } else {
+                        prop_assert!(removed.is_none());
+                        shadow.get_mut(&block).expect("still live").3 = false;
+                    }
+                }
+            }
+        }
+
+        // Global accounting invariants, every step.
+        prop_assert_eq!(rc.total_entries(), shadow.len());
+        for d in DIRS {
+            prop_assert!(
+                rc.occupancy(d) <= capacity as usize,
+                "input port {d:?} holds more than {capacity} circuits"
+            );
+            prop_assert_eq!(
+                rc.occupancy(d),
+                shadow.values().filter(|e| e.0 == d).count()
+            );
+        }
+    }
+
+    // Tear-down: ending every active stream and undoing every survivor must
+    // return the table to exactly empty — no leaked entries.
+    let live: Vec<u64> = shadow.keys().copied().collect();
+    for block in &live {
+        let (in_port, _, _, in_use, _) = shadow[block];
+        if in_use {
+            rc.end_use(in_port, key(*block));
+        }
+    }
+    for block in &live {
+        rc.undo(key(*block));
+    }
+    prop_assert_eq!(rc.total_entries(), 0, "tear-down left entries behind");
+    for d in DIRS {
+        prop_assert_eq!(rc.occupancy(d), 0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fragmented tables (2 entries per input, 2 circuit VCs) never exceed
+    /// the paper's per-input cap, never oversubscribe an output's circuit
+    /// VCs, and tear down to empty.
+    #[test]
+    fn fragmented_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        workout(CircuitMode::Fragmented, 2, 2, &ops)?;
+    }
+
+    /// Complete tables (5 entries per input) never exceed the cap, never
+    /// hold two circuits with different input ports and the same output
+    /// port, keep the same-source rule, and tear down to empty.
+    #[test]
+    fn complete_invariants(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        workout(CircuitMode::Complete, 5, 1, &ops)?;
+    }
+
+    /// A deliberately tiny table (1 entry per input) is the harshest cap
+    /// check: the second reservation at any port must fail with NoStorage.
+    #[test]
+    fn unit_capacity_invariants(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        workout(CircuitMode::Complete, 1, 1, &ops)?;
+    }
+}

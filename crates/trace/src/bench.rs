@@ -13,7 +13,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Version stamped into every summary; bump when a field changes meaning.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: sweep-execution telemetry (`wall_ms`, `busy_ms`, `jobs`,
+/// `cached_points`) joined the top-level document.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One measured configuration (one workload × mechanism × core-count
 /// point) inside a bench summary.
@@ -42,6 +45,20 @@ pub struct BenchSummary {
     pub bench: String,
     /// Schema version, [`BENCH_SCHEMA_VERSION`] at write time.
     pub schema_version: u32,
+    /// Wall-clock milliseconds the bench's simulation sweeps took
+    /// (0 for analytic benches that run no simulation).
+    #[serde(default)]
+    pub wall_ms: f64,
+    /// Sum of per-point simulation times in milliseconds; `busy_ms /
+    /// wall_ms` approximates the achieved parallel speedup.
+    #[serde(default)]
+    pub busy_ms: f64,
+    /// Sweep worker threads used (`RC_JOBS`; 0 when no sweep ran).
+    #[serde(default)]
+    pub jobs: usize,
+    /// Points served from the on-disk result cache instead of re-running.
+    #[serde(default)]
+    pub cached_points: usize,
     /// One row per measured configuration.
     pub rows: Vec<BenchRow>,
 }
@@ -52,6 +69,10 @@ impl BenchSummary {
         Self {
             bench: name.to_owned(),
             schema_version: BENCH_SCHEMA_VERSION,
+            wall_ms: 0.0,
+            busy_ms: 0.0,
+            jobs: 0,
+            cached_points: 0,
             rows: Vec::new(),
         }
     }
@@ -79,6 +100,11 @@ impl BenchSummary {
         }
         if self.rows.is_empty() {
             errors.push("summary has no rows".to_owned());
+        }
+        for (what, v) in [("wall_ms", self.wall_ms), ("busy_ms", self.busy_ms)] {
+            if !v.is_finite() || v < 0.0 {
+                errors.push(format!("{what} = {v} is invalid"));
+            }
         }
         for (i, row) in self.rows.iter().enumerate() {
             if row.label.is_empty() {
@@ -160,11 +186,34 @@ mod tests {
 
     #[test]
     fn extra_defaults_when_absent_from_json() {
-        let json = r#"{"bench":"t","schema_version":1,"rows":[
+        let json = r#"{"bench":"t","schema_version":2,"rows":[
             {"label":"a","cores":4,"avg_latency":1.0,"p99_latency":2.0,"circuit_hit_rate":0.5}
         ]}"#;
         let s: BenchSummary = serde_json::from_str(json).unwrap();
         assert!(s.rows[0].extra.is_empty());
+        assert_eq!(
+            (s.wall_ms, s.busy_ms, s.jobs, s.cached_points),
+            (0.0, 0.0, 0, 0)
+        );
         assert!(s.validate().is_empty());
+    }
+
+    #[test]
+    fn sweep_telemetry_is_validated() {
+        let mut s = BenchSummary::new("fig6");
+        s.push(row("a"));
+        s.wall_ms = f64::NAN;
+        s.busy_ms = -1.0;
+        let errors = s.validate();
+        assert!(errors.iter().any(|e| e.contains("wall_ms")));
+        assert!(errors.iter().any(|e| e.contains("busy_ms")));
+        s.wall_ms = 120.5;
+        s.busy_ms = 400.0;
+        s.jobs = 4;
+        s.cached_points = 3;
+        assert!(s.validate().is_empty());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: BenchSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

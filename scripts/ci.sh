@@ -42,4 +42,49 @@ test -s target/experiments/BENCH_fig6.json
 test -s target/experiments/fig6_trace.json
 $CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
 
+echo "==> parallel sweep smoke (RC_JOBS determinism, cache, speedup)"
+# The sweep engine's contract: BENCH rows are byte-identical for any
+# worker count — only the telemetry fields (wall_ms/busy_ms/jobs/
+# cached_points) may differ — and a cache-warm rerun serves every point
+# from disk. On runners with >= 4 cores the 4-worker sweep must also be
+# at least 1.5x faster than the serial one.
+smoke=(RC_APPS=blackscholes RC_CYCLES=2000 RC_WARMUP=1000
+       RC_SMALL_CACHES=1 RC_CORES=16 RC_MAX_CYCLES=10000)
+cache_dir=target/experiments/cache-ci
+rm -rf "$cache_dir"
+strip_telemetry() {
+  grep -v -E '"(wall_ms|busy_ms|jobs|cached_points)"' "$1"
+}
+telemetry() {
+  awk -F': ' -v key="\"$2\"" '$1 ~ key {gsub(/,/, "", $2); print $2; exit}' "$1"
+}
+
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_fig6.json target/experiments/ci_fig6_serial.json
+
+env "${smoke[@]}" RC_JOBS=4 RC_CACHE_DIR="$cache_dir" \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_fig6.json target/experiments/ci_fig6_parallel.json
+
+diff <(strip_telemetry target/experiments/ci_fig6_serial.json) \
+     <(strip_telemetry target/experiments/ci_fig6_parallel.json) \
+  || { echo "FAIL: BENCH_fig6.json rows differ between RC_JOBS=1 and RC_JOBS=4"; exit 1; }
+
+serial_ms=$(telemetry target/experiments/ci_fig6_serial.json wall_ms)
+parallel_ms=$(telemetry target/experiments/ci_fig6_parallel.json wall_ms)
+echo "    serial ${serial_ms} ms, 4 workers ${parallel_ms} ms ($(nproc) cores)"
+if [ "$(nproc)" -ge 4 ]; then
+  awk -v s="$serial_ms" -v p="$parallel_ms" 'BEGIN { exit !(s > 1.5 * p) }' \
+    || { echo "FAIL: expected > 1.5x sweep speedup with RC_JOBS=4 on a $(nproc)-core runner"; exit 1; }
+fi
+
+env "${smoke[@]}" RC_JOBS=4 RC_CACHE_DIR="$cache_dir" \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+cached=$(telemetry target/experiments/BENCH_fig6.json cached_points)
+[ "${cached:-0}" -gt 0 ] \
+  || { echo "FAIL: cache-warm rerun recomputed every point (cached_points=$cached)"; exit 1; }
+echo "    cache-warm rerun served $cached points from $cache_dir"
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
+
 echo "CI gate passed."

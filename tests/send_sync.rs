@@ -30,6 +30,18 @@ fn simulators_are_send() {
 }
 
 #[test]
+fn sweep_engine_types_are_thread_portable() {
+    // The sweep runner fans jobs across scoped threads, so everything
+    // crossing the worker boundary must be Send (+ Sync for shared refs).
+    assert_send_sync::<rcsim_bench::SweepRunner>();
+    assert_send_sync::<rcsim_bench::SweepStats>();
+    assert_send_sync::<rcsim_bench::SweepOutcome>();
+    assert_send_sync::<rcsim_bench::PointSpec>();
+    assert_send_sync::<Result<RunResult, reactive_circuits::system::SimError>>();
+    assert_send_sync::<Vec<(String, SimConfig)>>();
+}
+
+#[test]
 fn errors_are_well_behaved() {
     fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
     assert_error::<reactive_circuits::core::ConfigError>();
