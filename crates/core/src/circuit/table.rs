@@ -203,16 +203,24 @@ impl RouterCircuits {
         self.now = self.now.max(now);
     }
 
-    /// Entries older than `min_age` cycles (per the internal clock) that
-    /// are not actively streaming a reply. Timed entries expire on their
-    /// own; long-lived untimed entries with no in-flight owner are the
-    /// signature of a leaked reservation (e.g. a reply lost to a fault
-    /// after `begin_use`). Returns `(in_port, entry, age)` triples.
-    pub fn stale_entries(&self, min_age: Cycle) -> Vec<(Direction, CircuitEntry, Cycle)> {
+    /// Entries older than `min_age` cycles as of the caller-supplied
+    /// absolute cycle `now` that are not actively streaming a reply.
+    /// Timed entries expire on their own; long-lived untimed entries with
+    /// no in-flight owner are the signature of a leaked reservation (e.g.
+    /// a reply lost to a fault after `begin_use`). Ages are measured
+    /// against the caller's clock, not the internal one, so routers whose
+    /// internal clock lags (an event-driven kernel skips idle routers)
+    /// report the same ages as under a dense tick loop. Returns
+    /// `(in_port, entry, age)` triples.
+    pub fn stale_entries(
+        &self,
+        now: Cycle,
+        min_age: Cycle,
+    ) -> Vec<(Direction, CircuitEntry, Cycle)> {
         let mut stale = Vec::new();
         for (p, entries) in self.ports.iter().enumerate() {
             for e in entries {
-                let age = self.now.saturating_sub(e.reserved_at);
+                let age = now.saturating_sub(e.reserved_at);
                 if age >= min_age {
                     stale.push((Direction::from_index(p), *e, age));
                 }
@@ -491,6 +499,19 @@ impl RouterCircuits {
             });
         }
         expired
+    }
+
+    /// The earliest `window.end` among entries not actively in use — the
+    /// next cycle at which [`Self::expire`] could remove something.
+    /// `None` when no expirable entry exists. Lets an event-driven kernel
+    /// schedule the wake-up for a sleeping router's timed expiries.
+    pub fn next_expiry(&self) -> Option<Cycle> {
+        self.ports
+            .iter()
+            .flatten()
+            .filter(|e| !e.in_use)
+            .filter_map(|e| e.window.map(|w| w.end))
+            .min()
     }
 
     /// Total number of reserved circuits at this router.
@@ -934,14 +955,48 @@ mod tests {
         rc.note_now(150);
         rc.try_reserve(&req(key(2, 64), 9, Direction::East, Direction::North))
             .unwrap();
-        rc.note_now(400);
-        let stale = rc.stale_entries(280);
+        // Ages are measured against the caller's absolute clock, so a
+        // table whose internal clock stopped advancing (idle router under
+        // the event kernel) reports the same ages.
+        let stale = rc.stale_entries(400, 280);
         assert_eq!(stale.len(), 1, "only the 300-cycle-old entry is stale");
         let (port, entry, age) = stale[0];
         assert_eq!(port, Direction::East);
         assert_eq!(entry.key, key(1, 0));
         assert_eq!(age, 300);
-        assert!(rc.stale_entries(0).len() == 2);
+        assert!(rc.stale_entries(400, 0).len() == 2);
+    }
+
+    #[test]
+    fn next_expiry_tracks_earliest_idle_window() {
+        let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
+        assert_eq!(rc.next_expiry(), None, "empty table never expires");
+        rc.try_reserve(&timed_req(
+            key(1, 0),
+            9,
+            Direction::East,
+            Direction::West,
+            TimeWindow::new(10, 20),
+            0,
+        ))
+        .unwrap();
+        rc.try_reserve(&timed_req(
+            key(2, 64),
+            9,
+            Direction::East,
+            Direction::North,
+            TimeWindow::new(30, 44),
+            0,
+        ))
+        .unwrap();
+        assert_eq!(rc.next_expiry(), Some(20));
+        // An entry streaming a reply is never expired, so it must not
+        // drive the wake-up either.
+        rc.begin_use(Direction::East, key(1, 0));
+        assert_eq!(rc.next_expiry(), Some(44));
+        rc.end_use(Direction::East, key(1, 0));
+        assert_eq!(rc.expire(20), 1);
+        assert_eq!(rc.next_expiry(), Some(44));
     }
 
     #[test]

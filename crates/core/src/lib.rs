@@ -42,8 +42,10 @@ pub mod circuit;
 pub mod config;
 pub mod geometry;
 pub mod routing;
+pub mod sched;
 pub mod types;
 
 pub use config::{CircuitMode, ConfigError, MechanismConfig, TimedPolicy};
 pub use geometry::Mesh;
+pub use sched::{KernelMode, WakeTimes};
 pub use types::{Cycle, Direction, MessageClass, NodeId, Vnet};

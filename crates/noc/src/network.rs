@@ -10,7 +10,7 @@ use crate::ni::{Ni, NiOut};
 use crate::router::{Outgoing, Router};
 use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::{ConfigError, Cycle, Direction, MessageClass, NodeId};
+use rcsim_core::{ConfigError, Cycle, Direction, KernelMode, MessageClass, NodeId, WakeTimes};
 use rcsim_trace::{EventKind, TraceSink};
 use std::collections::{HashMap, HashSet};
 
@@ -37,6 +37,27 @@ struct RouterInbox {
     undos: Vec<(Cycle, CircuitKey, NodeId)>,
 }
 
+impl RouterInbox {
+    /// Earliest arrival cycle across every queue (`Cycle::MAX` if empty).
+    fn next_due(&self) -> Cycle {
+        let mut t = Cycle::MAX;
+        for q in &self.flits {
+            for &(a, _) in q {
+                t = t.min(a);
+            }
+        }
+        for q in &self.credits {
+            for &(a, _) in q {
+                t = t.min(a);
+            }
+        }
+        for &(a, _, _) in &self.undos {
+            t = t.min(a);
+        }
+        t
+    }
+}
+
 /// Messages in flight towards one NI.
 #[derive(Debug, Default)]
 struct NiInbox {
@@ -44,8 +65,29 @@ struct NiInbox {
     credits: Vec<(Cycle, usize)>,
 }
 
-fn drain_due<T>(v: &mut Vec<(Cycle, T)>, now: Cycle) -> Vec<T> {
-    let mut due = Vec::new();
+impl NiInbox {
+    /// Earliest arrival cycle across both queues (`Cycle::MAX` if empty).
+    fn next_due(&self) -> Cycle {
+        let f = self
+            .flits
+            .iter()
+            .map(|&(a, _)| a)
+            .min()
+            .unwrap_or(Cycle::MAX);
+        let c = self
+            .credits
+            .iter()
+            .map(|&(a, _)| a)
+            .min()
+            .unwrap_or(Cycle::MAX);
+        f.min(c)
+    }
+}
+
+/// Moves every entry due at `now` from `v` into `due`, preserving the
+/// enqueue order of the due items (the cycle-accurate contract: arrival
+/// processing order equals emission order).
+fn drain_due_into<T>(v: &mut Vec<(Cycle, T)>, now: Cycle, due: &mut Vec<T>) {
     let mut i = 0;
     while i < v.len() {
         if v[i].0 <= now {
@@ -54,7 +96,21 @@ fn drain_due<T>(v: &mut Vec<(Cycle, T)>, now: Cycle) -> Vec<T> {
             i += 1;
         }
     }
-    due
+}
+
+/// Reusable per-tick buffers — the cycle loop's arena. Taken out of
+/// `self` at the top of [`Network::tick`] (sidestepping borrow
+/// conflicts) and put back at the end, so the steady-state loop performs
+/// no per-flit heap allocation.
+#[derive(Debug, Default)]
+struct Scratch {
+    ejected: Vec<Flit>,
+    ni_credits: Vec<usize>,
+    ni_out: NiOut,
+    arrivals: Vec<(Direction, Flit)>,
+    credits: Vec<(Direction, usize)>,
+    undos: Vec<(CircuitKey, NodeId)>,
+    outgoing: Vec<Outgoing>,
 }
 
 /// One injected packet, tracked until delivery or abandonment: the raw
@@ -111,6 +167,14 @@ pub struct Network {
     faulted_circuits: HashSet<CircuitKey>,
     /// Last cycle any flit moved (arrived, ejected or was delivered).
     last_progress: Cycle,
+    /// Which kernel drives the per-cycle loops (see [`KernelMode`]).
+    kernel: KernelMode,
+    /// Earliest due inbox item per NI (event-kernel wake times).
+    ni_wake: WakeTimes,
+    /// Earliest due inbox item per router (event-kernel wake times).
+    router_wake: WakeTimes,
+    /// Reusable per-tick buffers.
+    scratch: Scratch,
     /// Where trace events go; [`TraceSink::Disabled`] by default.
     sink: TraceSink,
 }
@@ -157,8 +221,24 @@ impl Network {
             retry_queue: Vec::new(),
             faulted_circuits: HashSet::new(),
             last_progress: 0,
+            kernel: KernelMode::from_env(),
+            ni_wake: WakeTimes::new(n),
+            router_wake: WakeTimes::new(n),
+            scratch: Scratch::default(),
             sink: TraceSink::default(),
         })
+    }
+
+    /// Selects the simulation kernel. Both kernels are required to
+    /// produce byte-identical results; `Event` (the default, overridable
+    /// via `RC_KERNEL=dense`) skips provably idle components.
+    pub fn set_kernel(&mut self, kernel: KernelMode) {
+        self.kernel = kernel;
+    }
+
+    /// The active simulation kernel.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Installs a trace sink, fanning it out to every NI and router so the
@@ -327,10 +407,18 @@ impl Network {
     }
 
     /// Advances the network by one clock cycle.
+    ///
+    /// Under [`KernelMode::Event`] the NI and router loops skip
+    /// components with no due inbox traffic and no internal activity
+    /// (see [`Ni::is_active`] / [`Router::is_active`] for the no-op
+    /// argument); everything else — iteration order, drain order, fault
+    /// RNG draws, statistics — is shared verbatim with the dense kernel.
     pub fn tick(&mut self) {
         let now = self.now;
         let n = self.cfg.mesh.nodes();
         let mut moved = false;
+        let event = self.kernel == KernelMode::Event;
+        let mut s = std::mem::take(&mut self.scratch);
 
         // Due end-to-end retransmissions re-enter their source NI.
         let mut due_retries = Vec::new();
@@ -361,22 +449,39 @@ impl Network {
         // NIs first: they consume flits/credits produced last cycle and
         // inject at most one flit each into their router's local port.
         for i in 0..n {
-            let ejected = drain_due(&mut self.ni_inboxes[i].flits, now);
-            let credits = drain_due(&mut self.ni_inboxes[i].credits, now);
-            moved |= !ejected.is_empty();
-            let mut out = NiOut::default();
-            self.nis[i].tick(now, ejected, credits, &mut self.stats, &mut out);
-            moved |= !out.flits.is_empty() || !out.delivered.is_empty();
-            for flit in out.flits {
+            let due = self.ni_wake.due(i, now);
+            if event && !due && !self.nis[i].is_active() {
+                // Nothing due and nothing queued or streaming: the tick
+                // would be a no-op; skip it.
+                continue;
+            }
+            if due {
+                drain_due_into(&mut self.ni_inboxes[i].flits, now, &mut s.ejected);
+                drain_due_into(&mut self.ni_inboxes[i].credits, now, &mut s.ni_credits);
+                self.ni_wake.set(i, self.ni_inboxes[i].next_due());
+            }
+            moved |= !s.ejected.is_empty();
+            s.ni_out.clear();
+            self.nis[i].tick(
+                now,
+                &mut s.ejected,
+                &mut s.ni_credits,
+                &mut self.stats,
+                &mut s.ni_out,
+            );
+            moved |= !s.ni_out.flits.is_empty() || !s.ni_out.delivered.is_empty();
+            for flit in s.ni_out.flits.drain(..) {
+                self.router_wake.wake_at(i, now + 1);
                 self.router_inboxes[i].flits[Direction::Local.index()].push((now + 1, flit));
             }
-            for (key, dst) in out.undos {
+            for (key, dst) in s.ni_out.undos.drain(..) {
+                self.router_wake.wake_at(i, now + 1);
                 self.router_inboxes[i].undos.push((now + 1, key, dst));
             }
-            for id in out.corrupt_discards {
+            for id in s.ni_out.corrupt_discards.drain(..) {
                 self.schedule_retry(id, now);
             }
-            for mut d in out.delivered.drain(..) {
+            for mut d in s.ni_out.delivered.drain(..) {
                 let retries = self.note_delivered(&mut d);
                 self.sink.emit(|| rcsim_trace::TraceEvent {
                     cycle: now,
@@ -392,8 +497,11 @@ impl Network {
         }
 
         // Routers.
-        let mut outgoing = Vec::new();
         for i in 0..n {
+            // The fault pre-pass runs densely for every router even under
+            // the event kernel: stuck-port statistics and the per-router
+            // table-corruption RNG draw happen every cycle regardless of
+            // activity, so the fault stream is identical across kernels.
             // Scheduled stuck-port windows freeze individual input ports:
             // arrivals stay queued on the link until the window ends.
             let mut stuck = [false; 5];
@@ -425,36 +533,63 @@ impl Network {
                 }
             }
 
-            let inbox = &mut self.router_inboxes[i];
-            let mut arrivals = Vec::new();
-            for (d, port_stuck) in stuck.iter().enumerate() {
-                if *port_stuck {
-                    continue;
-                }
-                for flit in drain_due(&mut inbox.flits[d], now) {
-                    arrivals.push((Direction::from_index(d), flit));
-                }
+            let due = self.router_wake.due(i, now);
+            if event && !due && !self.routers[i].is_active(now) {
+                // Nothing due, nothing buffered or pending: skip. A stuck
+                // port never hides work — its queued arrivals stay in the
+                // inbox, keeping the wake time due until the window ends.
+                continue;
             }
-            let mut credits = Vec::new();
-            for d in 0..5 {
-                for vc in drain_due(&mut inbox.credits[d], now) {
-                    credits.push((Direction::from_index(d), vc));
+            if due {
+                let inbox = &mut self.router_inboxes[i];
+                for (d, port_stuck) in stuck.iter().enumerate() {
+                    if *port_stuck {
+                        continue;
+                    }
+                    let dir = Direction::from_index(d);
+                    let q = &mut inbox.flits[d];
+                    let mut j = 0;
+                    while j < q.len() {
+                        if q[j].0 <= now {
+                            s.arrivals.push((dir, q.remove(j).1));
+                        } else {
+                            j += 1;
+                        }
+                    }
                 }
-            }
-            let mut undos = Vec::new();
-            let mut j = 0;
-            while j < inbox.undos.len() {
-                if inbox.undos[j].0 <= now {
-                    let (_, k, d) = inbox.undos.remove(j);
-                    undos.push((k, d));
-                } else {
-                    j += 1;
+                for d in 0..5 {
+                    let dir = Direction::from_index(d);
+                    let q = &mut inbox.credits[d];
+                    let mut j = 0;
+                    while j < q.len() {
+                        if q[j].0 <= now {
+                            s.credits.push((dir, q.remove(j).1));
+                        } else {
+                            j += 1;
+                        }
+                    }
                 }
+                let mut j = 0;
+                while j < inbox.undos.len() {
+                    if inbox.undos[j].0 <= now {
+                        let (_, k, d) = inbox.undos.remove(j);
+                        s.undos.push((k, d));
+                    } else {
+                        j += 1;
+                    }
+                }
+                self.router_wake.set(i, self.router_inboxes[i].next_due());
             }
-            moved |= !arrivals.is_empty();
-            outgoing.clear();
-            self.routers[i].tick(now, arrivals, credits, undos, &mut outgoing);
-            self.route_outgoing(NodeId(i as u16), &outgoing);
+            moved |= !s.arrivals.is_empty();
+            s.outgoing.clear();
+            self.routers[i].tick(
+                now,
+                &mut s.arrivals,
+                &mut s.credits,
+                &mut s.undos,
+                &mut s.outgoing,
+            );
+            self.route_outgoing(NodeId(i as u16), &s.outgoing);
         }
 
         if moved {
@@ -462,6 +597,7 @@ impl Network {
         }
         self.stats.cycles += 1;
         self.now = now + 1;
+        self.scratch = s;
     }
 
     /// Watchdog bookkeeping at delivery: closes the packet's outstanding
@@ -530,6 +666,7 @@ impl Network {
             match o {
                 Outgoing::Flit { dir, flit, arrive } => {
                     if *dir == Direction::Local {
+                        self.ni_wake.wake_at(from.index(), *arrive);
                         self.ni_inboxes[from.index()]
                             .flits
                             .push((*arrive, flit.clone()));
@@ -554,11 +691,13 @@ impl Network {
                             }
                         }
                     }
+                    self.router_wake.wake_at(nb.index(), *arrive);
                     self.router_inboxes[nb.index()].flits[dir.opposite().index()]
                         .push((*arrive, flit));
                 }
                 Outgoing::Credit { dir, vc, arrive } => {
                     if *dir == Direction::Local {
+                        self.ni_wake.wake_at(from.index(), *arrive);
                         self.ni_inboxes[from.index()].credits.push((*arrive, *vc));
                         continue;
                     }
@@ -570,6 +709,7 @@ impl Network {
                     if self.faults.as_mut().is_some_and(FaultState::on_link_credit) {
                         continue;
                     }
+                    self.router_wake.wake_at(nb.index(), *arrive);
                     self.router_inboxes[nb.index()].credits[dir.opposite().index()]
                         .push((*arrive, *vc));
                 }
@@ -585,6 +725,7 @@ impl Network {
                         debug_assert!(false, "undo crossed the mesh edge at {from}/{dir}");
                         continue;
                     };
+                    self.router_wake.wake_at(nb.index(), *arrive);
                     self.router_inboxes[nb.index()]
                         .undos
                         .push((*arrive, *key, *dst));
@@ -610,6 +751,7 @@ impl Network {
         // are only credited when they are buffered (fragmented mode).
         let layout = self.cfg.vc_layout();
         if !layout.is_circuit_vc(flit.vc) || self.cfg.mechanism.circuit_vc_buffered() {
+            self.router_wake.wake_at(from.index(), arrive);
             self.router_inboxes[from.index()].credits[dir.index()].push((arrive, flit.vc));
         }
         if flit.kind.is_head() {
@@ -617,6 +759,7 @@ impl Network {
                 // A dropped circuit-building request: undo the prefix of
                 // reservations it made, starting from the last router it
                 // crossed (the retransmission goes plain packet-switched).
+                self.router_wake.wake_at(from.index(), arrive);
                 self.router_inboxes[from.index()]
                     .undos
                     .push((arrive, h.key, h.key.requestor));
@@ -624,6 +767,7 @@ impl Network {
                 // A dropped circuit ride: the not-yet-used suffix of the
                 // circuit (from the next router on) is torn down; routers
                 // it already crossed were released by normal streaming.
+                self.router_wake.wake_at(nb.index(), arrive);
                 self.router_inboxes[nb.index()]
                     .undos
                     .push((arrive, key, key.requestor));
@@ -707,7 +851,10 @@ impl Network {
 
         let mut leaked = Vec::new();
         'scan: for (i, r) in self.routers.iter().enumerate() {
-            for (in_port, e, age) in r.circuits.stale_entries(self.watchdog.leak_age) {
+            for (in_port, e, age) in r
+                .circuits
+                .stale_entries(self.now.saturating_sub(1), self.watchdog.leak_age)
+            {
                 if leaked.len() >= self.watchdog.max_report_entries {
                     break 'scan;
                 }

@@ -69,7 +69,9 @@ struct Assembly {
     received: u32,
 }
 
-/// What one NI tick produced.
+/// What one NI tick produced. The network owns one reusable instance
+/// per tick ([`NiOut::clear`] between NIs) so the per-cycle loop stays
+/// allocation-free.
 #[derive(Debug, Default)]
 pub(crate) struct NiOut {
     /// Flits entering the router's local input port next cycle.
@@ -82,6 +84,16 @@ pub(crate) struct NiOut {
     /// fault layer) and were discarded instead of delivered; the network
     /// schedules their end-to-end retransmission.
     pub corrupt_discards: Vec<PacketId>,
+}
+
+impl NiOut {
+    /// Empties every output list, keeping the allocations.
+    pub(crate) fn clear(&mut self) {
+        self.flits.clear();
+        self.undos.clear();
+        self.delivered.clear();
+        self.corrupt_discards.clear();
+    }
 }
 
 pub(crate) struct Ni {
@@ -109,6 +121,8 @@ pub(crate) struct Ni {
     assembling: HashMap<PacketId, Assembly>,
     /// Undos decided at enqueue time, drained at the next tick.
     pending_undos: Vec<(CircuitKey, NodeId)>,
+    /// Reused scratch for [`Ni::inject_one`]'s sendable-VC collection.
+    sendable: Vec<usize>,
     /// Where trace events go; disabled by default.
     sink: TraceSink,
 }
@@ -135,6 +149,7 @@ impl Ni {
             origins: HashMap::new(),
             assembling: HashMap::new(),
             pending_undos: Vec::new(),
+            sendable: Vec::new(),
             sink: TraceSink::default(),
         }
     }
@@ -405,22 +420,31 @@ impl Ni {
 
     /// One NI cycle: process ejected flits, then inject at most one flit
     /// into the router's local port (circuit streams have priority).
+    /// Inputs are drained in place so the caller can reuse the buffers.
     pub(crate) fn tick(
         &mut self,
         now: Cycle,
-        ejected: Vec<Flit>,
-        credit_arrivals: Vec<usize>,
+        ejected: &mut Vec<Flit>,
+        credit_arrivals: &mut Vec<usize>,
         stats: &mut NocStats,
         out: &mut NiOut,
     ) {
         out.undos.append(&mut self.pending_undos);
-        for vc in credit_arrivals {
+        for vc in credit_arrivals.drain(..) {
             self.credits[vc] += 1;
         }
-        for flit in ejected {
+        for flit in ejected.drain(..) {
             self.receive_flit(flit, now, stats, out);
         }
         self.inject_one(now, stats, out);
+    }
+
+    /// `true` when a tick with no arriving flits or credits could still
+    /// produce output: something is queued, streaming, or an undo is
+    /// waiting to propagate. A `false` NI receiving no input this cycle
+    /// is a provable no-op, so the event kernel may skip its tick.
+    pub(crate) fn is_active(&self) -> bool {
+        self.backlog() > 0 || !self.pending_undos.is_empty()
     }
 
     fn receive_flit(&mut self, flit: Flit, now: Cycle, stats: &mut NocStats, out: &mut NiOut) {
@@ -531,22 +555,28 @@ impl Ni {
         }
 
         // Packet-switched: continue an in-flight stream or start one.
-        let sendable: Vec<usize> = (0..self.layout.total())
-            .filter(|&vc| self.streams[vc].is_some() && self.credits[vc] > 0)
-            .collect();
-        if sendable.is_empty() {
+        self.collect_sendable();
+        if self.sendable.is_empty() {
             self.try_activate(now);
+            self.collect_sendable();
         }
-        let sendable: Vec<usize> = (0..self.layout.total())
-            .filter(|&vc| self.streams[vc].is_some() && self.credits[vc] > 0)
-            .collect();
-        if let Some(vc) = self.rr_stream.grant_among(&sendable) {
+        if let Some(vc) = self.rr_stream.grant_among(&self.sendable) {
             let mut s = self.streams[vc].take().expect("sendable stream exists");
             self.credits[vc] -= 1;
             let flit = self.emit_flit(&mut s, now, stats);
             out.flits.push(flit);
             if s.next_seq < s.pending.len {
                 self.streams[vc] = Some(s);
+            }
+        }
+    }
+
+    /// Rebuilds the scratch list of VCs with a stream and a credit.
+    fn collect_sendable(&mut self) {
+        self.sendable.clear();
+        for vc in 0..self.layout.total() {
+            if self.streams[vc].is_some() && self.credits[vc] > 0 {
+                self.sendable.push(vc);
             }
         }
     }

@@ -110,6 +110,10 @@ pub(crate) struct Router {
     outputs: Vec<OutputPort>,
     pub(crate) circuits: RouterCircuits,
     st_pending: Vec<StGrant>,
+    /// Reused backing store for [`Router::stage_st`]'s grant sweep.
+    st_scratch: Vec<StGrant>,
+    /// Reused request vector for [`Router::stage_sa`] phase 1.
+    sa_requests: Vec<bool>,
     sa_rr_in: Vec<RoundRobin>,
     sa_rr_out: Vec<RoundRobin>,
     va_rr_out: Vec<RoundRobin>,
@@ -148,6 +152,8 @@ impl Router {
                 cfg.mechanism.circuit_vcs().max(1),
             ),
             st_pending: Vec::new(),
+            st_scratch: Vec::new(),
+            sa_requests: vec![false; total],
             sa_rr_in: (0..5).map(|_| RoundRobin::new(total)).collect(),
             sa_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
             va_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
@@ -162,13 +168,14 @@ impl Router {
     }
 
     /// Runs one cycle. `arrivals`, `credits` and `undos` are the messages
-    /// reaching this router this cycle; produced messages go into `out`.
+    /// reaching this router this cycle (drained in place so the caller can
+    /// reuse the buffers); produced messages go into `out`.
     pub(crate) fn tick(
         &mut self,
         now: Cycle,
-        arrivals: Vec<(Direction, Flit)>,
-        credits: Vec<(Direction, usize)>,
-        undos: Vec<(CircuitKey, NodeId)>,
+        arrivals: &mut Vec<(Direction, Flit)>,
+        credits: &mut Vec<(Direction, usize)>,
+        undos: &mut Vec<(CircuitKey, NodeId)>,
         out: &mut Vec<Outgoing>,
     ) {
         for o in &mut self.outputs {
@@ -178,14 +185,14 @@ impl Router {
         self.circuits.note_now(now);
 
         // Credits (and the undo information they may carry, §4.4).
-        for (dir, vc) in credits {
+        for (dir, vc) in credits.drain(..) {
             let o = &mut self.outputs[dir.index()];
             o.credits[vc] += 1;
             if o.owner[vc] == Owner::Draining && o.credits[vc] >= self.buffer_depth {
                 o.owner[vc] = Owner::Free;
             }
         }
-        for (key, dst) in undos {
+        for (key, dst) in undos.drain(..) {
             self.process_undo(now, key, dst, out);
         }
 
@@ -198,13 +205,38 @@ impl Router {
 
         // Retry queued bypass flits (in order per input), then arrivals.
         self.drain_bypass_retries(now, out);
-        for (dir, flit) in arrivals {
+        for (dir, flit) in arrivals.drain(..) {
             self.receive(now, dir, flit, out);
         }
 
         self.stage_st(now, out);
         self.stage_sa(now);
         self.stage_va(now, out);
+    }
+
+    /// `true` when a tick with no arriving messages could still change
+    /// state: flits are buffered in the pipeline, a switch grant or
+    /// bypass retry is pending, or a timed circuit entry is (over)due for
+    /// expiry. A `false` router receiving nothing this cycle only resets
+    /// `busy` flags, re-stamps the table clock and runs empty stage
+    /// loops — all no-ops — so the event kernel may skip its tick.
+    pub(crate) fn is_active(&self, now: Cycle) -> bool {
+        if !self.st_pending.is_empty() || self.buffered_flits() > 0 {
+            return true;
+        }
+        if self.bypass_retry.iter().any(|q| !q.is_empty()) {
+            return true;
+        }
+        if self.mechanism.timed.is_timed() {
+            // `tick` expires entries at `now - 4`; stay awake from the
+            // cycle that check starts firing.
+            if let Some(end) = self.circuits.next_expiry() {
+                if now.saturating_sub(4) >= end {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Undo handling: clear the local reservation and forward the undo
@@ -432,8 +464,11 @@ impl Router {
     /// bypasses processed earlier this cycle have already claimed their
     /// output ports (crossbar priority, §4.3); blocked grants retry.
     fn stage_st(&mut self, now: Cycle, out: &mut Vec<Outgoing>) {
-        let grants = std::mem::take(&mut self.st_pending);
-        for g in grants {
+        // Swap the grant list into scratch so blocked grants can re-queue
+        // onto `st_pending` without reallocating either vector.
+        std::mem::swap(&mut self.st_pending, &mut self.st_scratch);
+        for i in 0..self.st_scratch.len() {
+            let g = self.st_scratch[i];
             let vc = &self.inputs[g.in_port].vcs[g.in_vc];
             let route = vc.route.expect("granted VC has a route");
             let out_vc = vc.out_vc.expect("granted VC has an output VC");
@@ -493,23 +528,29 @@ impl Router {
                 arrive,
             });
         }
+        self.st_scratch.clear();
     }
 
     /// Stage 3: two-phase round-robin switch allocation; winners traverse
     /// the crossbar next cycle.
     fn stage_sa(&mut self, now: Cycle) {
         // Inputs with a grant still pending ST cannot be granted again.
-        let blocked: Vec<usize> = self.st_pending.iter().map(|g| g.in_port).collect();
+        let mut blocked = [false; 5];
+        for g in &self.st_pending {
+            blocked[g.in_port] = true;
+        }
         // Phase 1: each input port nominates one VC.
         let mut nominee: [Option<usize>; 5] = [None; 5];
         #[allow(clippy::needless_range_loop)] // p indexes three parallel arrays
         for p in 0..5 {
-            if blocked.contains(&p) {
+            if blocked[p] {
                 continue;
             }
             let total = self.layout.total();
-            let mut requests = vec![false; total];
-            for (v, vc) in self.inputs[p].vcs.iter().enumerate() {
+            self.sa_requests.clear();
+            self.sa_requests.resize(total, false);
+            for v in 0..total {
+                let vc = &self.inputs[p].vcs[v];
                 let stage_ok = match vc.state {
                     VcState::WaitSa => vc.state_since < now,
                     VcState::Active => true,
@@ -526,21 +567,24 @@ impl Router {
                     // credited (fragmented gap traffic).
                     || self.layout.is_circuit_vc(out_vc);
                 if credit_ok {
-                    requests[v] = true;
+                    self.sa_requests[v] = true;
                 }
             }
-            nominee[p] = self.sa_rr_in[p].grant(&requests);
+            nominee[p] = self.sa_rr_in[p].grant(&self.sa_requests);
         }
         // Phase 2: each output port picks one input.
         for out_port in 0..5 {
-            let contenders: Vec<usize> = (0..5)
-                .filter(|&p| {
-                    nominee[p].is_some_and(|v| {
-                        self.inputs[p].vcs[v].route == Some(Direction::from_index(out_port))
-                    })
-                })
-                .collect();
-            if let Some(winner) = self.sa_rr_out[out_port].grant_among(&contenders) {
+            let mut contenders = [0usize; 5];
+            let mut n_con = 0;
+            for (p, nom) in nominee.iter().enumerate() {
+                if nom.is_some_and(|v| {
+                    self.inputs[p].vcs[v].route == Some(Direction::from_index(out_port))
+                }) {
+                    contenders[n_con] = p;
+                    n_con += 1;
+                }
+            }
+            if let Some(winner) = self.sa_rr_out[out_port].grant_among(&contenders[..n_con]) {
                 let v = nominee[winner].expect("winner nominated a VC");
                 let vc = &mut self.inputs[winner].vcs[v];
                 if vc.state == VcState::WaitSa {
@@ -585,22 +629,29 @@ impl Router {
         // grant per output port per cycle, round-robin over input ports.
         for out_port in 0..5 {
             let dir = Direction::from_index(out_port);
-            let contenders: Vec<usize> = (0..5)
-                .filter(|&p| {
-                    self.inputs[p].vcs.iter().any(|vc| {
-                        vc.state == VcState::WaitVa && vc.state_since < now && vc.route == Some(dir)
-                    })
-                })
-                .collect();
+            let mut tried = [0usize; 5];
+            let mut n_tried = 0;
+            for p in 0..5 {
+                if self.inputs[p].vcs.iter().any(|vc| {
+                    vc.state == VcState::WaitVa && vc.state_since < now && vc.route == Some(dir)
+                }) {
+                    tried[n_tried] = p;
+                    n_tried += 1;
+                }
+            }
             // Check a free output VC exists for at least one contender
             // class; pick the winner first (RR), then the VC.
             let mut granted = false;
-            let mut tried = contenders.clone();
-            while !granted && !tried.is_empty() {
-                let Some(winner) = self.va_rr_out[out_port].grant_among(&tried) else {
+            while !granted && n_tried > 0 {
+                let Some(winner) = self.va_rr_out[out_port].grant_among(&tried[..n_tried]) else {
                     break;
                 };
-                tried.retain(|&p| p != winner);
+                let pos = tried[..n_tried]
+                    .iter()
+                    .position(|&p| p == winner)
+                    .expect("winner came from the candidate list");
+                tried[pos..n_tried].rotate_left(1);
+                n_tried -= 1;
                 // The winning input port's oldest WaitVa VC for this output.
                 let Some((v, vnet)) = self.inputs[winner]
                     .vcs
@@ -794,9 +845,15 @@ mod tests {
         }
     }
 
-    fn tick(r: &mut Router, now: Cycle, arrivals: Vec<(Direction, Flit)>) -> Vec<Outgoing> {
+    fn tick(r: &mut Router, now: Cycle, mut arrivals: Vec<(Direction, Flit)>) -> Vec<Outgoing> {
         let mut out = Vec::new();
-        r.tick(now, arrivals, Vec::new(), Vec::new(), &mut out);
+        r.tick(
+            now,
+            &mut arrivals,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut out,
+        );
         out
     }
 
@@ -978,7 +1035,13 @@ mod tests {
             })
             .expect("reservation succeeds");
         let mut out = Vec::new();
-        r.tick(5, vec![], vec![], vec![(key, NodeId(4))], &mut out);
+        r.tick(
+            5,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut vec![(key, NodeId(4))],
+            &mut out,
+        );
         assert_eq!(r.circuits.total_entries(), 0);
         assert!(out.iter().any(|o| matches!(
             o,

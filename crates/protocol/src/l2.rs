@@ -193,6 +193,15 @@ impl L2Bank {
         self.inbox.push_back((ready, msg));
     }
 
+    /// `true` when [`L2Bank::tick`] would do any work at `now`: a message
+    /// has become due, or a stalled request needs its every-cycle retry.
+    /// Used by the event kernel to skip quiescent banks; a bank for which
+    /// this is `false` ticks as a no-op, so skipping it cannot change
+    /// observable state.
+    pub fn has_due_work(&self, now: Cycle) -> bool {
+        !self.stalled.is_empty() || self.inbox.front().is_some_and(|&(ready, _)| ready <= now)
+    }
+
     /// Processes everything that has become due.
     pub fn tick(&mut self, now: Cycle, port: &mut dyn Port) {
         while let Some(&(ready, _)) = self.inbox.front() {

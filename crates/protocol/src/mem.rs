@@ -68,6 +68,13 @@ impl MemoryController {
         self.pending.push_back((now + self.latency as Cycle, msg));
     }
 
+    /// `true` when [`MemoryController::tick`] would emit a reply at `now`.
+    /// Used by the event kernel to skip idle controllers; ticking when this
+    /// is `false` is a no-op, so skipping cannot change observable state.
+    pub fn has_due_work(&self, now: Cycle) -> bool {
+        self.pending.front().is_some_and(|&(ready, _)| ready <= now)
+    }
+
     /// Emits due replies.
     pub fn tick(&mut self, now: Cycle, port: &mut dyn Port) {
         while let Some(&(ready, _)) = self.pending.front() {

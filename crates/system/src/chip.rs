@@ -5,7 +5,7 @@
 
 use crate::core_model::{Core, CoreAction};
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::{Cycle, MechanismConfig, Mesh, MessageClass, NodeId};
+use rcsim_core::{Cycle, KernelMode, MechanismConfig, Mesh, MessageClass, NodeId};
 use rcsim_noc::{
     CircuitOutcome, FaultConfig, HealthReport, Network, NocConfig, NocStats, PacketSpec,
     WatchdogConfig,
@@ -101,6 +101,8 @@ pub struct Chip {
     sink: TraceSink,
     /// Cycles between whole-network occupancy samples (0 = never).
     trace_epoch: u64,
+    /// Dense (tick everything) or event-driven (skip quiescent tiles).
+    kernel: KernelMode,
 }
 
 impl Chip {
@@ -174,7 +176,21 @@ impl Chip {
             undone: HashSet::new(),
             sink: TraceSink::default(),
             trace_epoch: 0,
+            kernel: KernelMode::from_env(),
         })
+    }
+
+    /// Selects the simulation kernel for this chip and its network. Both
+    /// kernels produce byte-identical results; `Event` skips quiescent
+    /// tiles and is the default (see `RC_KERNEL`).
+    pub fn set_kernel(&mut self, kernel: KernelMode) {
+        self.kernel = kernel;
+        self.net.set_kernel(kernel);
+    }
+
+    /// The active simulation kernel.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Installs a trace sink, fanned out to the network (NIs and routers)
@@ -216,9 +232,15 @@ impl Chip {
         let circuits_enabled = mechanism.mechanism.circuits_enabled();
         let track_undone = self.proto_cfg.undo_on_l2_miss;
         let l1_hit = self.proto_cfg.l1_hit_latency;
+        let event = self.kernel == KernelMode::Event;
 
         // Cores issue L1 accesses.
         for i in 0..n {
+            // A core still computing (or blocked on a miss) polls as a
+            // pure no-op; the event kernel skips the call outright.
+            if event && self.cores[i].ready_at() > now {
+                continue;
+            }
             if let CoreAction::Access {
                 block,
                 write,
@@ -304,6 +326,14 @@ impl Chip {
 
         // L2 banks and memory controllers act on due work.
         for i in 0..n {
+            // Ticking a bank with nothing due (and an MC with nothing
+            // pending) is a no-op; the event kernel skips the tile.
+            if event
+                && !self.l2s[i].has_due_work(now)
+                && !self.mcs.get(&i).is_some_and(|m| m.has_due_work(now))
+            {
+                continue;
+            }
             let mut port = ChipPort {
                 net: &mut self.net,
                 payloads: &mut self.payloads,

@@ -119,6 +119,19 @@ impl Core {
     pub fn stalled(&self) -> bool {
         self.state == CoreState::WaitMiss
     }
+
+    /// The earliest cycle at which [`Core::poll`] can do anything but
+    /// return [`CoreAction::Idle`] without mutating state. While blocked
+    /// on a miss this is `Cycle::MAX` — only [`Core::miss_done`] (driven
+    /// by a network delivery) can unblock the core. The event kernel
+    /// skips polling cores whose `ready_at` lies in the future; such a
+    /// poll is a pure no-op, so skipping cannot change observable state.
+    pub fn ready_at(&self) -> Cycle {
+        match self.state {
+            CoreState::WaitMiss => Cycle::MAX,
+            CoreState::Compute { until } => until,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::chip::Chip;
 use crate::report::RunResult;
-use rcsim_core::{MechanismConfig, Mesh};
+use rcsim_core::{KernelMode, MechanismConfig, Mesh};
 use rcsim_noc::{FaultConfig, HealthReport, WatchdogConfig};
 use rcsim_power::{area_savings, EnergyModel};
 use rcsim_protocol::ProtocolConfig;
@@ -131,7 +131,19 @@ pub struct TraceReport {
 ///
 /// Returns [`SimError`] for unknown workloads or invalid configurations.
 pub fn run_sim(cfg: &SimConfig) -> Result<RunResult, SimError> {
-    run_sim_inner(cfg, None).map(|(result, _)| result)
+    run_sim_with_kernel(cfg, KernelMode::from_env())
+}
+
+/// [`run_sim`] with an explicit simulation kernel, overriding the
+/// `RC_KERNEL` environment knob. Both kernels produce byte-identical
+/// results (see the `kernel_diff` test suite); `Event` skips quiescent
+/// tiles and is the faster default.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for unknown workloads or invalid configurations.
+pub fn run_sim_with_kernel(cfg: &SimConfig, kernel: KernelMode) -> Result<RunResult, SimError> {
+    run_sim_inner(cfg, None, kernel).map(|(result, _)| result)
 }
 
 /// [`run_sim`] with event tracing: identical simulation (the trace layer
@@ -146,7 +158,21 @@ pub fn run_sim_traced(
     cfg: &SimConfig,
     trace: &TraceConfig,
 ) -> Result<(RunResult, TraceReport), SimError> {
-    run_sim_inner(cfg, Some(trace)).map(|(result, report)| {
+    run_sim_traced_with_kernel(cfg, trace, KernelMode::from_env())
+}
+
+/// [`run_sim_traced`] with an explicit simulation kernel, overriding the
+/// `RC_KERNEL` environment knob.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for unknown workloads or invalid configurations.
+pub fn run_sim_traced_with_kernel(
+    cfg: &SimConfig,
+    trace: &TraceConfig,
+    kernel: KernelMode,
+) -> Result<(RunResult, TraceReport), SimError> {
+    run_sim_inner(cfg, Some(trace), kernel).map(|(result, report)| {
         (
             result,
             report.expect("tracing was requested, so a report exists"),
@@ -157,6 +183,7 @@ pub fn run_sim_traced(
 fn run_sim_inner(
     cfg: &SimConfig,
     trace: Option<&TraceConfig>,
+    kernel: KernelMode,
 ) -> Result<(RunResult, Option<TraceReport>), SimError> {
     // Square for the paper's 16/64-core chips; the most nearly square
     // rectangle otherwise (scalability sweeps at 32, 48, … cores).
@@ -176,6 +203,7 @@ fn run_sim_inner(
         cfg.faults.clone(),
         cfg.watchdog,
     )?;
+    chip.set_kernel(kernel);
 
     let sink = match trace {
         Some(t) => {

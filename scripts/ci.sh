@@ -87,4 +87,40 @@ cached=$(telemetry target/experiments/BENCH_fig6.json cached_points)
 echo "    cache-warm rerun served $cached points from $cache_dir"
 $CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
 
+echo "==> dense-vs-event kernel smoke (RC_KERNEL byte-identity on fig6 rows)"
+# The event kernel (idle-skip scheduling) must be observationally
+# indistinguishable from the dense one: the same fig6 quick grid, run
+# once per kernel, must emit byte-identical BENCH rows. RC_NO_CACHE=1 is
+# load-bearing — the disk cache keys on SimConfig, which deliberately
+# excludes RC_KERNEL, so a cache hit would compare a result with itself.
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 RC_KERNEL=dense \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_fig6.json target/experiments/ci_fig6_dense.json
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 RC_KERNEL=event \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_fig6.json target/experiments/ci_fig6_event.json
+diff <(strip_telemetry target/experiments/ci_fig6_dense.json) \
+     <(strip_telemetry target/experiments/ci_fig6_event.json) \
+  || { echo "FAIL: BENCH_fig6.json rows differ between RC_KERNEL=dense and RC_KERNEL=event"; exit 1; }
+
+echo "==> kernel bench smoke (BENCH_kernel.json + internal identity asserts)"
+# The kernel bench re-asserts dense/event RunResult identity on every
+# point it times, so just running it is a differential check; then make
+# sure its summary landed and validates against the schema.
+env "${smoke[@]}" \
+  $CARGO run --release -q -p rcsim-bench --bin kernel "$@" > /dev/null
+test -s target/experiments/BENCH_kernel.json
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
+
+echo "==> kernel/power/traffic differential suites (RC_JOBS=1 and 4)"
+# The dense-vs-event differential layer plus the new power-model and
+# traffic-pattern suites, under both a serial and a parallel test
+# harness (RC_JOBS is read by sweep-backed tests; the loop also shakes
+# out any accidental test-order coupling).
+for jobs in 1 4; do
+  RC_JOBS=$jobs $CARGO test -q -p rcsim-system --test kernel_diff "$@"
+  RC_JOBS=$jobs $CARGO test -q -p rcsim-power "$@"
+  RC_JOBS=$jobs $CARGO test -q -p rcsim-noc --test traffic_patterns "$@"
+done
+
 echo "CI gate passed."
