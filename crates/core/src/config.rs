@@ -407,6 +407,16 @@ pub enum ConfigError {
     ZeroCircuitStorage,
     /// Borrowing scroungers only make sense with reuse enabled.
     BorrowRequiresReuse,
+    /// A fault-injection rate is NaN, negative or greater than one. The
+    /// payload names the offending knob.
+    FaultRate(&'static str),
+    /// A scheduled fault (stuck port / dead link / dead router) has an
+    /// explicit duration of zero cycles — it would never take effect.
+    FaultWindow,
+    /// A scheduled fault references topology that does not exist (node out
+    /// of bounds, non-adjacent link pair, `Local` stuck port). The payload
+    /// names the problem.
+    FaultTopology(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -429,6 +439,15 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BorrowRequiresReuse => {
                 f.write_str("borrowing scroungers require circuit reuse")
+            }
+            ConfigError::FaultRate(knob) => {
+                write!(f, "fault rate `{knob}` must be a finite value in [0, 1]")
+            }
+            ConfigError::FaultWindow => {
+                f.write_str("scheduled faults need a non-zero (or permanent) duration")
+            }
+            ConfigError::FaultTopology(what) => {
+                write!(f, "scheduled fault references invalid topology: {what}")
             }
         }
     }

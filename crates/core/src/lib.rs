@@ -47,5 +47,6 @@ pub mod types;
 
 pub use config::{CircuitMode, ConfigError, MechanismConfig, TimedPolicy};
 pub use geometry::Mesh;
+pub use routing::TopologyHealth;
 pub use sched::{KernelMode, WakeTimes};
 pub use types::{Cycle, Direction, MessageClass, NodeId, Vnet};

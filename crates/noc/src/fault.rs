@@ -28,11 +28,27 @@
 //! * **Stuck input port** — a scheduled [`StuckPortEvent`] freezes one
 //!   router input port for a window of cycles: arrivals queue on the link
 //!   and nothing enters the port until the window ends.
+//! * **Dead link** — a scheduled [`DeadLinkEvent`] removes one
+//!   bidirectional inter-router link at a given cycle, permanently or for
+//!   a bounded window. Every flit on the link at onset (and any flit later
+//!   routed onto it) is lost whole; the live [`TopologyHealth`] map makes
+//!   new packets detour around it and tears down every circuit whose
+//!   reply path crossed it (DESIGN.md §10).
+//! * **Dead router** — a scheduled [`DeadRouterEvent`] kills a whole
+//!   router: all four of its links stop carrying data and no packet may
+//!   start from, end at or cross the node. NoC-level studies only — a dead
+//!   router takes its L2 bank along, which the coherence protocol does not
+//!   model losing.
 //!
 //! Recovery is end-to-end: the network tracks every in-flight packet and
 //! retransmits lost or corrupted ones from the source NI (plain
 //! packet-switched, bounded retries with linear backoff); a packet that
-//! exhausts its retries is counted in `NocStats::dropped_packets`.
+//! exhausts its retries is counted in `NocStats::dropped_packets`. For
+//! permanent faults the protocol layer adds a second safety net: an L1
+//! whose miss reply never arrives reissues the request after a timeout
+//! (bounded, exponential backoff).
+//!
+//! [`TopologyHealth`]: rcsim_core::TopologyHealth
 //!
 //! [`BypassCheck::Pipeline`]: crate::router::BypassCheck::Pipeline
 //! [`CircuitOutcome::FaultDegraded`]: crate::CircuitOutcome::FaultDegraded
@@ -40,7 +56,7 @@
 use crate::flit::{Flit, PacketId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rcsim_core::{Cycle, Direction, NodeId};
+use rcsim_core::{ConfigError, Cycle, Direction, Mesh, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -65,6 +81,48 @@ impl StuckPortEvent {
     }
 }
 
+/// A scheduled hard fault on one inter-router link: from cycle `at` the
+/// `a`–`b` link carries no data in either direction, permanently
+/// (`duration: None`) or until `at + duration`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadLinkEvent {
+    /// One endpoint of the link.
+    pub a: NodeId,
+    /// The other endpoint (must be a mesh neighbour of `a`).
+    pub b: NodeId,
+    /// First dead cycle.
+    pub at: Cycle,
+    /// `None` for a permanent fault, `Some(n)` to heal after `n` cycles.
+    pub duration: Option<Cycle>,
+}
+
+impl DeadLinkEvent {
+    /// The cycle the link heals, or `None` for a permanent fault.
+    pub fn heals_at(&self) -> Option<Cycle> {
+        self.duration.map(|d| self.at.saturating_add(d))
+    }
+}
+
+/// A scheduled hard fault on a whole router: from cycle `at` node `node`
+/// accepts, emits and forwards nothing, permanently (`duration: None`) or
+/// until `at + duration`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadRouterEvent {
+    /// The router that dies.
+    pub node: NodeId,
+    /// First dead cycle.
+    pub at: Cycle,
+    /// `None` for a permanent fault, `Some(n)` to heal after `n` cycles.
+    pub duration: Option<Cycle>,
+}
+
+impl DeadRouterEvent {
+    /// The cycle the router heals, or `None` for a permanent fault.
+    pub fn heals_at(&self) -> Option<Cycle> {
+        self.duration.map(|d| self.at.saturating_add(d))
+    }
+}
+
 /// Fault-injection configuration. The default ([`FaultConfig::none`])
 /// injects nothing and is guaranteed zero-perturbation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,6 +142,12 @@ pub struct FaultConfig {
     pub table_corrupt_rate: f64,
     /// Scheduled stuck-input-port windows.
     pub stuck_ports: Vec<StuckPortEvent>,
+    /// Scheduled dead links (permanent faults, DESIGN.md §10).
+    #[serde(default)]
+    pub dead_links: Vec<DeadLinkEvent>,
+    /// Scheduled dead routers (NoC-level studies only).
+    #[serde(default)]
+    pub dead_routers: Vec<DeadRouterEvent>,
     /// End-to-end retransmissions attempted per packet before it is
     /// abandoned and counted in `NocStats::dropped_packets`.
     pub max_retries: u32,
@@ -102,6 +166,8 @@ impl FaultConfig {
             credit_loss_rate: 0.0,
             table_corrupt_rate: 0.0,
             stuck_ports: Vec::new(),
+            dead_links: Vec::new(),
+            dead_routers: Vec::new(),
             max_retries: 4,
             retry_backoff: 64,
         }
@@ -114,6 +180,65 @@ impl FaultConfig {
             && self.credit_loss_rate <= 0.0
             && self.table_corrupt_rate <= 0.0
             && self.stuck_ports.is_empty()
+            && self.dead_links.is_empty()
+            && self.dead_routers.is_empty()
+    }
+
+    /// Checks the configuration against `mesh` before a network is built.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::FaultRate`] — a rate is NaN, negative or above 1.
+    /// * [`ConfigError::FaultWindow`] — a scheduled fault has an explicit
+    ///   duration of zero cycles (it could never take effect).
+    /// * [`ConfigError::FaultTopology`] — a scheduled fault names a node
+    ///   outside the mesh, a non-adjacent link pair, or the `Local` port.
+    pub fn validate(&self, mesh: &Mesh) -> Result<(), ConfigError> {
+        let rates = [
+            (self.link_drop_rate, "link_drop_rate"),
+            (self.link_corrupt_rate, "link_corrupt_rate"),
+            (self.credit_loss_rate, "credit_loss_rate"),
+            (self.table_corrupt_rate, "table_corrupt_rate"),
+        ];
+        for (rate, name) in rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(ConfigError::FaultRate(name));
+            }
+        }
+        let nodes = mesh.nodes();
+        for e in &self.stuck_ports {
+            if e.duration == 0 {
+                return Err(ConfigError::FaultWindow);
+            }
+            if e.node.index() >= nodes {
+                return Err(ConfigError::FaultTopology("stuck-port node out of bounds"));
+            }
+            if e.dir == Direction::Local {
+                return Err(ConfigError::FaultTopology("stuck port on the Local port"));
+            }
+        }
+        for e in &self.dead_links {
+            if e.duration == Some(0) {
+                return Err(ConfigError::FaultWindow);
+            }
+            if e.a.index() >= nodes || e.b.index() >= nodes {
+                return Err(ConfigError::FaultTopology("dead-link node out of bounds"));
+            }
+            if mesh.distance(e.a, e.b) != 1 {
+                return Err(ConfigError::FaultTopology(
+                    "dead-link endpoints are not mesh neighbours",
+                ));
+            }
+        }
+        for e in &self.dead_routers {
+            if e.duration == Some(0) {
+                return Err(ConfigError::FaultWindow);
+            }
+            if e.node.index() >= nodes {
+                return Err(ConfigError::FaultTopology("dead router out of bounds"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -142,6 +267,17 @@ pub struct FaultStats {
     pub retransmissions: u64,
     /// Packets abandoned after exhausting their retries.
     pub packets_abandoned: u64,
+    /// Packets that left their source on a detour because the DOR path
+    /// crossed a dead link or router.
+    #[serde(default)]
+    pub packets_rerouted: u64,
+    /// Circuit-table entries torn down at fault onset because their reply
+    /// path crossed the dead resource.
+    #[serde(default)]
+    pub circuits_torn: u64,
+    /// Flits lost on a dead link (in flight at onset or routed onto it).
+    #[serde(default)]
+    pub dead_flits_lost: u64,
 }
 
 /// Fate of a flit crossing an inter-router link under fault injection.
@@ -270,6 +406,7 @@ mod tests {
             created_at: 0,
             injected_at: 0,
             corrupted: false,
+            path: None,
         }
     }
 
@@ -282,6 +419,164 @@ mod tests {
             ..FaultConfig::none()
         };
         assert!(!lossy.is_none());
+        let dead = FaultConfig {
+            dead_links: vec![DeadLinkEvent {
+                a: NodeId(0),
+                b: NodeId(1),
+                at: 0,
+                duration: None,
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(!dead.is_none(), "dead links must construct a FaultState");
+        let dead = FaultConfig {
+            dead_routers: vec![DeadRouterEvent {
+                node: NodeId(5),
+                at: 100,
+                duration: Some(50),
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(!dead.is_none());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
+            let cfg = FaultConfig {
+                link_drop_rate: bad,
+                ..FaultConfig::none()
+            };
+            assert_eq!(
+                cfg.validate(&mesh),
+                Err(ConfigError::FaultRate("link_drop_rate"))
+            );
+        }
+        let cfg = FaultConfig {
+            credit_loss_rate: f64::NAN,
+            ..FaultConfig::none()
+        };
+        assert_eq!(
+            cfg.validate(&mesh),
+            Err(ConfigError::FaultRate("credit_loss_rate"))
+        );
+        let cfg = FaultConfig {
+            table_corrupt_rate: -1.0,
+            ..FaultConfig::none()
+        };
+        assert_eq!(
+            cfg.validate(&mesh),
+            Err(ConfigError::FaultRate("table_corrupt_rate"))
+        );
+        assert_eq!(FaultConfig::none().validate(&mesh), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_windows() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let cfg = FaultConfig {
+            stuck_ports: vec![StuckPortEvent {
+                node: NodeId(1),
+                dir: Direction::East,
+                at: 5,
+                duration: 0,
+            }],
+            ..FaultConfig::none()
+        };
+        assert_eq!(cfg.validate(&mesh), Err(ConfigError::FaultWindow));
+        let cfg = FaultConfig {
+            dead_links: vec![DeadLinkEvent {
+                a: NodeId(0),
+                b: NodeId(1),
+                at: 5,
+                duration: Some(0),
+            }],
+            ..FaultConfig::none()
+        };
+        assert_eq!(cfg.validate(&mesh), Err(ConfigError::FaultWindow));
+        let cfg = FaultConfig {
+            dead_routers: vec![DeadRouterEvent {
+                node: NodeId(0),
+                at: 5,
+                duration: Some(0),
+            }],
+            ..FaultConfig::none()
+        };
+        assert_eq!(cfg.validate(&mesh), Err(ConfigError::FaultWindow));
+        // Permanent (None) and bounded (Some(>0)) windows are fine.
+        let cfg = FaultConfig {
+            dead_links: vec![DeadLinkEvent {
+                a: NodeId(0),
+                b: NodeId(1),
+                at: 5,
+                duration: None,
+            }],
+            dead_routers: vec![DeadRouterEvent {
+                node: NodeId(2),
+                at: 5,
+                duration: Some(10),
+            }],
+            ..FaultConfig::none()
+        };
+        assert_eq!(cfg.validate(&mesh), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_topology() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let cfg = FaultConfig {
+            dead_links: vec![DeadLinkEvent {
+                a: NodeId(0),
+                b: NodeId(99),
+                at: 0,
+                duration: None,
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(matches!(
+            cfg.validate(&mesh),
+            Err(ConfigError::FaultTopology(_))
+        ));
+        // n0 and n5 are diagonal, not neighbours.
+        let cfg = FaultConfig {
+            dead_links: vec![DeadLinkEvent {
+                a: NodeId(0),
+                b: NodeId(5),
+                at: 0,
+                duration: None,
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(matches!(
+            cfg.validate(&mesh),
+            Err(ConfigError::FaultTopology(_))
+        ));
+        let cfg = FaultConfig {
+            dead_routers: vec![DeadRouterEvent {
+                node: NodeId(16),
+                at: 0,
+                duration: None,
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(matches!(
+            cfg.validate(&mesh),
+            Err(ConfigError::FaultTopology(_))
+        ));
+        let cfg = FaultConfig {
+            stuck_ports: vec![StuckPortEvent {
+                node: NodeId(1),
+                dir: Direction::Local,
+                at: 0,
+                duration: 10,
+            }],
+            ..FaultConfig::none()
+        };
+        assert!(matches!(
+            cfg.validate(&mesh),
+            Err(ConfigError::FaultTopology(_))
+        ));
     }
 
     #[test]

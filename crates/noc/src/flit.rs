@@ -178,6 +178,14 @@ pub struct Flit {
     /// of delivering it and the source retransmits.
     #[serde(default)]
     pub corrupted: bool,
+    /// Recorded source route (head flit only): the full router sequence
+    /// the packet must follow, set by the source NI when DOR would cross a
+    /// dead link or router. Routers on the path forward along it; replies
+    /// to a detoured request retrace it reversed so the reservation
+    /// symmetry of §4.1 survives rerouting (DESIGN.md §10). `None` for the
+    /// ordinary DOR case.
+    #[serde(default)]
+    pub path: Option<Box<Vec<NodeId>>>,
 }
 
 /// A fully received packet handed back to the destination's user.

@@ -101,6 +101,17 @@ pub struct HealthReport {
     pub leaked_circuits: Vec<LeakedCircuit>,
     /// Fault-injection counters (all zero when faults are disabled).
     pub faults: FaultStats,
+    /// Links currently dead (sorted `(min, max)` pairs, capped like the
+    /// stuck/leaked lists).
+    #[serde(default)]
+    pub dead_links: Vec<(NodeId, NodeId)>,
+    /// Routers currently dead (sorted, capped).
+    #[serde(default)]
+    pub dead_routers: Vec<NodeId>,
+    /// Coherence requests reissued by L1s whose reply never arrived
+    /// (filled in by the system layer; zero for bare-network runs).
+    #[serde(default)]
+    pub l1_reissues: u64,
 }
 
 impl HealthReport {
@@ -164,6 +175,26 @@ impl fmt::Display for HealthReport {
                 self.faults.retransmissions,
                 self.faults.packets_abandoned
             )?;
+        }
+        if !self.dead_links.is_empty() || !self.dead_routers.is_empty() {
+            writeln!(
+                f,
+                "  degraded topology: {} dead links {:?}, {} dead routers {:?}; \
+                 {} packets rerouted, {} circuits torn, {} flits lost on dead links",
+                self.dead_links.len(),
+                self.dead_links
+                    .iter()
+                    .map(|(a, b)| (a.0, b.0))
+                    .collect::<Vec<_>>(),
+                self.dead_routers.len(),
+                self.dead_routers.iter().map(|n| n.0).collect::<Vec<_>>(),
+                self.faults.packets_rerouted,
+                self.faults.circuits_torn,
+                self.faults.dead_flits_lost
+            )?;
+        }
+        if self.l1_reissues > 0 {
+            writeln!(f, "  l1 reissues: {}", self.l1_reissues)?;
         }
         Ok(())
     }

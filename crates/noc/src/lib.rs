@@ -53,7 +53,7 @@ mod stats;
 pub mod traffic;
 
 pub use config::{NocConfig, VcLayout};
-pub use fault::{FaultConfig, FaultStats, StuckPortEvent};
+pub use fault::{DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, StuckPortEvent};
 pub use flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
 pub use health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
 pub use network::{Network, NetworkTelemetry};

@@ -10,7 +10,10 @@ use crate::ni::{Ni, NiOut};
 use crate::router::{Outgoing, Router};
 use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::{ConfigError, Cycle, Direction, KernelMode, MessageClass, NodeId, WakeTimes};
+use rcsim_core::routing::{path_is_healthy, route_path, Routing};
+use rcsim_core::{
+    ConfigError, Cycle, Direction, KernelMode, MessageClass, NodeId, TopologyHealth, WakeTimes,
+};
 use rcsim_trace::{EventKind, TraceSink};
 use std::collections::{HashMap, HashSet};
 
@@ -113,6 +116,21 @@ struct Scratch {
     outgoing: Vec<Outgoing>,
 }
 
+/// One scheduled permanent-fault transition, precomputed at construction
+/// from the [`FaultConfig`] and applied densely at the top of the cycle
+/// loop (RNG-free, so both kernels see the identical fault stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TopoChange {
+    /// The link between two adjacent routers dies.
+    LinkDown(NodeId, NodeId),
+    /// A bounded dead-link window ends.
+    LinkUp(NodeId, NodeId),
+    /// A whole router dies (all five of its links with it).
+    RouterDown(NodeId),
+    /// A bounded dead-router window ends.
+    RouterUp(NodeId),
+}
+
 /// One injected packet, tracked until delivery or abandonment: the raw
 /// material for per-message watchdog ages and end-to-end retransmission.
 #[derive(Debug, Clone)]
@@ -156,15 +174,27 @@ pub struct Network {
     /// fault-free network carries no fault state at all, which is what
     /// makes `FaultConfig::none()` bit-identical to no fault layer.
     faults: Option<FaultState>,
+    /// The live dead-link / dead-router map, updated as the scheduled
+    /// fault events in [`Network::fault_schedule`] fire. Routing and the
+    /// NIs consult it; a healthy map costs one boolean check per packet.
+    topo: TopologyHealth,
+    /// Scheduled permanent-fault transitions, sorted by cycle.
+    fault_schedule: Vec<(Cycle, TopoChange)>,
+    /// First not-yet-applied entry of `fault_schedule`.
+    fault_cursor: usize,
     watchdog: WatchdogConfig,
     /// Every injected, not-yet-delivered packet (src == dst traffic never
     /// enters the network and is not tracked).
     outstanding: HashMap<PacketId, Outstanding>,
     /// Scheduled end-to-end retransmissions: (due cycle, packet).
     retry_queue: Vec<(Cycle, PacketId)>,
-    /// Circuits hit by table corruption; consumed when their reply is
-    /// delivered to reclassify it as `FaultDegraded`.
+    /// Circuits hit by table corruption or dead-resource teardown;
+    /// consumed when their reply is delivered to reclassify it as
+    /// `FaultDegraded`.
     faulted_circuits: HashSet<CircuitKey>,
+    /// Packets whose head flit died at a dead link; their remaining flits
+    /// are eaten silently at the same link (packet-atomic loss).
+    dead_eating: HashSet<PacketId>,
     /// Last cycle any flit moved (arrived, ejected or was delivered).
     last_progress: Cycle,
     /// Which kernel drives the per-cycle loops (see [`KernelMode`]).
@@ -200,7 +230,22 @@ impl Network {
     /// internally inconsistent.
     pub fn with_faults(cfg: NocConfig, faults: FaultConfig) -> Result<Self, ConfigError> {
         cfg.mechanism.validate()?;
+        faults.validate(&cfg.mesh)?;
         let n = cfg.mesh.nodes();
+        let mut fault_schedule = Vec::new();
+        for e in &faults.dead_links {
+            fault_schedule.push((e.at, TopoChange::LinkDown(e.a, e.b)));
+            if let Some(h) = e.heals_at() {
+                fault_schedule.push((h, TopoChange::LinkUp(e.a, e.b)));
+            }
+        }
+        for e in &faults.dead_routers {
+            fault_schedule.push((e.at, TopoChange::RouterDown(e.node)));
+            if let Some(h) = e.heals_at() {
+                fault_schedule.push((h, TopoChange::RouterUp(e.node)));
+            }
+        }
+        fault_schedule.sort_by_key(|&(t, _)| t);
         Ok(Self {
             cfg,
             routers: cfg.mesh.iter().map(|id| Router::new(id, &cfg)).collect(),
@@ -216,10 +261,14 @@ impl Network {
             } else {
                 Some(FaultState::new(faults))
             },
+            topo: TopologyHealth::new(),
+            fault_schedule,
+            fault_cursor: 0,
             watchdog: WatchdogConfig::default(),
             outstanding: HashMap::new(),
             retry_queue: Vec::new(),
             faulted_circuits: HashSet::new(),
+            dead_eating: HashSet::new(),
             last_progress: 0,
             kernel: KernelMode::from_env(),
             ni_wake: WakeTimes::new(n),
@@ -420,6 +469,11 @@ impl Network {
         let event = self.kernel == KernelMode::Event;
         let mut s = std::mem::take(&mut self.scratch);
 
+        // Scheduled dead-link / dead-router transitions fire first, before
+        // anything moves this cycle: they are dense (kernel-independent)
+        // and draw no fault RNG.
+        self.process_fault_onsets(now);
+
         // Due end-to-end retransmissions re-enter their source NI.
         let mut due_retries = Vec::new();
         self.retry_queue.retain(|&(t, id)| {
@@ -466,10 +520,16 @@ impl Network {
                 now,
                 &mut s.ejected,
                 &mut s.ni_credits,
+                &self.topo,
                 &mut self.stats,
                 &mut s.ni_out,
             );
             moved |= !s.ni_out.flits.is_empty() || !s.ni_out.delivered.is_empty();
+            if s.ni_out.reroutes > 0 {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.stats.packets_rerouted += s.ni_out.reroutes;
+                }
+            }
             for flit in s.ni_out.flits.drain(..) {
                 self.router_wake.wake_at(i, now + 1);
                 self.router_inboxes[i].flits[Direction::Local.index()].push((now + 1, flit));
@@ -680,6 +740,32 @@ impl Network {
                         debug_assert!(false, "routing crossed the mesh edge at {from}/{dir}");
                         continue;
                     };
+                    if !self.topo.hop_usable(from, nb)
+                        && (flit.kind.is_head() || self.dead_eating.contains(&flit.packet))
+                    {
+                        // The link (or an endpoint router) is dead: the
+                        // packet is lost from its head flit on. Synthesize
+                        // the credits it would have earned, tear the
+                        // reservations it orphans and schedule the
+                        // end-to-end retransmission — without touching the
+                        // fault RNG, so the random-fault stream is
+                        // unchanged by scheduled dead resources. A packet
+                        // whose head crossed *before* the link died drains
+                        // whole instead (the `else` path): cutting a
+                        // wormhole mid-stream would wedge the downstream
+                        // VC forever.
+                        if flit.kind.is_head() && !flit.kind.is_tail() {
+                            self.dead_eating.insert(flit.packet);
+                        }
+                        if flit.kind.is_tail() {
+                            self.dead_eating.remove(&flit.packet);
+                        }
+                        if let Some(fs) = self.faults.as_mut() {
+                            fs.stats.dead_flits_lost += 1;
+                        }
+                        self.drop_on_link(from, nb, *dir, flit, *arrive);
+                        continue;
+                    }
                     let mut flit = flit.clone();
                     if let Some(fs) = self.faults.as_mut() {
                         match fs.on_link_flit(from.index(), dir.index(), &flit) {
@@ -709,6 +795,11 @@ impl Network {
                     if self.faults.as_mut().is_some_and(FaultState::on_link_credit) {
                         continue;
                     }
+                    // Credits deliberately survive dead links: the credit
+                    // backchannel is the recovery path's control plane, and
+                    // without it every VC that ever crossed the link would
+                    // wedge permanently (DESIGN.md §10). Credit loss stays
+                    // its own (random) fault class.
                     self.router_wake.wake_at(nb.index(), *arrive);
                     self.router_inboxes[nb.index()].credits[dir.opposite().index()]
                         .push((*arrive, *vc));
@@ -725,6 +816,12 @@ impl Network {
                         debug_assert!(false, "undo crossed the mesh edge at {from}/{dir}");
                         continue;
                     };
+                    if !self.topo.hop_usable(from, nb) {
+                        // Undo propagation dies with the link; the entries
+                        // beyond it were removed by the scheduled-fault
+                        // teardown, so nothing is left to clean up.
+                        continue;
+                    }
                     self.router_wake.wake_at(nb.index(), *arrive);
                     self.router_inboxes[nb.index()]
                         .undos
@@ -774,6 +871,132 @@ impl Network {
             }
             self.schedule_retry(flit.packet, arrive);
         }
+    }
+
+    /// Applies every scheduled dead-link / dead-router transition due
+    /// this cycle: updates the topology-health map, re-derives each
+    /// router's degraded flag, emits the fault trace events, and on each
+    /// onset tears down every circuit whose reply path crosses a dead
+    /// resource. Dense and RNG-free, so the fault stream (and therefore
+    /// the whole run) is identical across kernels and worker counts.
+    fn process_fault_onsets(&mut self, now: Cycle) {
+        while self.fault_cursor < self.fault_schedule.len()
+            && self.fault_schedule[self.fault_cursor].0 <= now
+        {
+            let (_, change) = self.fault_schedule[self.fault_cursor];
+            self.fault_cursor += 1;
+            match change {
+                TopoChange::LinkDown(a, b) => {
+                    self.topo.kill_link(a, b);
+                    self.sink.emit(|| rcsim_trace::TraceEvent {
+                        cycle: now,
+                        kind: EventKind::LinkDead { a: a.0, b: b.0 },
+                    });
+                }
+                TopoChange::LinkUp(a, b) => {
+                    self.topo.revive_link(a, b);
+                    self.sink.emit(|| rcsim_trace::TraceEvent {
+                        cycle: now,
+                        kind: EventKind::LinkHealed { a: a.0, b: b.0 },
+                    });
+                }
+                TopoChange::RouterDown(node) => {
+                    self.topo.kill_router(node);
+                    self.sink.emit(|| rcsim_trace::TraceEvent {
+                        cycle: now,
+                        kind: EventKind::RouterDead { node: node.0 },
+                    });
+                }
+                TopoChange::RouterUp(node) => {
+                    self.topo.revive_router(node);
+                    self.sink.emit(|| rcsim_trace::TraceEvent {
+                        cycle: now,
+                        kind: EventKind::RouterHealed { node: node.0 },
+                    });
+                }
+            }
+            self.refresh_degraded();
+            if matches!(
+                change,
+                TopoChange::LinkDown(..) | TopoChange::RouterDown(..)
+            ) {
+                self.teardown_circuits(now);
+            }
+        }
+    }
+
+    /// Re-derives each router's degraded flag: a router is degraded while
+    /// it is dead itself or any of its links is unusable. Degraded
+    /// routers take no part in circuits — reservations are refused and
+    /// bypasses forced to the packet pipeline — so reactive traffic
+    /// adjacent to the dead region falls back to plain packet switching
+    /// (DESIGN.md §10).
+    fn refresh_degraded(&mut self) {
+        for i in 0..self.cfg.mesh.nodes() {
+            let id = NodeId(i as u16);
+            let degraded = self.topo.is_degraded()
+                && (!self.topo.node_usable(id)
+                    || (0..5).any(|d| {
+                        let dir = Direction::from_index(d);
+                        dir != Direction::Local
+                            && self
+                                .cfg
+                                .mesh
+                                .neighbor(id, dir)
+                                .is_some_and(|nb| !self.topo.hop_usable(id, nb))
+                    }));
+            self.routers[i].set_degraded(degraded);
+        }
+    }
+
+    /// Fault-onset circuit recovery: removes every circuit-table entry —
+    /// at every router and input port — belonging to a circuit whose
+    /// reply path (YX from the circuit's source to its requestor, the
+    /// route the reply itself would take) crosses a dead resource, and
+    /// purges the matching NI origins. A reply already committed to a
+    /// torn circuit limps home through the pipeline and is reclassified
+    /// `FaultDegraded` on delivery; one not yet enqueued finds its origin
+    /// gone and records `TornDown`.
+    fn teardown_circuits(&mut self, now: Cycle) {
+        let mesh = self.cfg.mesh;
+        let mut doomed: HashSet<CircuitKey> = HashSet::new();
+        for i in 0..mesh.nodes() {
+            let node = NodeId(i as u16);
+            for (_, e, _) in self.routers[i].circuits.stale_entries(now, 0) {
+                if doomed.contains(&e.key) {
+                    continue;
+                }
+                let reply_path = route_path(&mesh, e.source, e.key.requestor, Routing::Yx);
+                if !self.topo.node_usable(node) || !path_is_healthy(&reply_path, &self.topo) {
+                    doomed.insert(e.key);
+                }
+            }
+        }
+        if doomed.is_empty() {
+            return;
+        }
+        for i in 0..mesh.nodes() {
+            for key in &doomed {
+                for d in 0..5 {
+                    let dir = Direction::from_index(d);
+                    if self.routers[i].circuits.release(dir, *key).is_some() {
+                        self.sink.emit(|| rcsim_trace::TraceEvent {
+                            cycle: now,
+                            kind: EventKind::CircuitTear {
+                                node: i as u16,
+                                requestor: key.requestor.0,
+                                block: key.block,
+                            },
+                        });
+                    }
+                }
+            }
+            self.nis[i].purge_origins(&doomed);
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.stats.circuits_torn += doomed.len() as u64;
+        }
+        self.faulted_circuits.extend(doomed.iter().copied());
     }
 
     /// Zeroes every statistic (latencies, outcomes, activity, table
@@ -868,6 +1091,11 @@ impl Network {
             }
         }
 
+        let mut dead_links = self.topo.dead_links_sorted();
+        dead_links.truncate(self.watchdog.max_report_entries);
+        let mut dead_routers = self.topo.dead_routers_sorted();
+        dead_routers.truncate(self.watchdog.max_report_entries);
+
         HealthReport {
             cycle: self.now,
             stalled: self.stalled(),
@@ -879,6 +1107,9 @@ impl Network {
             stuck_messages: msgs,
             leaked_circuits: leaked,
             faults: self.fault_stats(),
+            dead_links,
+            dead_routers,
+            l1_reissues: 0,
         }
     }
 }

@@ -8,11 +8,12 @@ use crate::flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
 use crate::router::alloc::RoundRobin;
 use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::{CircuitHandle, CircuitKey};
-use rcsim_core::routing::hop_count;
-use rcsim_core::{CircuitMode, Cycle, MechanismConfig, Mesh, MessageClass, NodeId, Vnet};
+use rcsim_core::routing::{hop_count, path_is_healthy, route_path, route_path_healthy, Routing};
+use rcsim_core::{
+    CircuitMode, Cycle, MechanismConfig, Mesh, MessageClass, NodeId, TopologyHealth, Vnet,
+};
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The reply class (and its flit count) a circuit-building request expects.
 pub(crate) fn expected_reply_flits(class: MessageClass, flit_bytes: u32) -> u32 {
@@ -84,6 +85,9 @@ pub(crate) struct NiOut {
     /// fault layer) and were discarded instead of delivered; the network
     /// schedules their end-to-end retransmission.
     pub corrupt_discards: Vec<PacketId>,
+    /// Packets this tick sent on a recorded detour because their DOR path
+    /// crossed a dead link or router (added to the fault counters).
+    pub reroutes: u64,
 }
 
 impl NiOut {
@@ -93,6 +97,7 @@ impl NiOut {
         self.undos.clear();
         self.delivered.clear();
         self.corrupt_discards.clear();
+        self.reroutes = 0;
     }
 }
 
@@ -118,6 +123,16 @@ pub(crate) struct Ni {
     /// are back-to-back and never overlap).
     circuit_link_free_at: Cycle,
     origins: HashMap<CircuitKey, Origin>,
+    /// Reversed source routes of detoured requests delivered here, keyed
+    /// by `(requestor, block)`: consumed when the matching reply is
+    /// emitted so it retraces the request's detour instead of a freshly
+    /// recomputed route (path symmetry, DESIGN.md §10). Bounded FIFO.
+    reply_paths: HashMap<(NodeId, u64), Vec<NodeId>>,
+    /// Insertion order of `reply_paths` keys, for deterministic eviction.
+    reply_path_order: VecDeque<(NodeId, u64)>,
+    /// Circuit origins removed by fault-recovery teardown; consumed when
+    /// the reply shows up to record the `TornDown` outcome.
+    torn: HashSet<CircuitKey>,
     assembling: HashMap<PacketId, Assembly>,
     /// Undos decided at enqueue time, drained at the next tick.
     pending_undos: Vec<(CircuitKey, NodeId)>,
@@ -147,6 +162,9 @@ impl Ni {
             circuit_active: None,
             circuit_link_free_at: 0,
             origins: HashMap::new(),
+            reply_paths: HashMap::new(),
+            reply_path_order: VecDeque::new(),
+            torn: HashSet::new(),
             assembling: HashMap::new(),
             pending_undos: Vec::new(),
             sendable: Vec::new(),
@@ -161,6 +179,19 @@ impl Ni {
     /// `true` if a fully built circuit origin for `key` is registered here.
     pub(crate) fn has_origin(&self, key: CircuitKey) -> bool {
         self.origins.contains_key(&key)
+    }
+
+    /// Fault-recovery teardown (DESIGN.md §10): forgets every circuit
+    /// origin whose key is in `doomed`, remembering the key so the reply
+    /// that would have ridden it records the `torn_down` outcome instead
+    /// of a generic failure. The router entries are removed by the
+    /// network; no undo propagation is needed.
+    pub(crate) fn purge_origins(&mut self, doomed: &HashSet<CircuitKey>) {
+        for key in doomed {
+            if self.origins.remove(key).is_some() {
+                self.torn.insert(*key);
+            }
+        }
     }
 
     /// Protocol-initiated circuit teardown (the L2-forwards-to-owner flow
@@ -275,8 +306,11 @@ impl Ni {
                     self.origins.remove(&key);
                 }
                 None => {
-                    outcome = if spec.class.circuit_eligible() && self.mechanism.circuits_enabled()
-                    {
+                    outcome = if self.torn.remove(&key) {
+                        // The circuit was built but a dead link or router
+                        // tore it down before the reply could ride.
+                        CircuitOutcome::TornDown
+                    } else if spec.class.circuit_eligible() && self.mechanism.circuits_enabled() {
                         CircuitOutcome::Failed
                     } else {
                         CircuitOutcome::NotEligible
@@ -426,6 +460,7 @@ impl Ni {
         now: Cycle,
         ejected: &mut Vec<Flit>,
         credit_arrivals: &mut Vec<usize>,
+        topo: &TopologyHealth,
         stats: &mut NocStats,
         out: &mut NiOut,
     ) {
@@ -436,7 +471,7 @@ impl Ni {
         for flit in ejected.drain(..) {
             self.receive_flit(flit, now, stats, out);
         }
-        self.inject_one(now, stats, out);
+        self.inject_one(now, topo, stats, out);
     }
 
     /// `true` when a tick with no arriving flits or credits could still
@@ -475,6 +510,16 @@ impl Ni {
             if final_dst != self.node {
                 self.reenqueue_scrounger(&head, final_dst, now);
                 return;
+            }
+        }
+
+        if head.vnet == Vnet::Request {
+            if let Some(path) = &head.path {
+                // A detoured request: remember its route reversed so the
+                // reply retraces it (path symmetry, DESIGN.md §10).
+                let mut rev = path.as_ref().clone();
+                rev.reverse();
+                self.record_reply_path((head.src, head.block), rev);
             }
         }
 
@@ -526,7 +571,13 @@ impl Ni {
         });
     }
 
-    fn inject_one(&mut self, now: Cycle, stats: &mut NocStats, out: &mut NiOut) {
+    fn inject_one(
+        &mut self,
+        now: Cycle,
+        topo: &TopologyHealth,
+        stats: &mut NocStats,
+        out: &mut NiOut,
+    ) {
         // Circuit streams first: they must hold their committed schedule.
         if self.circuit_active.is_none() {
             if let Some(p) = self.circuit_queue.front() {
@@ -546,7 +597,7 @@ impl Ni {
             }
         }
         if let Some(mut s) = self.circuit_active.take() {
-            let flit = self.emit_flit(&mut s, now, stats);
+            let flit = self.emit_flit(&mut s, now, topo, stats, out);
             out.flits.push(flit);
             if s.next_seq < s.pending.len {
                 self.circuit_active = Some(s);
@@ -563,7 +614,7 @@ impl Ni {
         if let Some(vc) = self.rr_stream.grant_among(&self.sendable) {
             let mut s = self.streams[vc].take().expect("sendable stream exists");
             self.credits[vc] -= 1;
-            let flit = self.emit_flit(&mut s, now, stats);
+            let flit = self.emit_flit(&mut s, now, topo, stats, out);
             out.flits.push(flit);
             if s.next_seq < s.pending.len {
                 self.streams[vc] = Some(s);
@@ -609,8 +660,16 @@ impl Ni {
         }
     }
 
-    fn emit_flit(&mut self, s: &mut Stream, now: Cycle, stats: &mut NocStats) -> Flit {
+    fn emit_flit(
+        &mut self,
+        s: &mut Stream,
+        now: Cycle,
+        topo: &TopologyHealth,
+        stats: &mut NocStats,
+        out: &mut NiOut,
+    ) -> Flit {
         let p = &mut s.pending;
+        let mut path = None;
         if s.next_seq == 0 {
             if p.injected_at.is_none() {
                 p.injected_at = Some(now);
@@ -627,6 +686,9 @@ impl Ni {
                     node: self.node.0,
                 },
             });
+            if topo.is_degraded() && p.dst != self.node {
+                path = self.plan_detour(p, now, topo, out);
+            }
         }
         let kind = FlitKind::for_position(s.next_seq, p.len);
         let flit = Flit {
@@ -651,9 +713,70 @@ impl Ni {
             created_at: p.created_at,
             injected_at: p.injected_at.expect("set on head emission"),
             corrupted: false,
+            path,
         };
         s.next_seq += 1;
         flit
+    }
+
+    /// When the packet's DOR route crosses a dead link or router, the
+    /// detour to record in its head flit: the reversed route of the
+    /// request it answers when one was recorded (path symmetry, DESIGN.md
+    /// §10), else a deterministic BFS around the dead region. `None` when
+    /// DOR is healthy (the ordinary case, bit-identical to a fault-free
+    /// run) or when no healthy route exists at all — then the flit is
+    /// emitted on DOR, dies at the dead resource and the end-to-end
+    /// retry/abandon machinery takes over.
+    // The Box matches `Flit::path`, which keeps the no-detour case
+    // pointer-sized on every head flit.
+    #[allow(clippy::box_collection)]
+    fn plan_detour(
+        &mut self,
+        p: &mut Pending,
+        now: Cycle,
+        topo: &TopologyHealth,
+        out: &mut NiOut,
+    ) -> Option<Box<Vec<NodeId>>> {
+        let dor = route_path(&self.mesh, self.node, p.dst, Routing::for_vnet(p.vnet));
+        if path_is_healthy(&dor, topo) {
+            return None;
+        }
+        let recorded = if p.vnet == Vnet::Reply {
+            self.reply_paths
+                .remove(&(p.dst, p.block))
+                .filter(|r| r.first() == Some(&self.node) && path_is_healthy(r, topo))
+        } else {
+            None
+        };
+        let detour = recorded.or_else(|| route_path_healthy(&self.mesh, self.node, p.dst, topo))?;
+        // A detoured request reserves nothing: the reservation mirror
+        // assumes the reply retraces the request's DOR route (§4.1),
+        // which the detour breaks.
+        p.circuit = None;
+        out.reroutes += 1;
+        self.sink.emit(|| TraceEvent {
+            cycle: now,
+            kind: EventKind::NiReroute {
+                packet: p.id.0,
+                node: self.node.0,
+            },
+        });
+        Some(Box::new(detour))
+    }
+
+    /// Remembers the reversed route of a detoured request so its reply can
+    /// retrace it. Bounded: the oldest recorded route is evicted first.
+    fn record_reply_path(&mut self, key: (NodeId, u64), rev: Vec<NodeId>) {
+        const REPLY_PATH_CAP: usize = 256;
+        if self.reply_paths.insert(key, rev).is_none() {
+            self.reply_path_order.push_back(key);
+        }
+        while self.reply_paths.len() > REPLY_PATH_CAP {
+            let Some(old) = self.reply_path_order.pop_front() else {
+                break;
+            };
+            self.reply_paths.remove(&old);
+        }
     }
 
     /// Number of packets waiting or streaming (diagnostics).

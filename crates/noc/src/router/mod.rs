@@ -19,7 +19,7 @@ use alloc::RoundRobin;
 use input::{InputPort, VcState};
 use rcsim_core::circuit::timing::{router_window, REQ_HOP_CYCLES};
 use rcsim_core::circuit::{CircuitKey, ReserveRequest, RouterCircuits};
-use rcsim_core::routing::{next_hop, Routing};
+use rcsim_core::routing::{next_hop, next_hop_on_path, Routing};
 use rcsim_core::{CircuitMode, Cycle, Direction, MechanismConfig, Mesh, NodeId};
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use std::collections::VecDeque;
@@ -120,6 +120,12 @@ pub(crate) struct Router {
     /// Bypass flits that lost a same-cycle output conflict (ideal mode) or
     /// arrived while an earlier flit of the same stream is still queued.
     bypass_retry: Vec<VecDeque<Flit>>,
+    /// `true` while this router is part of, or borders, a dead region
+    /// (set by the network when scheduled permanent faults fire).
+    /// Degraded routers take no part in circuits: reservations are
+    /// refused and bypasses forced to the packet pipeline (DESIGN.md
+    /// §10).
+    degraded: bool,
     pub(crate) activity: Activity,
     /// Where trace events go; disabled by default.
     sink: TraceSink,
@@ -158,6 +164,7 @@ impl Router {
             sa_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
             va_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
             bypass_retry: (0..5).map(|_| VecDeque::new()).collect(),
+            degraded: false,
             activity: Activity::default(),
             sink: TraceSink::default(),
         }
@@ -165,6 +172,12 @@ impl Router {
 
     pub(crate) fn set_trace_sink(&mut self, sink: TraceSink) {
         self.sink = sink;
+    }
+
+    /// Marks this router as part of (or adjacent to) a dead region; the
+    /// network re-derives the flag whenever a scheduled fault fires.
+    pub(crate) fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
     }
 
     /// Runs one cycle. `arrivals`, `credits` and `undos` are the messages
@@ -285,6 +298,12 @@ impl Router {
                     }
                     BypassCheck::Busy => break,
                     BypassCheck::Pipeline => {
+                        if flit.kind.is_head() && !self.inputs[p].vcs[flit.vc].is_idle() {
+                            // The fallback VC is still draining an earlier
+                            // packet: hold the stream here (in order) until
+                            // it idles instead of corrupting the wormhole.
+                            break;
+                        }
                         let flit = self.bypass_retry[p].pop_front().expect("front checked");
                         self.buffer_flit(now, dir, flit);
                     }
@@ -298,6 +317,14 @@ impl Router {
         let Some(key) = flit.on_circuit else {
             return BypassCheck::Pipeline;
         };
+        if self.degraded {
+            // Circuits are disabled while this router borders a dead
+            // region: drop the local reservation (if any, so it cannot
+            // leak — the tail that would have released it now streams
+            // through the pipeline) and fall back.
+            self.circuits.release(dir, key);
+            return BypassCheck::Pipeline;
+        }
         let Some(entry) = self.circuits.lookup(dir, key).copied() else {
             // No reservation here: a fragmented gap, or a head that
             // already fell back and released the entry.
@@ -443,16 +470,29 @@ impl Router {
     /// Stage 1: buffer write and route computation.
     fn buffer_flit(&mut self, now: Cycle, dir: Direction, flit: Flit) {
         let vc_idx = flit.vc;
+        if flit.kind.is_head() && !self.inputs[dir.index()].vcs[vc_idx].is_idle() {
+            // A head whose fallback VC is still draining an earlier
+            // packet — e.g. a timed circuit stream that lost its window
+            // behind a stuck port and degraded to the pipeline. It must
+            // wait, not corrupt the wormhole: park it with the bypass
+            // retries ([`Router::drain_bypass_retries`] holds it until
+            // the VC idles, and the non-empty queue keeps its body flits
+            // behind it in arrival order).
+            self.bypass_retry[dir.index()].push_back(flit);
+            return;
+        }
         let vc = &mut self.inputs[dir.index()].vcs[vc_idx];
         self.activity.buffer_writes += 1;
         if flit.kind.is_head() {
-            debug_assert!(
-                vc.is_idle(),
-                "head flit arriving on a non-idle VC (wormhole violation) at {} port {dir} vc {vc_idx}",
-                self.node
-            );
+            // Detoured packets follow the source route recorded in their
+            // head (DESIGN.md §10); everything else routes DOR.
             let routing = Routing::for_vnet(flit.vnet);
-            vc.route = Some(next_hop(&self.mesh, self.node, flit.dst, routing));
+            let hop = flit
+                .path
+                .as_deref()
+                .and_then(|p| next_hop_on_path(&self.mesh, p, self.node))
+                .unwrap_or_else(|| next_hop(&self.mesh, self.node, flit.dst, routing));
+            vc.route = Some(hop);
             vc.state = VcState::WaitVa;
             vc.state_since = now;
             vc.circuit_attempted = false;
@@ -725,6 +765,25 @@ impl Router {
         // request is going and leaves where the request came from.
         let in_port_reply = route;
         let out_port_reply = Direction::from_index(p);
+        if self.degraded {
+            // A degraded router refuses reservations outright: complete
+            // circuits are doomed like any reservation conflict, while
+            // fragmented and ideal circuits simply gain a gap here.
+            if self.mechanism.mode == CircuitMode::Complete {
+                handle.failed = true;
+                if handle.built_hops > 0 {
+                    let key = handle.key;
+                    self.activity.credits += 1;
+                    out.push(Outgoing::Undo {
+                        dir: out_port_reply,
+                        key,
+                        dst: key.requestor,
+                        arrive: now + self.link_latency as Cycle,
+                    });
+                }
+            }
+            return;
+        }
         let h_req = self.mesh.distance(self.node, head.dst);
 
         let (window, max_extra_shift, nominal, slack) = match handle.timing {
@@ -842,6 +901,7 @@ mod tests {
             created_at: 0,
             injected_at: 0,
             corrupted: false,
+            path: None,
         }
     }
 

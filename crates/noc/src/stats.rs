@@ -63,11 +63,15 @@ pub enum CircuitOutcome {
     /// fell back to the packet-switched pipeline (and was retransmitted
     /// end-to-end if flits were lost).
     FaultDegraded,
+    /// The circuit was built, but a dead link or router severed its path
+    /// before the reply used it; the reservation was torn down at fault
+    /// onset and the reply travelled packet-switched (DESIGN.md §10).
+    TornDown,
 }
 
 impl CircuitOutcome {
-    /// All outcomes in Figure 6 order (plus the fault-degradation bucket).
-    pub const ALL: [CircuitOutcome; 7] = [
+    /// All outcomes in Figure 6 order (plus the fault buckets).
+    pub const ALL: [CircuitOutcome; 8] = [
         CircuitOutcome::OnCircuit,
         CircuitOutcome::Failed,
         CircuitOutcome::Undone,
@@ -75,6 +79,7 @@ impl CircuitOutcome {
         CircuitOutcome::NotEligible,
         CircuitOutcome::Eliminated,
         CircuitOutcome::FaultDegraded,
+        CircuitOutcome::TornDown,
     ];
 
     /// Figure 6 legend label.
@@ -87,6 +92,7 @@ impl CircuitOutcome {
             CircuitOutcome::NotEligible => "not_eligible",
             CircuitOutcome::Eliminated => "eliminated",
             CircuitOutcome::FaultDegraded => "fault_degraded",
+            CircuitOutcome::TornDown => "torn_down",
         }
     }
 }

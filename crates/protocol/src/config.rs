@@ -1,7 +1,7 @@
 //! Memory-system configuration (the paper's Table 2) and address mapping.
 
 use crate::cache::CacheConfig;
-use rcsim_core::{Mesh, NodeId};
+use rcsim_core::{Cycle, Mesh, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the coherent memory hierarchy.
@@ -25,6 +25,24 @@ pub struct ProtocolConfig {
     pub undo_on_l2_miss: bool,
     /// Tiles hosting memory controllers.
     pub mc_tiles: Vec<NodeId>,
+    /// Cycles an L1 waits for the reply to an outstanding miss before
+    /// reissuing the request (permanent faults can lose either the request
+    /// or its reply). Reissue `n` fires after `reissue_timeout << n`
+    /// cycles, i.e. exponential backoff.
+    #[serde(default = "default_reissue_timeout")]
+    pub reissue_timeout: Cycle,
+    /// Reissues attempted per miss before the L1 gives up and leaves the
+    /// wedge to the watchdog. `0` disables reissue entirely.
+    #[serde(default = "default_max_reissues")]
+    pub max_reissues: u32,
+}
+
+fn default_reissue_timeout() -> Cycle {
+    50_000
+}
+
+fn default_max_reissues() -> u32 {
+    3
 }
 
 impl ProtocolConfig {
@@ -46,6 +64,8 @@ impl ProtocolConfig {
             eliminate_acks: false,
             undo_on_l2_miss: false,
             mc_tiles: mesh.memory_controller_tiles(),
+            reissue_timeout: default_reissue_timeout(),
+            max_reissues: default_max_reissues(),
         }
     }
 

@@ -263,6 +263,27 @@ impl Chip {
             }
         }
 
+        // Overdue-miss reissue (DESIGN.md §10): a permanent fault may have
+        // eaten a request or its reply before the fabric routed around the
+        // dead resource. Cheap per-L1 no-op unless a miss is outstanding,
+        // so it runs every cycle under both kernels (a blocked core is
+        // exactly the tile the event kernel would otherwise skip).
+        for i in 0..n {
+            if !self.l1s[i].miss_pending() {
+                continue;
+            }
+            let mut port = ChipPort {
+                net: &mut self.net,
+                payloads: &mut self.payloads,
+                next_token: &mut self.next_token,
+                undone: &mut self.undone,
+                node: NodeId(i as u16),
+                circuits_enabled,
+                track_undone,
+            };
+            self.l1s[i].maybe_reissue(now, &mut port);
+        }
+
         // The network moves.
         self.net.tick();
         let now = self.net.now();
@@ -363,15 +384,18 @@ impl Chip {
         for _ in 0..cycles {
             self.tick();
             if self.net.stalled() {
-                return Err(Box::new(self.net.health()));
+                return Err(Box::new(self.health()));
             }
         }
         Ok(())
     }
 
-    /// A liveness snapshot of the network (see [`Network::health`]).
+    /// A liveness snapshot of the network (see [`Network::health`]),
+    /// extended with the chip-level reissue counter.
     pub fn health(&self) -> HealthReport {
-        self.net.health()
+        let mut h = self.net.health();
+        h.l1_reissues = self.l1s.iter().map(|l1| l1.stats().reissues).sum();
+        h
     }
 
     /// Zeroes every statistic after warm-up (traffic in flight continues).
@@ -412,6 +436,8 @@ impl Chip {
             total.invalidations += s.invalidations;
             total.forwards_served += s.forwards_served;
             total.acks_elided += s.acks_elided;
+            total.reissues += s.reissues;
+            total.stale_fills += s.stale_fills;
         }
         total
     }

@@ -37,7 +37,10 @@ mod sim;
 pub use chip::Chip;
 pub use core_model::Core;
 pub use rcsim_core::KernelMode;
-pub use rcsim_noc::{FaultConfig, FaultStats, HealthReport, StuckPortEvent, WatchdogConfig};
+pub use rcsim_noc::{
+    DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, HealthReport, StuckPortEvent,
+    WatchdogConfig,
+};
 pub use report::{LatencyRow, RunResult};
 pub use sim::{
     run_sim, run_sim_traced, run_sim_traced_with_kernel, run_sim_with_kernel, SimConfig, SimError,

@@ -39,6 +39,14 @@ pub struct SimConfig {
     /// Progress-watchdog thresholds.
     #[serde(default)]
     pub watchdog: WatchdogConfig,
+    /// Override of [`ProtocolConfig`]'s L1 reissue timeout (`None` keeps
+    /// the default). Short runs studying reissue recovery need a timeout
+    /// that fits inside the measure window.
+    #[serde(default)]
+    pub reissue_timeout: Option<u64>,
+    /// Override of the L1 reissue budget (`None` keeps the default).
+    #[serde(default)]
+    pub max_reissues: Option<u32>,
 }
 
 impl SimConfig {
@@ -54,6 +62,8 @@ impl SimConfig {
             small_caches: true,
             faults: FaultConfig::none(),
             watchdog: WatchdogConfig::default(),
+            reissue_timeout: None,
+            max_reissues: None,
         }
     }
 }
@@ -190,11 +200,17 @@ fn run_sim_inner(
     let mesh = Mesh::square(cfg.cores).or_else(|_| Mesh::near_square(cfg.cores))?;
     let workload = Workload::by_name(&cfg.workload, mesh.nodes(), cfg.seed)
         .ok_or_else(|| SimError::UnknownWorkload(cfg.workload.clone()))?;
-    let proto = if cfg.small_caches {
+    let mut proto = if cfg.small_caches {
         ProtocolConfig::small_for_tests(&mesh)
     } else {
         ProtocolConfig::paper_defaults(&mesh)
     };
+    if let Some(t) = cfg.reissue_timeout {
+        proto.reissue_timeout = t;
+    }
+    if let Some(n) = cfg.max_reissues {
+        proto.max_reissues = n;
+    }
     let mut chip = Chip::with_faults(
         mesh,
         cfg.mechanism,

@@ -155,6 +155,48 @@ pub enum EventKind {
         /// `true` when the bank held the line.
         hit: bool,
     },
+    /// A scheduled permanent fault killed an inter-router link.
+    LinkDead {
+        /// One endpoint of the link.
+        a: u16,
+        /// The other endpoint.
+        b: u16,
+    },
+    /// A bounded dead-link window ended; the link carries data again.
+    LinkHealed {
+        /// One endpoint of the link.
+        a: u16,
+        /// The other endpoint.
+        b: u16,
+    },
+    /// A scheduled permanent fault killed a whole router.
+    RouterDead {
+        /// The dead router.
+        node: u16,
+    },
+    /// A bounded dead-router window ended.
+    RouterHealed {
+        /// The healed router.
+        node: u16,
+    },
+    /// A source NI sent a packet on a recorded detour because its DOR path
+    /// crossed a dead link or router.
+    NiReroute {
+        /// Packet id.
+        packet: u64,
+        /// Source node.
+        node: u16,
+    },
+    /// An L1 reissued a coherence request whose reply never arrived
+    /// (permanent-fault recovery, bounded exponential backoff).
+    L1Reissue {
+        /// L1 node.
+        node: u16,
+        /// The block of the outstanding miss.
+        block: u64,
+        /// Reissue number (1-based).
+        attempt: u32,
+    },
     /// A periodic whole-network occupancy sample.
     EpochSample {
         /// Live circuit-table entries across all routers.
@@ -187,6 +229,12 @@ impl EventKind {
             EventKind::L1MissStart { .. } => "l1_miss_start",
             EventKind::L1MissEnd { .. } => "l1_miss_end",
             EventKind::L2Access { .. } => "l2_access",
+            EventKind::LinkDead { .. } => "link_dead",
+            EventKind::LinkHealed { .. } => "link_healed",
+            EventKind::RouterDead { .. } => "router_dead",
+            EventKind::RouterHealed { .. } => "router_healed",
+            EventKind::NiReroute { .. } => "ni_reroute",
+            EventKind::L1Reissue { .. } => "l1_reissue",
             EventKind::EpochSample { .. } => "epoch_sample",
         }
     }
@@ -203,7 +251,8 @@ impl EventKind {
             | EventKind::StageVa { packet, .. }
             | EventKind::StageSa { packet, .. }
             | EventKind::StageSt { packet, .. }
-            | EventKind::CircuitBypass { packet, .. } => Some(*packet),
+            | EventKind::CircuitBypass { packet, .. }
+            | EventKind::NiReroute { packet, .. } => Some(*packet),
             _ => None,
         }
     }

@@ -112,6 +112,32 @@ env "${smoke[@]}" \
 test -s target/experiments/BENCH_kernel.json
 $CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
 
+echo "==> resilience smoke (dead links: every mechanism, kernel/jobs invariance)"
+# Permanent-fault gate (DESIGN.md §10). The resilience test suite proves
+# every Figure-6 mechanism completes — nothing stalled, nothing
+# abandoned — with a permanently dead interior link; the resilience
+# bench (degradation sweep + mid-run-onset recovery, with its own
+# zero-abandoned asserts) must then emit byte-identical rows for any
+# worker count and either kernel. RC_NO_CACHE=1 is load-bearing for the
+# kernel diff — the cache key excludes RC_KERNEL.
+$CARGO test -q -p rcsim-system --test resilience "$@"
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 RC_KERNEL=dense \
+  $CARGO run --release -q -p rcsim-bench --bin resilience "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_resilience.json target/experiments/ci_resilience_dense.json
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 RC_KERNEL=event \
+  $CARGO run --release -q -p rcsim-bench --bin resilience "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_resilience.json target/experiments/ci_resilience_event.json
+env "${smoke[@]}" RC_JOBS=4 RC_NO_CACHE=1 RC_KERNEL=event \
+  $CARGO run --release -q -p rcsim-bench --bin resilience "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_resilience.json target/experiments/ci_resilience_jobs4.json
+diff <(strip_telemetry target/experiments/ci_resilience_dense.json) \
+     <(strip_telemetry target/experiments/ci_resilience_event.json) \
+  || { echo "FAIL: BENCH_resilience.json rows differ between RC_KERNEL=dense and RC_KERNEL=event"; exit 1; }
+diff <(strip_telemetry target/experiments/ci_resilience_event.json) \
+     <(strip_telemetry target/experiments/ci_resilience_jobs4.json) \
+  || { echo "FAIL: BENCH_resilience.json rows differ between RC_JOBS=1 and RC_JOBS=4"; exit 1; }
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
+
 echo "==> kernel/power/traffic differential suites (RC_JOBS=1 and 4)"
 # The dense-vs-event differential layer plus the new power-model and
 # traffic-pattern suites, under both a serial and a parallel test
