@@ -224,6 +224,7 @@ fn load_threshold(summary: &mut BenchSummary) {
             cores: 64,
             avg_latency: c,
             p99_latency: 0.0,
+            p999_latency: 0.0,
             circuit_hit_rate: 0.0,
             extra: [
                 ("baseline_latency".to_owned(), b),

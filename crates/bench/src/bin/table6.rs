@@ -36,6 +36,7 @@ fn main() {
                 cores,
                 avg_latency: 0.0,
                 p99_latency: 0.0,
+                p999_latency: 0.0,
                 circuit_hit_rate: 0.0,
                 extra: BTreeMap::from([
                     ("area_savings_pct".to_owned(), modeled),

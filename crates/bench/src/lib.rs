@@ -316,11 +316,13 @@ pub fn bench_row(label: &str, cores: u16, results: &[RunResult]) -> BenchRow {
     let mut weighted = 0.0;
     let mut count = 0u64;
     let mut p99 = 0.0f64;
+    let mut p999 = 0.0f64;
     for r in results {
         for row in r.latency.values() {
             weighted += row.network * row.count as f64;
             count += row.count;
             p99 = p99.max(row.p99);
+            p999 = p999.max(row.p999);
         }
     }
     let hit: Accumulator = results
@@ -336,6 +338,7 @@ pub fn bench_row(label: &str, cores: u16, results: &[RunResult]) -> BenchRow {
             weighted / count as f64
         },
         p99_latency: p99,
+        p999_latency: p999,
         circuit_hit_rate: hit.mean().clamp(0.0, 1.0),
         extra: BTreeMap::new(),
     }
@@ -453,6 +456,7 @@ mod tests {
             acks_elided: 0,
             l2_queued_on_busy: 0,
             health: Default::default(),
+            external: Default::default(),
         };
         r.latency.insert(
             "Request".into(),
@@ -460,6 +464,7 @@ mod tests {
                 network: 10.0,
                 queueing: 0.0,
                 p99: 40.0,
+                p999: 70.0,
                 count: 3,
             },
         );
@@ -469,6 +474,7 @@ mod tests {
                 network: 20.0,
                 queueing: 0.0,
                 p99: 25.0,
+                p999: 90.0,
                 count: 1,
             },
         );
@@ -477,6 +483,7 @@ mod tests {
         // (10*3 + 20*1) / 4 = 12.5; worst p99 wins; hit rate passes through.
         assert!((row.avg_latency - 12.5).abs() < 1e-12);
         assert!((row.p99_latency - 40.0).abs() < 1e-12);
+        assert!((row.p999_latency - 90.0).abs() < 1e-12);
         assert!((row.circuit_hit_rate - 0.5).abs() < 1e-12);
 
         let mut summary = BenchSummary::new("unit");

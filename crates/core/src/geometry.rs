@@ -200,6 +200,15 @@ impl Mesh {
             }),
         ]
     }
+
+    /// The west-edge column (`x == 0`), top to bottom — where external
+    /// open-loop traffic enters the chip. Mirrors how datacenter-style
+    /// CMPs pin I/O at one physical edge of the die.
+    pub fn west_edge(&self) -> Vec<NodeId> {
+        (0..self.height)
+            .map(|y| self.node(Coord { x: 0, y }))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +232,18 @@ mod tests {
         assert_eq!(Mesh::near_square(64).unwrap(), Mesh::new(8, 8).unwrap());
         assert_eq!(Mesh::near_square(7).unwrap(), Mesh::new(7, 1).unwrap());
         assert!(Mesh::near_square(0).is_err());
+    }
+
+    #[test]
+    fn west_edge_is_the_x0_column() {
+        let m = Mesh::new(4, 4).unwrap();
+        let edge = m.west_edge();
+        assert_eq!(edge.len(), 4);
+        for n in &edge {
+            assert_eq!(m.coord(*n).x, 0);
+        }
+        // Height-many entries even on non-square meshes.
+        assert_eq!(Mesh::new(8, 4).unwrap().west_edge().len(), 4);
     }
 
     #[test]

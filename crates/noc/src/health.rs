@@ -112,6 +112,11 @@ pub struct HealthReport {
     /// (filled in by the system layer; zero for bare-network runs).
     #[serde(default)]
     pub l1_reissues: u64,
+    /// Open-loop ingress ledger: admit/reject/shed counters, queue
+    /// high-water marks and time in overload (all zero when no ingress
+    /// layer is configured).
+    #[serde(default)]
+    pub overload: crate::ingress::OverloadReport,
 }
 
 impl HealthReport {
@@ -195,6 +200,9 @@ impl fmt::Display for HealthReport {
         }
         if self.l1_reissues > 0 {
             writeln!(f, "  l1 reissues: {}", self.l1_reissues)?;
+        }
+        if self.overload.offered > 0 {
+            writeln!(f, "  ingress: {}", self.overload)?;
         }
         Ok(())
     }

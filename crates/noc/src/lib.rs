@@ -46,6 +46,7 @@ mod config;
 mod fault;
 mod flit;
 mod health;
+mod ingress;
 mod network;
 mod ni;
 mod router;
@@ -56,5 +57,8 @@ pub use config::{NocConfig, VcLayout};
 pub use fault::{DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, StuckPortEvent};
 pub use flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
 pub use health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
+pub use ingress::{
+    Admission, IngressConfig, OverloadReport, RejectReason, ReleasedArrival, ShedArrival,
+};
 pub use network::{Network, NetworkTelemetry};
 pub use stats::{CircuitOutcome, MessageGroup, NocStats};

@@ -6,6 +6,9 @@ use crate::config::NocConfig;
 use crate::fault::{FaultConfig, FaultState, FaultStats, LinkFate};
 use crate::flit::{Delivered, Flit, PacketId, PacketSpec};
 use crate::health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
+use crate::ingress::{
+    Admission, IngressConfig, IngressState, OverloadReport, ReleasedArrival, ShedArrival,
+};
 use crate::ni::{Ni, NiOut};
 use crate::router::{Outgoing, Router};
 use crate::stats::{CircuitOutcome, NocStats};
@@ -205,6 +208,10 @@ pub struct Network {
     router_wake: WakeTimes,
     /// Reusable per-tick buffers.
     scratch: Scratch,
+    /// Open-loop edge ingress (bounded queues + admission control);
+    /// `None` unless [`Network::configure_ingress`] was called, so
+    /// closed-loop runs carry no ingress state at all.
+    ingress: Option<Box<IngressState>>,
     /// Where trace events go; [`TraceSink::Disabled`] by default.
     sink: TraceSink,
 }
@@ -274,6 +281,7 @@ impl Network {
             ni_wake: WakeTimes::new(n),
             router_wake: WakeTimes::new(n),
             scratch: Scratch::default(),
+            ingress: None,
             sink: TraceSink::default(),
         })
     }
@@ -324,6 +332,101 @@ impl Network {
     /// The active watchdog thresholds.
     pub fn watchdog(&self) -> &WatchdogConfig {
         &self.watchdog
+    }
+
+    /// Installs the open-loop ingress layer at `edges` (bounded queues,
+    /// token-bucket admission, shed timeouts — see [`IngressConfig`]).
+    /// Until this is called, [`Network::offer_external`] panics and the
+    /// network carries no ingress state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or names a node outside the mesh.
+    pub fn configure_ingress(&mut self, cfg: IngressConfig, edges: Vec<NodeId>) {
+        assert!(!edges.is_empty(), "ingress needs at least one edge node");
+        for e in &edges {
+            assert!(
+                e.index() < self.cfg.mesh.nodes(),
+                "ingress edge {e} outside mesh"
+            );
+        }
+        self.ingress = Some(Box::new(IngressState::new(cfg, edges)));
+    }
+
+    /// Offers one external arrival at ingress edge `edge`, destined for
+    /// `dst` with external block address `block`. Returns the typed
+    /// admission outcome; rejected clients should re-offer no sooner than
+    /// the returned `retry_after`. Emits an `ingress_admit` or
+    /// `ingress_reject` trace event either way — refusal is never silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no ingress layer is configured or `edge` is not one of
+    /// its edges.
+    pub fn offer_external(&mut self, edge: NodeId, dst: NodeId, block: u64) -> Admission {
+        let now = self.now;
+        let ingress = self
+            .ingress
+            .as_mut()
+            .expect("configure_ingress before offer_external");
+        let outcome = ingress.offer(now, edge, dst, block);
+        self.sink.emit(|| rcsim_trace::TraceEvent {
+            cycle: now,
+            kind: match outcome {
+                Admission::Admitted { depth } => EventKind::IngressAdmit {
+                    node: edge.0,
+                    depth,
+                },
+                Admission::Rejected {
+                    reason,
+                    retry_after,
+                } => EventKind::IngressReject {
+                    node: edge.0,
+                    queue_full: reason == crate::ingress::RejectReason::QueueFull,
+                    retry_after,
+                },
+            },
+        });
+        outcome
+    }
+
+    /// One cycle of ingress service, to be called once per cycle *before*
+    /// [`Network::tick`]: refills token buckets, sheds queue heads older
+    /// than the shed timeout (emitting `ingress_shed` events), and
+    /// releases at most one arrival per edge whose NI backlog is under
+    /// the backpressure threshold. Released arrivals are appended to
+    /// `out`; the caller injects them this same cycle. A no-op when no
+    /// ingress layer is configured.
+    pub fn drain_ingress(&mut self, out: &mut Vec<ReleasedArrival>) {
+        let Some(mut ingress) = self.ingress.take() else {
+            return;
+        };
+        let backlogs: Vec<usize> = ingress
+            .edge_nodes()
+            .iter()
+            .map(|e| self.nis[e.index()].backlog())
+            .collect();
+        let mut shed: Vec<ShedArrival> = Vec::new();
+        ingress.drain(self.now, &backlogs, out, &mut shed);
+        self.ingress = Some(ingress);
+        for s in &shed {
+            self.sink.emit(|| rcsim_trace::TraceEvent {
+                cycle: self.now,
+                kind: EventKind::IngressShed {
+                    node: s.edge.0,
+                    waited: s.waited,
+                },
+            });
+        }
+    }
+
+    /// The cumulative ingress ledger (all-zero when no ingress layer is
+    /// configured).
+    pub fn overload_report(&self) -> OverloadReport {
+        self.ingress
+            .as_ref()
+            .map(|i| i.report())
+            .unwrap_or_default()
     }
 
     /// The configuration this network was built with.
@@ -1031,6 +1134,7 @@ impl Network {
                 .all(|ib| ib.flits.iter().all(Vec::is_empty) && ib.undos.is_empty())
             && self.ni_inboxes.iter().all(|ib| ib.flits.is_empty())
             && self.retry_queue.is_empty()
+            && self.ingress.as_ref().is_none_or(|i| i.queued() == 0)
             && self.stats.total_injected()
                 == self.stats.total_delivered() + self.stats.dropped_packets
     }
@@ -1110,6 +1214,7 @@ impl Network {
             dead_links,
             dead_routers,
             l1_reissues: 0,
+            overload: self.overload_report(),
         }
     }
 }

@@ -91,6 +91,13 @@ impl LatencyStat {
         self.quantile(0.99)
     }
 
+    /// Approximate 99.9th percentile. Like every histogram quantile this
+    /// saturates at the overflow-bin edge, so callers tracking deep tails
+    /// should size the histogram range generously.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     /// The underlying moments accumulator.
     pub fn accumulator(&self) -> &Accumulator {
         &self.acc
@@ -135,6 +142,18 @@ mod tests {
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.p50(), None);
         assert_eq!(s.p99(), None);
+    }
+
+    #[test]
+    fn p999_sits_at_or_above_p99() {
+        let mut s = LatencyStat::new(1.0, 2000);
+        for i in 0..1000 {
+            s.record(i as f64 + 0.5);
+        }
+        let (p99, p999) = (s.p99().unwrap(), s.p999().unwrap());
+        assert!(p999 >= p99, "p999 {p999} < p99 {p99}");
+        assert_eq!(p999, 999.0);
+        assert!(LatencyStat::new(1.0, 10).p999().is_none());
     }
 
     #[test]

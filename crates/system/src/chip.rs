@@ -4,6 +4,8 @@
 //! [`Port`].
 
 use crate::core_model::{Core, CoreAction};
+use crate::open_loop::{OpenLoopConfig, OpenLoopState, EXT_TOKEN_BIT};
+use crate::report::ExternalSummary;
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::{Cycle, KernelMode, MechanismConfig, Mesh, MessageClass, NodeId};
 use rcsim_noc::{
@@ -103,6 +105,8 @@ pub struct Chip {
     trace_epoch: u64,
     /// Dense (tick everything) or event-driven (skip quiescent tiles).
     kernel: KernelMode,
+    /// Open-loop external-traffic driver; `None` for closed-loop runs.
+    open_loop: Option<Box<OpenLoopState>>,
 }
 
 impl Chip {
@@ -177,7 +181,34 @@ impl Chip {
             sink: TraceSink::default(),
             trace_epoch: 0,
             kernel: KernelMode::from_env(),
+            open_loop: None,
         })
+    }
+
+    /// Turns on open-loop external traffic: installs the bounded-ingress
+    /// layer at the mesh's west edge and seeds one arrival stream per
+    /// edge node. Every other tile serves external requests. Call before
+    /// the first [`Chip::tick`].
+    pub fn enable_open_loop(&mut self, cfg: OpenLoopConfig, seed: u64) {
+        let edges = self.mesh.west_edge();
+        let servers: Vec<NodeId> = self.mesh.iter().filter(|n| !edges.contains(n)).collect();
+        let circuits_enabled = self.net.config().mechanism.circuits_enabled();
+        self.open_loop = Some(Box::new(OpenLoopState::new(
+            cfg,
+            seed,
+            edges,
+            servers,
+            circuits_enabled,
+            &mut self.net,
+        )));
+    }
+
+    /// The external-traffic summary (all-zero for closed-loop chips).
+    pub fn external_summary(&self) -> ExternalSummary {
+        self.open_loop
+            .as_ref()
+            .map(|ol| ol.summary(&self.net))
+            .unwrap_or_default()
     }
 
     /// Selects the simulation kernel for this chip and its network. Both
@@ -284,6 +315,13 @@ impl Chip {
             self.l1s[i].maybe_reissue(now, &mut port);
         }
 
+        // Open-loop external traffic: service replies, client retries,
+        // fresh arrivals and ingress release — all before the network
+        // moves, so injections land this cycle under both kernels.
+        if let Some(ol) = self.open_loop.as_mut() {
+            ol.pre_net_tick(&mut self.net, now);
+        }
+
         // The network moves.
         self.net.tick();
         let now = self.net.now();
@@ -302,6 +340,14 @@ impl Chip {
 
         // Deliveries fan out to the tile components.
         for (node, d) in self.net.take_all_delivered() {
+            if d.token & EXT_TOKEN_BIT != 0 {
+                // External traffic bypasses the coherence protocol.
+                self.open_loop
+                    .as_mut()
+                    .expect("external token implies an open-loop driver")
+                    .on_delivered(node, d.token, d.block, now);
+                continue;
+            }
             let msg = self
                 .payloads
                 .remove(&d.token)
@@ -412,6 +458,9 @@ impl Chip {
         }
         for mc in self.mcs.values_mut() {
             mc.reset_stats();
+        }
+        if let Some(ol) = self.open_loop.as_mut() {
+            ol.reset_window();
         }
     }
 

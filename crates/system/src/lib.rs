@@ -31,17 +31,20 @@
 
 mod chip;
 mod core_model;
+mod open_loop;
 mod report;
 mod sim;
 
 pub use chip::Chip;
 pub use core_model::Core;
+pub use open_loop::OpenLoopConfig;
 pub use rcsim_core::KernelMode;
 pub use rcsim_noc::{
-    DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, HealthReport, StuckPortEvent,
-    WatchdogConfig,
+    DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, HealthReport, IngressConfig,
+    OverloadReport, StuckPortEvent, WatchdogConfig,
 };
-pub use report::{LatencyRow, RunResult};
+pub use rcsim_workload::ArrivalProcess;
+pub use report::{ExternalSummary, LatencyRow, RunResult};
 pub use sim::{
     run_sim, run_sim_traced, run_sim_traced_with_kernel, run_sim_with_kernel, SimConfig, SimError,
     TraceConfig, TraceReport,

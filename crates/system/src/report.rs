@@ -17,8 +17,55 @@ pub struct LatencyRow {
     /// group saw no traffic).
     #[serde(default)]
     pub p99: f64,
+    /// 99.9th-percentile network latency (histogram-approximate; 0 when
+    /// the group saw no traffic).
+    #[serde(default)]
+    pub p999: f64,
     /// Messages measured.
     pub count: u64,
+}
+
+/// Open-loop external-traffic totals for one run. All-zero (the serde
+/// default) when the run had no open-loop ingress configured.
+///
+/// Counters are cumulative over the whole run — warm-up included — so the
+/// conservation identity holds regardless of the stats-reset boundary:
+/// `offered == completed + shed + gave_up + in_flight` (and `unaccounted`,
+/// the residue of that identity, must be zero). The latency fields and
+/// `completed_measured`/`completed_in_slo` cover only the measurement
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExternalSummary {
+    /// First-time arrivals offered to edge ingress queues.
+    pub offered: u64,
+    /// Re-offers of previously rejected arrivals (retry-after contract).
+    pub reoffers: u64,
+    /// Offers rejected by admission control (token bucket or full queue).
+    pub rejected: u64,
+    /// Arrivals shed from an ingress queue after the shed timeout.
+    pub shed: u64,
+    /// Arrivals that exhausted their client retry budget after rejections.
+    pub gave_up: u64,
+    /// Request/reply round trips completed over the whole run.
+    pub completed: u64,
+    /// Round trips completed inside the measurement window.
+    pub completed_measured: u64,
+    /// Measurement-window completions within the SLO latency bound.
+    pub completed_in_slo: u64,
+    /// Mean end-to-end latency (edge arrival → reply delivered), cycles.
+    pub latency_mean: f64,
+    /// Median end-to-end latency, cycles.
+    pub latency_p50: f64,
+    /// 99th-percentile end-to-end latency, cycles.
+    pub latency_p99: f64,
+    /// 99.9th-percentile end-to-end latency, cycles.
+    pub latency_p999: f64,
+    /// Work still in flight at run end: queued at ingress, in the network,
+    /// in service at a server tile, or awaiting a client retry.
+    pub in_flight: u64,
+    /// Conservation residue `offered - (completed + shed + gave_up +
+    /// in_flight)`. Anything nonzero is a lost-packet bug.
+    pub unaccounted: i64,
 }
 
 /// Everything measured in one (workload, chip size, mechanism) run.
@@ -67,6 +114,10 @@ pub struct RunResult {
     /// circuit-table leaks and the fault-injection counters.
     #[serde(default)]
     pub health: HealthReport,
+
+    /// Open-loop external traffic totals (all-zero for closed-loop runs).
+    #[serde(default)]
+    pub external: ExternalSummary,
 }
 
 impl RunResult {
@@ -120,6 +171,7 @@ impl RunResult {
                     network: net.map_or(0.0, |s| s.mean()),
                     queueing: queue.map_or(0.0, |s| s.mean()),
                     p99: net.and_then(|s| s.p99()).unwrap_or(0.0),
+                    p999: net.and_then(|s| s.p999()).unwrap_or(0.0),
                     count: net.map_or(0, |s| s.count()),
                 },
             );
@@ -163,6 +215,7 @@ mod tests {
             acks_elided: 0,
             l2_queued_on_busy: 0,
             health: HealthReport::default(),
+            external: ExternalSummary::default(),
         }
     }
 
@@ -185,6 +238,7 @@ mod tests {
                 network: 17.25,
                 queueing: 3.5,
                 p99: 60.0,
+                p999: 95.0,
                 count: 42,
             },
         );

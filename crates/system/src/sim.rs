@@ -47,6 +47,11 @@ pub struct SimConfig {
     /// Override of the L1 reissue budget (`None` keeps the default).
     #[serde(default)]
     pub max_reissues: Option<u32>,
+    /// Open-loop external traffic at the west edge (`None` keeps the run
+    /// purely closed-loop — the default, and bit-identical to builds
+    /// before this field existed).
+    #[serde(default)]
+    pub open_loop: Option<crate::open_loop::OpenLoopConfig>,
 }
 
 impl SimConfig {
@@ -64,6 +69,7 @@ impl SimConfig {
             watchdog: WatchdogConfig::default(),
             reissue_timeout: None,
             max_reissues: None,
+            open_loop: None,
         }
     }
 }
@@ -220,6 +226,9 @@ fn run_sim_inner(
         cfg.watchdog,
     )?;
     chip.set_kernel(kernel);
+    if let Some(ol) = &cfg.open_loop {
+        chip.enable_open_loop(ol.clone(), cfg.seed);
+    }
 
     let sink = match trace {
         Some(t) => {
@@ -288,6 +297,7 @@ fn run_sim_inner(
         acks_elided: l1.acks_elided,
         l2_queued_on_busy: l2.queued_on_busy,
         health: chip.health(),
+        external: chip.external_summary(),
     };
     result.fill_noc_summaries(&stats);
     Ok((result, trace_report))

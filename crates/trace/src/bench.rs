@@ -16,7 +16,10 @@ use std::collections::BTreeMap;
 ///
 /// v2: sweep-execution telemetry (`wall_ms`, `busy_ms`, `jobs`,
 /// `cached_points`) joined the top-level document.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: rows carry `p999_latency` (99.9th-percentile network latency) for
+/// SLO-tail tracking in the overload benches.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// One measured configuration (one workload × mechanism × core-count
 /// point) inside a bench summary.
@@ -30,6 +33,10 @@ pub struct BenchRow {
     pub avg_latency: f64,
     /// 99th-percentile network latency, in cycles.
     pub p99_latency: f64,
+    /// 99.9th-percentile network latency, in cycles (0 for summaries
+    /// written before schema v3).
+    #[serde(default)]
+    pub p999_latency: f64,
     /// Fraction of circuit-eligible replies that rode a complete circuit,
     /// in `[0, 1]`.
     pub circuit_hit_rate: f64,
@@ -116,6 +123,7 @@ impl BenchSummary {
             for (what, v) in [
                 ("avg_latency", row.avg_latency),
                 ("p99_latency", row.p99_latency),
+                ("p999_latency", row.p999_latency),
             ] {
                 if !v.is_finite() || v < 0.0 {
                     errors.push(format!("row {i} ({}): {what} = {v} is invalid", row.label));
@@ -147,6 +155,7 @@ mod tests {
             cores: 16,
             avg_latency: 31.5,
             p99_latency: 88.0,
+            p999_latency: 120.0,
             circuit_hit_rate: 0.42,
             extra: BTreeMap::new(),
         }
@@ -186,11 +195,12 @@ mod tests {
 
     #[test]
     fn extra_defaults_when_absent_from_json() {
-        let json = r#"{"bench":"t","schema_version":2,"rows":[
+        let json = r#"{"bench":"t","schema_version":3,"rows":[
             {"label":"a","cores":4,"avg_latency":1.0,"p99_latency":2.0,"circuit_hit_rate":0.5}
         ]}"#;
         let s: BenchSummary = serde_json::from_str(json).unwrap();
         assert!(s.rows[0].extra.is_empty());
+        assert_eq!(s.rows[0].p999_latency, 0.0);
         assert_eq!(
             (s.wall_ms, s.busy_ms, s.jobs, s.cached_points),
             (0.0, 0.0, 0, 0)

@@ -197,6 +197,34 @@ pub enum EventKind {
         /// Reissue number (1-based).
         attempt: u32,
     },
+    /// An open-loop external arrival was admitted into an edge ingress
+    /// queue (token available, queue below its bound).
+    IngressAdmit {
+        /// Edge node the arrival entered at.
+        node: u16,
+        /// Ingress queue depth after the admit.
+        depth: u32,
+    },
+    /// An open-loop external arrival was refused at the edge — either the
+    /// token bucket was empty or the bounded ingress queue was full. The
+    /// refusal is explicit and typed: the client is told when to retry.
+    IngressReject {
+        /// Edge node the arrival was refused at.
+        node: u16,
+        /// `true` when the bounded queue was full, `false` when the
+        /// admission controller was out of tokens.
+        queue_full: bool,
+        /// Cycles the client should wait before re-offering.
+        retry_after: u64,
+    },
+    /// An admitted arrival was shed from an ingress queue after waiting
+    /// past the shed timeout — deterministic load-shedding, never silent.
+    IngressShed {
+        /// Edge node that shed the arrival.
+        node: u16,
+        /// Cycles the arrival waited in the queue before being shed.
+        waited: u64,
+    },
     /// A periodic whole-network occupancy sample.
     EpochSample {
         /// Live circuit-table entries across all routers.
@@ -235,6 +263,9 @@ impl EventKind {
             EventKind::RouterHealed { .. } => "router_healed",
             EventKind::NiReroute { .. } => "ni_reroute",
             EventKind::L1Reissue { .. } => "l1_reissue",
+            EventKind::IngressAdmit { .. } => "ingress_admit",
+            EventKind::IngressReject { .. } => "ingress_reject",
+            EventKind::IngressShed { .. } => "ingress_shed",
             EventKind::EpochSample { .. } => "epoch_sample",
         }
     }

@@ -138,6 +138,34 @@ diff <(strip_telemetry target/experiments/ci_resilience_event.json) \
   || { echo "FAIL: BENCH_resilience.json rows differ between RC_JOBS=1 and RC_JOBS=4"; exit 1; }
 $CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
 
+echo "==> overload smoke (open-loop saturation: conservation, kernel/jobs invariance)"
+# Overload gate (DESIGN.md §11). The open_loop test suite proves
+# conservation (offered == completed + shed + gave_up + in_flight, zero
+# unaccounted) below and past saturation, with admission on and off, and
+# dense/event byte-identity on open-loop runs. The overload bench — a
+# past-saturation load sweep per mechanism with per-point conservation,
+# termination and queue-bound asserts baked in — must then emit
+# byte-identical rows for either kernel and any worker count.
+# RC_NO_CACHE=1 is load-bearing for the kernel diff — the cache key
+# excludes RC_KERNEL.
+$CARGO test -q -p rcsim-system --test open_loop "$@"
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 RC_KERNEL=dense \
+  $CARGO run --release -q -p rcsim-bench --bin overload "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_overload.json target/experiments/ci_overload_dense.json
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 RC_KERNEL=event \
+  $CARGO run --release -q -p rcsim-bench --bin overload "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_overload.json target/experiments/ci_overload_event.json
+env "${smoke[@]}" RC_JOBS=4 RC_NO_CACHE=1 RC_KERNEL=event \
+  $CARGO run --release -q -p rcsim-bench --bin overload "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_overload.json target/experiments/ci_overload_jobs4.json
+diff <(strip_telemetry target/experiments/ci_overload_dense.json) \
+     <(strip_telemetry target/experiments/ci_overload_event.json) \
+  || { echo "FAIL: BENCH_overload.json rows differ between RC_KERNEL=dense and RC_KERNEL=event"; exit 1; }
+diff <(strip_telemetry target/experiments/ci_overload_event.json) \
+     <(strip_telemetry target/experiments/ci_overload_jobs4.json) \
+  || { echo "FAIL: BENCH_overload.json rows differ between RC_JOBS=1 and RC_JOBS=4"; exit 1; }
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
+
 echo "==> kernel/power/traffic differential suites (RC_JOBS=1 and 4)"
 # The dense-vs-event differential layer plus the new power-model and
 # traffic-pattern suites, under both a serial and a parallel test

@@ -53,6 +53,9 @@ pub mod prelude {
     };
     pub use rcsim_power::{area_savings, EnergyModel, RouterArea};
     pub use rcsim_stats::{geometric_mean, Accumulator};
-    pub use rcsim_system::{run_sim, Chip, RunResult, SimConfig, SimError};
-    pub use rcsim_workload::{workload_names, Workload};
+    pub use rcsim_system::{
+        run_sim, Chip, ExternalSummary, IngressConfig, OpenLoopConfig, OverloadReport, RunResult,
+        SimConfig, SimError,
+    };
+    pub use rcsim_workload::{workload_names, ArrivalProcess, Workload};
 }
