@@ -222,6 +222,7 @@ fn load_threshold(summary: &mut BenchSummary) {
         summary.push(BenchRow {
             label: format!("load_{rate}"),
             cores: 64,
+            topology: "mesh".to_owned(),
             avg_latency: c,
             p99_latency: 0.0,
             p999_latency: 0.0,

@@ -34,6 +34,7 @@ fn main() {
             summary.push(BenchRow {
                 label: name.to_owned(),
                 cores,
+                topology: "mesh".to_owned(),
                 avg_latency: 0.0,
                 p99_latency: 0.0,
                 p999_latency: 0.0,

@@ -332,6 +332,7 @@ pub fn bench_row(label: &str, cores: u16, results: &[RunResult]) -> BenchRow {
     BenchRow {
         label: label.to_owned(),
         cores: cores as usize,
+        topology: "mesh".to_owned(),
         avg_latency: if count == 0 {
             0.0
         } else {

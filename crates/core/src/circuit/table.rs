@@ -3,7 +3,7 @@
 use super::handle::CircuitKey;
 use super::timing::TimeWindow;
 use crate::config::CircuitMode;
-use crate::types::{Cycle, Direction, NodeId};
+use crate::types::{Cycle, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -15,8 +15,9 @@ pub struct CircuitEntry {
     /// The reply sender this circuit belongs to. All complete circuits
     /// sharing an input port must share this (§4.2).
     pub source: NodeId,
-    /// Output port the reply will take through the crossbar.
-    pub out_port: Direction,
+    /// Output port index the reply will take through the crossbar
+    /// (`0..Topology::ports()`; 4+ are local/ejection ports).
+    pub out_port: usize,
     /// Reserved time slot (`None` for untimed circuits).
     pub window: Option<TimeWindow>,
     /// Output circuit-VC index (only meaningful for fragmented circuits,
@@ -42,12 +43,12 @@ pub struct ReserveRequest {
     pub key: CircuitKey,
     /// The reply sender.
     pub source: NodeId,
-    /// Input port the reply will arrive on (`Local` at the reply source's
-    /// own router).
-    pub in_port: Direction,
-    /// Output port the reply will leave through (`Local` at the reply
-    /// destination's router).
-    pub out_port: Direction,
+    /// Input port index the reply will arrive on (a local port at the
+    /// reply source's own router).
+    pub in_port: usize,
+    /// Output port index the reply will leave through (a local port at
+    /// the reply destination's router).
+    pub out_port: usize,
     /// Desired time window at the current shift (`None` when untimed).
     pub window: Option<TimeWindow>,
     /// How many cycles later the window may slide to dodge an occupied
@@ -149,19 +150,20 @@ impl TableStats {
 /// ```
 /// use rcsim_core::circuit::{CircuitKey, ReserveRequest, RouterCircuits};
 /// use rcsim_core::config::CircuitMode;
-/// use rcsim_core::types::{Direction, NodeId};
+/// use rcsim_core::topology::{PORT_EAST, PORT_WEST};
+/// use rcsim_core::types::NodeId;
 ///
 /// let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
 /// let req = ReserveRequest {
 ///     key: CircuitKey { requestor: NodeId(0), block: 0x80 },
 ///     source: NodeId(9),
-///     in_port: Direction::East,
-///     out_port: Direction::West,
+///     in_port: PORT_EAST,
+///     out_port: PORT_WEST,
 ///     window: None,
 ///     max_extra_shift: 0,
 /// };
 /// rc.try_reserve(&req)?;
-/// assert!(rc.lookup(Direction::East, req.key).is_some());
+/// assert!(rc.lookup(PORT_EAST, req.key).is_some());
 /// # Ok::<(), rcsim_core::circuit::ReserveError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -169,7 +171,7 @@ pub struct RouterCircuits {
     mode: CircuitMode,
     capacity: usize,
     circuit_vcs: usize,
-    ports: [Vec<CircuitEntry>; 5],
+    ports: Vec<Vec<CircuitEntry>>,
     stats: TableStats,
     /// Internal clock, advanced by the owner via [`Self::note_now`]; used
     /// only to stamp entries for leak detection, so callers that never
@@ -183,13 +185,21 @@ impl RouterCircuits {
     ///
     /// `capacity` is the number of simultaneous circuits per input port
     /// (ignored in `Ideal` mode) and `circuit_vcs` the number of
-    /// circuit-class VCs (used by fragmented output accounting).
+    /// circuit-class VCs (used by fragmented output accounting). The
+    /// router has the classic 5 ports (4 network + 1 local); radix-r
+    /// topologies use [`Self::with_ports`].
     pub fn new(mode: CircuitMode, capacity: u8, circuit_vcs: usize) -> Self {
+        Self::with_ports(mode, capacity, circuit_vcs, 5)
+    }
+
+    /// Like [`Self::new`] but for a router with `ports` input/output
+    /// ports (e.g. a concentrated mesh has `4 + concentration`).
+    pub fn with_ports(mode: CircuitMode, capacity: u8, circuit_vcs: usize, ports: usize) -> Self {
         Self {
             mode,
             capacity: capacity as usize,
             circuit_vcs: circuit_vcs.max(1),
-            ports: Default::default(),
+            ports: vec![Vec::new(); ports],
             stats: TableStats::default(),
             now: 0,
         }
@@ -212,17 +222,13 @@ impl RouterCircuits {
     /// internal clock lags (an event-driven kernel skips idle routers)
     /// report the same ages as under a dense tick loop. Returns
     /// `(in_port, entry, age)` triples.
-    pub fn stale_entries(
-        &self,
-        now: Cycle,
-        min_age: Cycle,
-    ) -> Vec<(Direction, CircuitEntry, Cycle)> {
+    pub fn stale_entries(&self, now: Cycle, min_age: Cycle) -> Vec<(usize, CircuitEntry, Cycle)> {
         let mut stale = Vec::new();
         for (p, entries) in self.ports.iter().enumerate() {
             for e in entries {
                 let age = now.saturating_sub(e.reserved_at);
                 if age >= min_age {
-                    stale.push((Direction::from_index(p), *e, age));
+                    stale.push((p, *e, age));
                 }
             }
         }
@@ -233,8 +239,8 @@ impl RouterCircuits {
     /// `in_port` (if present), simulating a corrupted/forgotten table row.
     /// Returns the removed entry so the caller can account for the broken
     /// circuit.
-    pub fn fault_remove(&mut self, in_port: Direction, entry_idx: usize) -> Option<CircuitEntry> {
-        let port = &mut self.ports[in_port.index()];
+    pub fn fault_remove(&mut self, in_port: usize, entry_idx: usize) -> Option<CircuitEntry> {
+        let port = &mut self.ports[in_port];
         if entry_idx < port.len() {
             Some(port.remove(entry_idx))
         } else {
@@ -248,8 +254,8 @@ impl RouterCircuits {
     }
 
     /// Number of circuits currently reserved at an input port.
-    pub fn occupancy(&self, in_port: Direction) -> usize {
-        self.ports[in_port.index()].len()
+    pub fn occupancy(&self, in_port: usize) -> usize {
+        self.ports[in_port].len()
     }
 
     /// Reservation / failure counters.
@@ -275,10 +281,10 @@ impl RouterCircuits {
         let result = self.check(req);
         match &result {
             Ok(outcome) => {
-                let idx = self.ports[req.in_port.index()].len().min(7);
+                let idx = self.ports[req.in_port].len().min(7);
                 self.stats.reserved_at_index[idx] += 1;
                 let window = req.window.map(|w| w.shifted(outcome.extra_shift as Cycle));
-                self.ports[req.in_port.index()].push(CircuitEntry {
+                self.ports[req.in_port].push(CircuitEntry {
                     key: req.key,
                     source: req.source,
                     out_port: req.out_port,
@@ -303,7 +309,7 @@ impl RouterCircuits {
         match self.mode {
             CircuitMode::None => Err(ReserveError::NoStorage),
             CircuitMode::Ideal => Ok(ReserveOutcome {
-                index_in_port: self.ports[req.in_port.index()].len(),
+                index_in_port: self.ports[req.in_port].len(),
                 extra_shift: 0,
                 vc: 0,
             }),
@@ -316,7 +322,7 @@ impl RouterCircuits {
     }
 
     fn check_fragmented(&self, req: &ReserveRequest) -> Result<ReserveOutcome, ReserveError> {
-        let port = &self.ports[req.in_port.index()];
+        let port = &self.ports[req.in_port];
         if port.len() >= self.capacity {
             return Err(ReserveError::NoStorage);
         }
@@ -342,7 +348,7 @@ impl RouterCircuits {
     }
 
     fn check_complete_untimed(&self, req: &ReserveRequest) -> Result<ReserveOutcome, ReserveError> {
-        let port = &self.ports[req.in_port.index()];
+        let port = &self.ports[req.in_port];
         if port.len() >= self.capacity {
             return Err(ReserveError::NoStorage);
         }
@@ -350,7 +356,7 @@ impl RouterCircuits {
             return Err(ReserveError::SourceConflict);
         }
         for (p, entries) in self.ports.iter().enumerate() {
-            if p == req.in_port.index() {
+            if p == req.in_port {
                 continue;
             }
             if entries.iter().any(|e| e.out_port == req.out_port) {
@@ -373,7 +379,7 @@ impl RouterCircuits {
         req: &ReserveRequest,
         window: TimeWindow,
     ) -> Result<ReserveOutcome, ReserveError> {
-        let port = &self.ports[req.in_port.index()];
+        let port = &self.ports[req.in_port];
         if port.len() >= self.capacity {
             return Err(ReserveError::NoStorage);
         }
@@ -388,7 +394,7 @@ impl RouterCircuits {
                     if !ew.overlaps(&shifted) {
                         continue;
                     }
-                    let clashes = if p == req.in_port.index() {
+                    let clashes = if p == req.in_port {
                         e.source != req.source
                     } else {
                         e.out_port == req.out_port
@@ -428,17 +434,14 @@ impl RouterCircuits {
     }
 
     /// Finds the circuit for `key` arriving on `in_port`.
-    pub fn lookup(&self, in_port: Direction, key: CircuitKey) -> Option<&CircuitEntry> {
-        self.ports[in_port.index()].iter().find(|e| e.key == key)
+    pub fn lookup(&self, in_port: usize, key: CircuitKey) -> Option<&CircuitEntry> {
+        self.ports[in_port].iter().find(|e| e.key == key)
     }
 
     /// Marks the circuit as actively streaming (reply head arrived), so it
     /// cannot expire mid-message.
-    pub fn begin_use(&mut self, in_port: Direction, key: CircuitKey) -> bool {
-        match self.ports[in_port.index()]
-            .iter_mut()
-            .find(|e| e.key == key)
-        {
+    pub fn begin_use(&mut self, in_port: usize, key: CircuitKey) -> bool {
+        match self.ports[in_port].iter_mut().find(|e| e.key == key) {
             Some(e) => {
                 e.in_use = true;
                 true
@@ -449,8 +452,8 @@ impl RouterCircuits {
 
     /// Releases the circuit after the reply's tail flit leaves (§4.3: the
     /// tail clears the built-circuit bit). Returns the removed entry.
-    pub fn release(&mut self, in_port: Direction, key: CircuitKey) -> Option<CircuitEntry> {
-        let port = &mut self.ports[in_port.index()];
+    pub fn release(&mut self, in_port: usize, key: CircuitKey) -> Option<CircuitEntry> {
+        let port = &mut self.ports[in_port];
         let idx = port.iter().position(|e| e.key == key)?;
         Some(port.remove(idx))
     }
@@ -476,8 +479,8 @@ impl RouterCircuits {
     /// Ends a borrowing reply's streaming without releasing the circuit
     /// (scrounger borrow mode). If an undo arrived mid-stream the entry is
     /// removed and returned so the undo can resume its propagation.
-    pub fn end_use(&mut self, in_port: Direction, key: CircuitKey) -> Option<CircuitEntry> {
-        let port = &mut self.ports[in_port.index()];
+    pub fn end_use(&mut self, in_port: usize, key: CircuitKey) -> Option<CircuitEntry> {
+        let port = &mut self.ports[in_port];
         let idx = port.iter().position(|e| e.key == key)?;
         if port[idx].undo_pending {
             return Some(port.remove(idx));
@@ -521,14 +524,15 @@ impl RouterCircuits {
 
     /// Number of reserved circuits at one input port (used by fault
     /// injection to pick a victim for [`Self::fault_remove`]).
-    pub fn port_occupancy(&self, in_port: Direction) -> usize {
-        self.ports[in_port.index()].len()
+    pub fn port_occupancy(&self, in_port: usize) -> usize {
+        self.ports[in_port].len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
 
     fn key(requestor: u16, block: u64) -> CircuitKey {
         CircuitKey {
@@ -537,7 +541,7 @@ mod tests {
         }
     }
 
-    fn req(k: CircuitKey, source: u16, in_port: Direction, out_port: Direction) -> ReserveRequest {
+    fn req(k: CircuitKey, source: u16, in_port: usize, out_port: usize) -> ReserveRequest {
         ReserveRequest {
             key: k,
             source: NodeId(source),
@@ -551,8 +555,8 @@ mod tests {
     fn timed_req(
         k: CircuitKey,
         source: u16,
-        in_port: Direction,
-        out_port: Direction,
+        in_port: usize,
+        out_port: usize,
         window: TimeWindow,
         max_extra_shift: u32,
     ) -> ReserveRequest {
@@ -567,29 +571,23 @@ mod tests {
     fn complete_reserve_and_lookup() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let k = key(1, 0x40);
-        rc.try_reserve(&req(k, 9, Direction::East, Direction::West))
-            .unwrap();
-        assert!(rc.lookup(Direction::East, k).is_some());
-        assert!(rc.lookup(Direction::West, k).is_none());
-        assert_eq!(rc.occupancy(Direction::East), 1);
+        rc.try_reserve(&req(k, 9, PORT_EAST, PORT_WEST)).unwrap();
+        assert!(rc.lookup(PORT_EAST, k).is_some());
+        assert!(rc.lookup(PORT_WEST, k).is_none());
+        assert_eq!(rc.occupancy(PORT_EAST), 1);
     }
 
     #[test]
     fn complete_same_source_shares_input_port() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         for b in 0..5u64 {
-            rc.try_reserve(&req(
-                key(b as u16, b * 64),
-                9,
-                Direction::East,
-                Direction::West,
-            ))
-            .unwrap();
+            rc.try_reserve(&req(key(b as u16, b * 64), 9, PORT_EAST, PORT_WEST))
+                .unwrap();
         }
-        assert_eq!(rc.occupancy(Direction::East), 5);
+        assert_eq!(rc.occupancy(PORT_EAST), 5);
         // Sixth fails: storage.
         let e = rc
-            .try_reserve(&req(key(7, 999), 9, Direction::East, Direction::West))
+            .try_reserve(&req(key(7, 999), 9, PORT_EAST, PORT_WEST))
             .unwrap_err();
         assert_eq!(e, ReserveError::NoStorage);
         assert_eq!(rc.stats().failed_storage, 1);
@@ -598,10 +596,10 @@ mod tests {
     #[test]
     fn complete_different_source_same_input_rejected() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+        rc.try_reserve(&req(key(1, 0), 9, PORT_EAST, PORT_WEST))
             .unwrap();
         let e = rc
-            .try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North))
+            .try_reserve(&req(key(2, 64), 10, PORT_EAST, PORT_NORTH))
             .unwrap_err();
         assert_eq!(e, ReserveError::SourceConflict);
     }
@@ -611,14 +609,14 @@ mod tests {
         // The Figure 4b situation: two circuits with different inputs and
         // the same output cannot coexist.
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+        rc.try_reserve(&req(key(1, 0), 9, PORT_EAST, PORT_WEST))
             .unwrap();
         let e = rc
-            .try_reserve(&req(key(2, 64), 10, Direction::South, Direction::West))
+            .try_reserve(&req(key(2, 64), 10, PORT_SOUTH, PORT_WEST))
             .unwrap_err();
         assert_eq!(e, ReserveError::OutputConflict);
         // A different output from another input is fine.
-        rc.try_reserve(&req(key(3, 128), 10, Direction::South, Direction::North))
+        rc.try_reserve(&req(key(3, 128), 10, PORT_SOUTH, PORT_NORTH))
             .unwrap();
     }
 
@@ -626,7 +624,7 @@ mod tests {
     fn table5_occupancy_indices() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         for b in 0..3u64 {
-            rc.try_reserve(&req(key(b as u16, b), 9, Direction::East, Direction::West))
+            rc.try_reserve(&req(key(b as u16, b), 9, PORT_EAST, PORT_WEST))
                 .unwrap();
         }
         assert_eq!(rc.stats().reserved_at_index[..3], [1, 1, 1]);
@@ -637,12 +635,11 @@ mod tests {
     fn release_frees_entry() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 1, 1);
         let k = key(1, 0);
-        rc.try_reserve(&req(k, 9, Direction::East, Direction::West))
-            .unwrap();
-        assert!(rc.release(Direction::East, k).is_some());
-        assert!(rc.release(Direction::East, k).is_none());
+        rc.try_reserve(&req(k, 9, PORT_EAST, PORT_WEST)).unwrap();
+        assert!(rc.release(PORT_EAST, k).is_some());
+        assert!(rc.release(PORT_EAST, k).is_none());
         // Capacity freed.
-        rc.try_reserve(&req(key(2, 64), 9, Direction::East, Direction::West))
+        rc.try_reserve(&req(key(2, 64), 9, PORT_EAST, PORT_WEST))
             .unwrap();
     }
 
@@ -650,10 +647,9 @@ mod tests {
     fn undo_searches_all_ports_and_returns_route() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let k = key(1, 0);
-        rc.try_reserve(&req(k, 9, Direction::South, Direction::North))
-            .unwrap();
+        rc.try_reserve(&req(k, 9, PORT_SOUTH, PORT_NORTH)).unwrap();
         let e = rc.undo(k).expect("undo finds the entry");
-        assert_eq!(e.out_port, Direction::North);
+        assert_eq!(e.out_port, PORT_NORTH);
         assert_eq!(rc.total_entries(), 0);
         assert!(rc.undo(k).is_none());
     }
@@ -663,12 +659,12 @@ mod tests {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let k = key(1, 0);
         let w = TimeWindow::new(10, 20);
-        rc.try_reserve(&timed_req(k, 9, Direction::East, Direction::West, w, 0))
+        rc.try_reserve(&timed_req(k, 9, PORT_EAST, PORT_WEST, w, 0))
             .unwrap();
-        assert!(rc.begin_use(Direction::East, k));
+        assert!(rc.begin_use(PORT_EAST, k));
         assert!(rc.undo(k).is_none(), "in-use circuits cannot be undone");
         assert_eq!(rc.expire(100), 0, "in-use circuits cannot expire");
-        assert!(rc.release(Direction::East, k).is_some());
+        assert!(rc.release(PORT_EAST, k).is_some());
     }
 
     #[test]
@@ -677,31 +673,31 @@ mod tests {
         // Two circuits to the same output from different inputs: occupy the
         // two circuit VCs.
         let a = rc
-            .try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .try_reserve(&req(key(1, 0), 9, PORT_EAST, PORT_WEST))
             .unwrap();
         let b = rc
-            .try_reserve(&req(key(2, 64), 10, Direction::South, Direction::West))
+            .try_reserve(&req(key(2, 64), 10, PORT_SOUTH, PORT_WEST))
             .unwrap();
         assert_ne!(a.vc, b.vc);
         // Third to the same output fails even from a third input.
         let e = rc
-            .try_reserve(&req(key(3, 128), 11, Direction::North, Direction::West))
+            .try_reserve(&req(key(3, 128), 11, PORT_NORTH, PORT_WEST))
             .unwrap_err();
         assert_eq!(e, ReserveError::OutputConflict);
         // But a different output is fine.
-        rc.try_reserve(&req(key(4, 192), 11, Direction::North, Direction::South))
+        rc.try_reserve(&req(key(4, 192), 11, PORT_NORTH, PORT_SOUTH))
             .unwrap();
     }
 
     #[test]
     fn fragmented_per_input_capacity() {
         let mut rc = RouterCircuits::new(CircuitMode::Fragmented, 2, 2);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+        rc.try_reserve(&req(key(1, 0), 9, PORT_EAST, PORT_WEST))
             .unwrap();
-        rc.try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North))
+        rc.try_reserve(&req(key(2, 64), 10, PORT_EAST, PORT_NORTH))
             .unwrap();
         let e = rc
-            .try_reserve(&req(key(3, 128), 11, Direction::East, Direction::South))
+            .try_reserve(&req(key(3, 128), 11, PORT_EAST, PORT_SOUTH))
             .unwrap_err();
         assert_eq!(e, ReserveError::NoStorage);
     }
@@ -709,10 +705,10 @@ mod tests {
     #[test]
     fn fragmented_ignores_source_rule() {
         let mut rc = RouterCircuits::new(CircuitMode::Fragmented, 2, 2);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+        rc.try_reserve(&req(key(1, 0), 9, PORT_EAST, PORT_WEST))
             .unwrap();
         // Different source, same input: fine for fragmented (buffers exist).
-        rc.try_reserve(&req(key(2, 64), 10, Direction::East, Direction::North))
+        rc.try_reserve(&req(key(2, 64), 10, PORT_EAST, PORT_NORTH))
             .unwrap();
     }
 
@@ -720,13 +716,8 @@ mod tests {
     fn ideal_never_fails() {
         let mut rc = RouterCircuits::new(CircuitMode::Ideal, 1, 1);
         for b in 0..100u64 {
-            rc.try_reserve(&req(
-                key(b as u16, b),
-                (b % 7) as u16,
-                Direction::East,
-                Direction::West,
-            ))
-            .unwrap();
+            rc.try_reserve(&req(key(b as u16, b), (b % 7) as u16, PORT_EAST, PORT_WEST))
+                .unwrap();
         }
         assert_eq!(rc.total_entries(), 100);
         assert_eq!(rc.stats().total_failed(), 0);
@@ -736,7 +727,7 @@ mod tests {
     fn none_mode_rejects_everything() {
         let mut rc = RouterCircuits::new(CircuitMode::None, 0, 0);
         assert!(rc
-            .try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+            .try_reserve(&req(key(1, 0), 9, PORT_EAST, PORT_WEST))
             .is_err());
     }
 
@@ -747,24 +738,10 @@ mod tests {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let w1 = TimeWindow::new(10, 20);
         let w2 = TimeWindow::new(20, 30);
-        rc.try_reserve(&timed_req(
-            key(1, 0),
-            9,
-            Direction::East,
-            Direction::West,
-            w1,
-            0,
-        ))
-        .unwrap();
-        rc.try_reserve(&timed_req(
-            key(2, 64),
-            10,
-            Direction::South,
-            Direction::West,
-            w2,
-            0,
-        ))
-        .unwrap();
+        rc.try_reserve(&timed_req(key(1, 0), 9, PORT_EAST, PORT_WEST, w1, 0))
+            .unwrap();
+        rc.try_reserve(&timed_req(key(2, 64), 10, PORT_SOUTH, PORT_WEST, w2, 0))
+            .unwrap();
         assert_eq!(rc.total_entries(), 2);
     }
 
@@ -773,24 +750,10 @@ mod tests {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let w1 = TimeWindow::new(10, 20);
         let w2 = TimeWindow::new(15, 25);
-        rc.try_reserve(&timed_req(
-            key(1, 0),
-            9,
-            Direction::East,
-            Direction::West,
-            w1,
-            0,
-        ))
-        .unwrap();
+        rc.try_reserve(&timed_req(key(1, 0), 9, PORT_EAST, PORT_WEST, w1, 0))
+            .unwrap();
         let e = rc
-            .try_reserve(&timed_req(
-                key(2, 64),
-                10,
-                Direction::South,
-                Direction::West,
-                w2,
-                0,
-            ))
+            .try_reserve(&timed_req(key(2, 64), 10, PORT_SOUTH, PORT_WEST, w2, 0))
             .unwrap_err();
         assert_eq!(e, ReserveError::WindowConflict);
     }
@@ -799,32 +762,18 @@ mod tests {
     fn timed_same_input_different_source_overlap_conflicts() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let w = TimeWindow::new(10, 20);
-        rc.try_reserve(&timed_req(
-            key(1, 0),
-            9,
-            Direction::East,
-            Direction::West,
-            w,
-            0,
-        ))
-        .unwrap();
+        rc.try_reserve(&timed_req(key(1, 0), 9, PORT_EAST, PORT_WEST, w, 0))
+            .unwrap();
         let e = rc
-            .try_reserve(&timed_req(
-                key(2, 64),
-                10,
-                Direction::East,
-                Direction::North,
-                w,
-                0,
-            ))
+            .try_reserve(&timed_req(key(2, 64), 10, PORT_EAST, PORT_NORTH, w, 0))
             .unwrap_err();
         assert_eq!(e, ReserveError::WindowConflict);
         // Disjoint windows make it legal.
         rc.try_reserve(&timed_req(
             key(3, 128),
             10,
-            Direction::East,
-            Direction::North,
+            PORT_EAST,
+            PORT_NORTH,
             TimeWindow::new(30, 40),
             0,
         ))
@@ -837,8 +786,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(1, 0),
             9,
-            Direction::East,
-            Direction::West,
+            PORT_EAST,
+            PORT_WEST,
             TimeWindow::new(10, 20),
             0,
         ))
@@ -848,14 +797,14 @@ mod tests {
             .try_reserve(&timed_req(
                 key(2, 64),
                 10,
-                Direction::South,
-                Direction::West,
+                PORT_SOUTH,
+                PORT_WEST,
                 TimeWindow::new(12, 22),
                 15,
             ))
             .unwrap();
         assert_eq!(out.extra_shift, 8); // slides to start at 20
-        let e = rc.lookup(Direction::South, key(2, 64)).unwrap();
+        let e = rc.lookup(PORT_SOUTH, key(2, 64)).unwrap();
         assert_eq!(e.window, Some(TimeWindow::new(20, 30)));
     }
 
@@ -865,8 +814,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(1, 0),
             9,
-            Direction::East,
-            Direction::West,
+            PORT_EAST,
+            PORT_WEST,
             TimeWindow::new(10, 30),
             0,
         ))
@@ -875,8 +824,8 @@ mod tests {
             .try_reserve(&timed_req(
                 key(2, 64),
                 10,
-                Direction::South,
-                Direction::West,
+                PORT_SOUTH,
+                PORT_WEST,
                 TimeWindow::new(12, 22),
                 5, // needs 18, only 5 allowed
             ))
@@ -890,8 +839,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(1, 0),
             9,
-            Direction::East,
-            Direction::West,
+            PORT_EAST,
+            PORT_WEST,
             TimeWindow::new(10, 20),
             0,
         ))
@@ -899,8 +848,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(2, 64),
             10,
-            Direction::South,
-            Direction::West,
+            PORT_SOUTH,
+            PORT_WEST,
             TimeWindow::new(20, 30),
             0,
         ))
@@ -910,8 +859,8 @@ mod tests {
             .try_reserve(&timed_req(
                 key(3, 128),
                 11,
-                Direction::North,
-                Direction::West,
+                PORT_NORTH,
+                PORT_WEST,
                 TimeWindow::new(11, 21),
                 30,
             ))
@@ -925,8 +874,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(1, 0),
             9,
-            Direction::East,
-            Direction::West,
+            PORT_EAST,
+            PORT_WEST,
             TimeWindow::new(10, 20),
             0,
         ))
@@ -938,8 +887,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(2, 64),
             9,
-            Direction::East,
-            Direction::West,
+            PORT_EAST,
+            PORT_WEST,
             TimeWindow::new(30, 40),
             0,
         ))
@@ -950,10 +899,10 @@ mod tests {
     fn stale_entries_report_age_and_skip_young() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         rc.note_now(100);
-        rc.try_reserve(&req(key(1, 0), 9, Direction::East, Direction::West))
+        rc.try_reserve(&req(key(1, 0), 9, PORT_EAST, PORT_WEST))
             .unwrap();
         rc.note_now(150);
-        rc.try_reserve(&req(key(2, 64), 9, Direction::East, Direction::North))
+        rc.try_reserve(&req(key(2, 64), 9, PORT_EAST, PORT_NORTH))
             .unwrap();
         // Ages are measured against the caller's absolute clock, so a
         // table whose internal clock stopped advancing (idle router under
@@ -961,7 +910,7 @@ mod tests {
         let stale = rc.stale_entries(400, 280);
         assert_eq!(stale.len(), 1, "only the 300-cycle-old entry is stale");
         let (port, entry, age) = stale[0];
-        assert_eq!(port, Direction::East);
+        assert_eq!(port, PORT_EAST);
         assert_eq!(entry.key, key(1, 0));
         assert_eq!(age, 300);
         assert!(rc.stale_entries(400, 0).len() == 2);
@@ -974,8 +923,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(1, 0),
             9,
-            Direction::East,
-            Direction::West,
+            PORT_EAST,
+            PORT_WEST,
             TimeWindow::new(10, 20),
             0,
         ))
@@ -983,8 +932,8 @@ mod tests {
         rc.try_reserve(&timed_req(
             key(2, 64),
             9,
-            Direction::East,
-            Direction::North,
+            PORT_EAST,
+            PORT_NORTH,
             TimeWindow::new(30, 44),
             0,
         ))
@@ -992,9 +941,9 @@ mod tests {
         assert_eq!(rc.next_expiry(), Some(20));
         // An entry streaming a reply is never expired, so it must not
         // drive the wake-up either.
-        rc.begin_use(Direction::East, key(1, 0));
+        rc.begin_use(PORT_EAST, key(1, 0));
         assert_eq!(rc.next_expiry(), Some(44));
-        rc.end_use(Direction::East, key(1, 0));
+        rc.end_use(PORT_EAST, key(1, 0));
         assert_eq!(rc.expire(20), 1);
         assert_eq!(rc.next_expiry(), Some(44));
     }
@@ -1003,14 +952,13 @@ mod tests {
     fn fault_remove_deletes_one_entry() {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
         let k = key(1, 0);
-        rc.try_reserve(&req(k, 9, Direction::East, Direction::West))
-            .unwrap();
-        assert!(rc.fault_remove(Direction::West, 0).is_none(), "wrong port");
+        rc.try_reserve(&req(k, 9, PORT_EAST, PORT_WEST)).unwrap();
+        assert!(rc.fault_remove(PORT_WEST, 0).is_none(), "wrong port");
         assert!(
-            rc.fault_remove(Direction::East, 3).is_none(),
+            rc.fault_remove(PORT_EAST, 3).is_none(),
             "index out of range"
         );
-        let removed = rc.fault_remove(Direction::East, 0).expect("entry removed");
+        let removed = rc.fault_remove(PORT_EAST, 0).expect("entry removed");
         assert_eq!(removed.key, k);
         assert_eq!(rc.total_entries(), 0);
     }

@@ -59,8 +59,14 @@ impl Mesh {
     /// Returns [`ConfigError::NotSquare`] if `cores` is not a perfect
     /// square, or the errors of [`Mesh::new`].
     pub fn square(cores: u16) -> Result<Self, ConfigError> {
-        let side = (cores as f64).sqrt().round() as u16;
-        if side * side != cores {
+        // Integer perfect-square check: `side * side` in u16 can overflow
+        // before the compare at large core counts (e.g. 1024 -> 32*32 is
+        // fine, but a float round-trip plus u16 multiply wraps for counts
+        // near u16::MAX), so search in u32.
+        let side = (0..=255u16)
+            .find(|s| (*s as u32) * (*s as u32) >= cores as u32)
+            .unwrap_or(255);
+        if (side as u32) * (side as u32) != cores as u32 {
             return Err(ConfigError::NotSquare(cores));
         }
         Mesh::new(side, side)
@@ -223,6 +229,11 @@ mod tests {
         assert!(Mesh::square(15).is_err());
         assert_eq!(Mesh::square(16).unwrap(), Mesh::new(4, 4).unwrap());
         assert_eq!(Mesh::square(64).unwrap(), Mesh::new(8, 8).unwrap());
+        assert_eq!(Mesh::square(1024).unwrap(), Mesh::new(32, 32).unwrap());
+        // Large non-squares must not wrap u16 in the `side * side` check:
+        // 65535's float sqrt rounds to 256, and 256*256 wraps to 0 in u16.
+        assert!(Mesh::square(65535).is_err());
+        assert_eq!(Mesh::square(65025).unwrap(), Mesh::new(255, 255).unwrap());
     }
 
     #[test]

@@ -43,10 +43,14 @@ pub mod config;
 pub mod geometry;
 pub mod routing;
 pub mod sched;
+pub mod topology;
 pub mod types;
 
 pub use config::{CircuitMode, ConfigError, MechanismConfig, TimedPolicy};
 pub use geometry::Mesh;
 pub use routing::TopologyHealth;
 pub use sched::{KernelMode, WakeTimes};
+pub use topology::{
+    Topology, TopologySpec, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH, PORT_WEST,
+};
 pub use types::{Cycle, Direction, MessageClass, NodeId, Vnet};

@@ -1,20 +1,17 @@
 //! Property-based tests for the circuit-table invariants the paper's
 //! mechanisms rely on (§4.2): per-input storage caps, the complete-mode
 //! output-conflict rule, and clean tear-down under arbitrary interleavings
-//! of reserve / release / undo / begin_use / end_use.
+//! of reserve / release / undo / begin_use / end_use — plus, for the
+//! topology subsystem, reservation/teardown symmetry along paths drawn
+//! from torus, concentrated-mesh and ring routings.
 
 use proptest::prelude::*;
 use rcsim_core::circuit::{CircuitKey, ReserveError, ReserveRequest, RouterCircuits};
-use rcsim_core::{CircuitMode, Direction, NodeId};
+use rcsim_core::routing::Routing;
+use rcsim_core::{CircuitMode, NodeId, Topology};
 use std::collections::BTreeMap;
 
-const DIRS: [Direction; 5] = [
-    Direction::North,
-    Direction::East,
-    Direction::South,
-    Direction::West,
-    Direction::Local,
-];
+const PORTS: [usize; 5] = [0, 1, 2, 3, 4];
 
 /// One step of a random table workout. Reservations are untimed so the
 /// complete-mode conflict rules apply in their strictest form.
@@ -48,7 +45,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// What the test believes the table holds: key → (in_port, out_port,
 /// source, in_use, undo_pending). Kept in sync op by op and cross-checked
 /// against the table's own accounting after every step.
-type Shadow = BTreeMap<u64, (Direction, Direction, NodeId, bool, bool)>;
+type Shadow = BTreeMap<u64, (usize, usize, NodeId, bool, bool)>;
 
 fn nth_key(shadow: &Shadow, n: usize) -> Option<u64> {
     if shadow.is_empty() {
@@ -78,7 +75,7 @@ fn workout(
     for (i, op) in ops.iter().enumerate() {
         match *op {
             Op::Reserve(source, in_idx, out_idx) => {
-                let (in_port, out_port) = (DIRS[in_idx], DIRS[out_idx]);
+                let (in_port, out_port) = (PORTS[in_idx], PORTS[out_idx]);
                 let block = i as u64 * 64;
                 let req = ReserveRequest {
                     key: key(block),
@@ -170,7 +167,7 @@ fn workout(
 
         // Global accounting invariants, every step.
         prop_assert_eq!(rc.total_entries(), shadow.len());
-        for d in DIRS {
+        for d in PORTS {
             prop_assert!(
                 rc.occupancy(d) <= capacity as usize,
                 "input port {d:?} holds more than {capacity} circuits"
@@ -195,7 +192,7 @@ fn workout(
         rc.undo(key(*block));
     }
     prop_assert_eq!(rc.total_entries(), 0, "tear-down left entries behind");
-    for d in DIRS {
+    for d in PORTS {
         prop_assert_eq!(rc.occupancy(d), 0);
     }
     Ok(())
@@ -225,5 +222,180 @@ proptest! {
     #[test]
     fn unit_capacity_invariants(ops in prop::collection::vec(op_strategy(), 1..40)) {
         workout(CircuitMode::Complete, 1, 1, &ops)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topology-path properties: circuits reserved along request paths drawn
+// from torus, concentrated-mesh and ring routings retrace and tear down
+// exactly, per topology (the §4.1 symmetry the mechanism rests on).
+// ---------------------------------------------------------------------------
+
+fn topo_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2u16..=6, 2u16..=6).prop_map(|(w, h)| Topology::torus(w, h).expect("valid torus")),
+        (3u16..=24).prop_map(|n| Topology::ring(n).expect("valid ring")),
+        (2u16..=4, 2u16..=4, 2u16..=4)
+            .prop_map(|(w, h, c)| Topology::cmesh(w, h, c).expect("valid cmesh")),
+    ]
+}
+
+/// The per-router reservations a request travelling `path` (router ids,
+/// src-side first) writes for its reply: at each router the reply arrives
+/// from the dst side and leaves towards the src side; the endpoints use
+/// the tiles' local ports.
+fn reply_ports_along(
+    topo: &Topology,
+    path: &[NodeId],
+    src_tile: NodeId,
+    dst_tile: NodeId,
+) -> Vec<(NodeId, usize, usize)> {
+    let mut out = Vec::with_capacity(path.len());
+    for (j, r) in path.iter().enumerate() {
+        let in_port = if j + 1 < path.len() {
+            topo.port_between(*r, path[j + 1])
+                .expect("adjacent routers")
+        } else {
+            topo.eject_port(dst_tile)
+        };
+        let out_port = if j > 0 {
+            topo.port_between(*r, path[j - 1])
+                .expect("adjacent routers")
+        } else {
+            topo.eject_port(src_tile)
+        };
+        out.push((*r, in_port, out_port));
+    }
+    out
+}
+
+/// One reserved circuit: its key plus the (router, in_port, out_port)
+/// hops it occupies along the request path.
+type ReservedPath = (CircuitKey, Vec<(NodeId, usize, usize)>);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every topology: the XY request path reversed is the YX reply
+    /// path, circuits reserved hop-by-hop along it are found again by the
+    /// retracing reply (lookup on the reply's arrival port), and a full
+    /// begin_use / end_use / release walk leaves every table empty.
+    #[test]
+    fn reservation_retraces_and_tears_down(
+        topo in topo_strategy(),
+        pairs in prop::collection::vec((any::<u16>(), any::<u16>()), 1..10),
+    ) {
+        let n = topo.nodes() as u16;
+        let mut tables: Vec<RouterCircuits> = (0..topo.routers())
+            .map(|_| RouterCircuits::with_ports(CircuitMode::Ideal, 8, 1, topo.ports()))
+            .collect();
+        let mut reserved: Vec<ReservedPath> = Vec::new();
+
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            let src = NodeId(a % n);
+            let dst = NodeId(b % n);
+            if topo.hop_count(src, dst) == 0 {
+                // Same router (same tile, or CMesh neighbours sharing one):
+                // no circuit is built.
+                continue;
+            }
+            // §4.1: the request goes XY, the reply retraces YX — reversed.
+            let fwd = topo.route_path(src, dst, Routing::Xy);
+            let mut back = topo.route_path(dst, src, Routing::Yx);
+            back.reverse();
+            prop_assert_eq!(&fwd, &back, "path symmetry broken on {}", topo.label());
+
+            let k = CircuitKey { requestor: src, block: i as u64 * 64 };
+            let hops = reply_ports_along(&topo, &fwd, src, dst);
+            for (r, in_port, out_port) in &hops {
+                tables[r.index()]
+                    .try_reserve(&ReserveRequest {
+                        key: k,
+                        source: dst,
+                        in_port: *in_port,
+                        out_port: *out_port,
+                        window: None,
+                        max_extra_shift: 0,
+                    })
+                    .expect("ideal mode never refuses");
+            }
+            reserved.push((k, hops));
+        }
+
+        // Reply retrace: from the reply source's router back to the
+        // requestor, every table has the entry on the reply's arrival port,
+        // and streaming through it then releasing empties the table.
+        for (k, hops) in &reserved {
+            for (r, in_port, _) in hops.iter().rev() {
+                prop_assert!(
+                    tables[r.index()].lookup(*in_port, *k).is_some(),
+                    "reply failed to find its circuit at router {r} on {}",
+                    topo.label()
+                );
+                prop_assert!(tables[r.index()].begin_use(*in_port, *k));
+                prop_assert!(tables[r.index()].end_use(*in_port, *k).is_none());
+                prop_assert!(tables[r.index()].release(*in_port, *k).is_some());
+            }
+        }
+        for (r, t) in tables.iter().enumerate() {
+            prop_assert_eq!(
+                t.total_entries(),
+                0,
+                "teardown left entries at router {} on {}",
+                r,
+                topo.label()
+            );
+        }
+    }
+
+    /// Undo-based teardown (§4.4): an undo visiting the routers in request
+    /// order finds each entry, and the removed entry's out_port points back
+    /// towards the requestor — the reversed-path invariant that lets the
+    /// undo retrace without carrying a route.
+    #[test]
+    fn undo_follows_the_reversed_path(
+        topo in topo_strategy(),
+        a in any::<u16>(),
+        b in any::<u16>(),
+    ) {
+        let n = topo.nodes() as u16;
+        let src = NodeId(a % n);
+        let dst = NodeId(b % n);
+        prop_assume!(topo.hop_count(src, dst) > 0);
+
+        let fwd = topo.route_path(src, dst, Routing::Xy);
+        let k = CircuitKey { requestor: src, block: 0x40 };
+        let hops = reply_ports_along(&topo, &fwd, src, dst);
+        let mut tables: Vec<RouterCircuits> = (0..topo.routers())
+            .map(|_| RouterCircuits::with_ports(CircuitMode::Complete, 5, 1, topo.ports()))
+            .collect();
+        for (r, in_port, out_port) in &hops {
+            tables[r.index()]
+                .try_reserve(&ReserveRequest {
+                    key: k,
+                    source: dst,
+                    in_port: *in_port,
+                    out_port: *out_port,
+                    window: None,
+                    max_extra_shift: 0,
+                })
+                .expect("lone circuit cannot conflict");
+        }
+        for (j, (r, _, out_port)) in hops.iter().enumerate() {
+            let removed = tables[r.index()].undo(k).expect("undo finds the entry");
+            prop_assert_eq!(removed.out_port, *out_port);
+            if j > 0 {
+                // Interior and dst-side routers point back at the previous
+                // router on the path; the first hop points at the src tile.
+                prop_assert_eq!(
+                    topo.neighbor(*r, removed.out_port),
+                    Some(fwd[j - 1]),
+                    "undo retrace diverges at router {} on {}",
+                    r,
+                    topo.label()
+                );
+            }
+            prop_assert_eq!(tables[r.index()].total_entries(), 0);
+        }
     }
 }

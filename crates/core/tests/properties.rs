@@ -97,11 +97,11 @@ proptest! {
     #[test]
     fn complete_rules_always_hold(ops in ops()) {
         let mut rc = RouterCircuits::new(CircuitMode::Complete, 5, 1);
-        let mut live: Vec<(Direction, CircuitKey, NodeId, Direction)> = Vec::new();
+        let mut live: Vec<(usize, CircuitKey, NodeId, usize)> = Vec::new();
         for op in ops {
             let key = CircuitKey { requestor: NodeId(op.source % 4), block: op.key_block * 64 };
-            let in_port = Direction::from_index(op.in_port);
-            let out_port = Direction::from_index(op.out_port);
+            let in_port = op.in_port;
+            let out_port = op.out_port;
             if op.release {
                 if let Some(pos) = live.iter().position(|(_, k, _, _)| *k == key) {
                     let (p, k, _, _) = live.remove(pos);
@@ -122,7 +122,7 @@ proptest! {
             }
 
             // Invariant 1: same input port => same source.
-            for d in Direction::ALL {
+            for d in 0usize..5 {
                 let sources: Vec<NodeId> = live
                     .iter()
                     .filter(|(p, _, _, _)| *p == d)
@@ -131,8 +131,8 @@ proptest! {
                 prop_assert!(sources.windows(2).all(|w| w[0] == w[1]));
             }
             // Invariant 2: an output port is reserved from one input only.
-            for d in Direction::ALL {
-                let inputs: Vec<Direction> = live
+            for d in 0usize..5 {
+                let inputs: Vec<usize> = live
                     .iter()
                     .filter(|(_, _, _, o)| *o == d)
                     .map(|(p, _, _, _)| *p)
@@ -140,7 +140,7 @@ proptest! {
                 prop_assert!(inputs.windows(2).all(|w| w[0] == w[1]));
             }
             // Capacity: at most 5 per input port.
-            for d in Direction::ALL {
+            for d in 0usize..5 {
                 prop_assert!(rc.occupancy(d) <= 5);
             }
         }
@@ -160,8 +160,8 @@ proptest! {
             rc.try_reserve(&ReserveRequest {
                 key,
                 source: NodeId(op.source),
-                in_port: Direction::from_index(op.in_port),
-                out_port: Direction::from_index(op.out_port),
+                in_port: op.in_port,
+                out_port: op.out_port,
                 window: None,
                 max_extra_shift: 0,
             })

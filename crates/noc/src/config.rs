@@ -1,6 +1,6 @@
 //! Network configuration and the virtual-channel layout.
 
-use rcsim_core::{MechanismConfig, Mesh, Vnet};
+use rcsim_core::{MechanismConfig, Topology, Vnet};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -11,8 +11,8 @@ use std::ops::Range;
 /// reply VC), 5-flit buffers, 16-byte flits, 1-cycle links.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NocConfig {
-    /// Mesh topology.
-    pub mesh: Mesh,
+    /// Network topology (mesh, torus, concentrated mesh or ring).
+    pub topology: Topology,
     /// The Reactive Circuits mechanism configuration.
     pub mechanism: MechanismConfig,
     /// Flit buffer depth per VC, in flits (5: one whole data message).
@@ -30,19 +30,46 @@ pub struct NocConfig {
     /// cycles at both endpoints are known at design time and included here
     /// so that an undelayed request yields an exactly-met window.
     pub inject_overhead: u32,
+    /// Extra reply VCs on top of the mechanism's count. Wrap topologies
+    /// (torus, ring) need one so each virtual network keeps at least two
+    /// allocatable VCs after the dateline split halves them into classes.
+    pub extra_reply_vcs: usize,
+    /// Head-of-line relief in the VC allocator: when the oldest waiting
+    /// VC of the winning input port cannot be allocated (its virtual
+    /// network has no free output VC), consider the port's younger
+    /// waiting VCs instead of granting nothing. The legacy allocator
+    /// (`false`, the default pinned by the goldens) considers only the
+    /// oldest VC, which can shadow younger VCs forever and close a
+    /// request/reply credit cycle into a hard deadlock under sustained
+    /// bidirectional load. Synthetic sweeps that drive such load (the
+    /// topology bench) enable this.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub va_hol_relief: bool,
+}
+
+/// `skip_serializing_if` helper: keeps default configs byte-identical to
+/// the pre-flag serialization (cache keys, goldens).
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_false(b: &bool) -> bool {
+    !*b
 }
 
 impl NocConfig {
-    /// The Table 4 configuration for a given mesh and mechanism.
-    pub fn paper_baseline(mesh: Mesh, mechanism: MechanismConfig) -> Self {
+    /// The Table 4 configuration for a given topology and mechanism. On
+    /// wrap topologies one extra reply VC is provisioned for the dateline
+    /// classes; on the mesh the layout is exactly the paper's.
+    pub fn paper_baseline(topology: impl Into<Topology>, mechanism: MechanismConfig) -> Self {
+        let topology = topology.into();
         Self {
-            mesh,
+            topology,
             mechanism,
             buffer_depth: 5,
             flit_bytes: 16,
             req_vcs: 2,
             link_latency: 1,
             inject_overhead: 6,
+            extra_reply_vcs: usize::from(topology.has_wrap()),
+            va_hol_relief: false,
         }
     }
 
@@ -50,7 +77,7 @@ impl NocConfig {
     pub fn vc_layout(&self) -> VcLayout {
         VcLayout {
             req_vcs: self.req_vcs,
-            reply_vcs: self.mechanism.reply_vcs(),
+            reply_vcs: self.mechanism.reply_vcs() + self.extra_reply_vcs,
             circuit_vcs: self.mechanism.circuit_vcs(),
         }
     }
@@ -144,15 +171,55 @@ impl VcLayout {
             Vnet::Reply => self.req_vcs..self.total() - self.circuit_vcs,
         }
     }
+
+    /// The allocatable-VC subset for one dateline class on wrap
+    /// topologies: class 0 (still to cross the wrap link in the current
+    /// dimension) gets the first half of the VN's allocatable VCs, class 1
+    /// (past the wrap, or never crossing it) the rest. Splitting by VC
+    /// index breaks the channel-dependency cycle a torus/ring would
+    /// otherwise close through its wraparound links.
+    pub fn allocatable_class_vcs(&self, vnet: Vnet, class: u8) -> Range<usize> {
+        let all = self.allocatable_vcs(vnet);
+        let mid = all.start + (all.end - all.start) / 2;
+        if class == 0 {
+            all.start..mid
+        } else {
+            mid..all.end
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rcsim_core::MechanismConfig;
+    use rcsim_core::{MechanismConfig, Mesh};
 
     fn layout_for(mechanism: MechanismConfig) -> VcLayout {
         NocConfig::paper_baseline(Mesh::new(4, 4).unwrap(), mechanism).vc_layout()
+    }
+
+    #[test]
+    fn wrap_topologies_gain_a_reply_vc_and_split_classes() {
+        let torus =
+            NocConfig::paper_baseline(Topology::torus(4, 4).unwrap(), MechanismConfig::complete());
+        assert_eq!(torus.extra_reply_vcs, 1);
+        let vl = torus.vc_layout();
+        // 2 req + (2 complete + 1 extra) reply, last one the circuit VC.
+        assert_eq!(vl.total(), 5);
+        assert_eq!(vl.allocatable_vcs(Vnet::Reply), 2..4);
+        // Each class keeps at least one allocatable VC in both VNs.
+        for vnet in [Vnet::Request, Vnet::Reply] {
+            let c0 = vl.allocatable_class_vcs(vnet, 0);
+            let c1 = vl.allocatable_class_vcs(vnet, 1);
+            assert!(!c0.is_empty() && !c1.is_empty(), "{vnet:?}: {c0:?}/{c1:?}");
+            assert_eq!(c0.end, c1.start);
+            assert_eq!(c0.start, vl.allocatable_vcs(vnet).start);
+            assert_eq!(c1.end, vl.allocatable_vcs(vnet).end);
+        }
+        // Mesh keeps the paper's exact layout: no extra VC.
+        let mesh = NocConfig::paper_baseline(Mesh::new(4, 4).unwrap(), MechanismConfig::complete());
+        assert_eq!(mesh.extra_reply_vcs, 0);
+        assert_eq!(mesh.vc_layout().total(), 4);
     }
 
     #[test]

@@ -56,7 +56,7 @@
 use crate::flit::{Flit, PacketId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rcsim_core::{ConfigError, Cycle, Direction, Mesh, NodeId};
+use rcsim_core::{ConfigError, Cycle, Direction, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -184,16 +184,19 @@ impl FaultConfig {
             && self.dead_routers.is_empty()
     }
 
-    /// Checks the configuration against `mesh` before a network is built.
+    /// Checks the configuration against `topology` before a network is
+    /// built. Scheduled fault events name *routers* (not tiles), so on a
+    /// concentrated mesh the bound is the router count.
     ///
     /// # Errors
     ///
     /// * [`ConfigError::FaultRate`] — a rate is NaN, negative or above 1.
     /// * [`ConfigError::FaultWindow`] — a scheduled fault has an explicit
     ///   duration of zero cycles (it could never take effect).
-    /// * [`ConfigError::FaultTopology`] — a scheduled fault names a node
-    ///   outside the mesh, a non-adjacent link pair, or the `Local` port.
-    pub fn validate(&self, mesh: &Mesh) -> Result<(), ConfigError> {
+    /// * [`ConfigError::FaultTopology`] — a scheduled fault names a router
+    ///   outside the topology, a non-adjacent link pair, or the `Local`
+    ///   port.
+    pub fn validate(&self, topology: &Topology) -> Result<(), ConfigError> {
         let rates = [
             (self.link_drop_rate, "link_drop_rate"),
             (self.link_corrupt_rate, "link_corrupt_rate"),
@@ -205,12 +208,12 @@ impl FaultConfig {
                 return Err(ConfigError::FaultRate(name));
             }
         }
-        let nodes = mesh.nodes();
+        let routers = topology.routers();
         for e in &self.stuck_ports {
             if e.duration == 0 {
                 return Err(ConfigError::FaultWindow);
             }
-            if e.node.index() >= nodes {
+            if e.node.index() >= routers {
                 return Err(ConfigError::FaultTopology("stuck-port node out of bounds"));
             }
             if e.dir == Direction::Local {
@@ -221,10 +224,10 @@ impl FaultConfig {
             if e.duration == Some(0) {
                 return Err(ConfigError::FaultWindow);
             }
-            if e.a.index() >= nodes || e.b.index() >= nodes {
+            if e.a.index() >= routers || e.b.index() >= routers {
                 return Err(ConfigError::FaultTopology("dead-link node out of bounds"));
             }
-            if mesh.distance(e.a, e.b) != 1 {
+            if topology.distance(e.a, e.b) != 1 {
                 return Err(ConfigError::FaultTopology(
                     "dead-link endpoints are not mesh neighbours",
                 ));
@@ -234,7 +237,7 @@ impl FaultConfig {
             if e.duration == Some(0) {
                 return Err(ConfigError::FaultWindow);
             }
-            if e.node.index() >= nodes {
+            if e.node.index() >= routers {
                 return Err(ConfigError::FaultTopology("dead router out of bounds"));
             }
         }
@@ -360,11 +363,12 @@ impl FaultState {
 
     /// Rolls the per-router/per-cycle table-corruption die; on a hit,
     /// returns a (port index, uniform draw) pair the network uses to pick
-    /// a victim entry.
-    pub(crate) fn roll_table_corruption(&mut self) -> Option<(usize, usize)> {
+    /// a victim entry. `ports` is the router's port count (5 on the plain
+    /// mesh, so the historical RNG stream is unchanged there).
+    pub(crate) fn roll_table_corruption(&mut self, ports: usize) -> Option<(usize, usize)> {
         if self.chance(self.cfg.table_corrupt_rate) {
             Some((
-                self.rng.gen_range(0..5usize),
+                self.rng.gen_range(0..ports),
                 self.rng.gen_range(0..usize::MAX),
             ))
         } else {
@@ -385,7 +389,7 @@ impl FaultState {
 mod tests {
     use super::*;
     use crate::flit::FlitKind;
-    use rcsim_core::{MessageClass, Vnet};
+    use rcsim_core::{Mesh, MessageClass, Vnet};
 
     fn head(len: u32) -> Flit {
         Flit {
@@ -442,7 +446,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_rates() {
-        let mesh = Mesh::new(4, 4).unwrap();
+        let mesh: Topology = Mesh::new(4, 4).unwrap().into();
         for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY] {
             let cfg = FaultConfig {
                 link_drop_rate: bad,
@@ -474,7 +478,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_windows() {
-        let mesh = Mesh::new(4, 4).unwrap();
+        let mesh: Topology = Mesh::new(4, 4).unwrap().into();
         let cfg = FaultConfig {
             stuck_ports: vec![StuckPortEvent {
                 node: NodeId(1),
@@ -524,7 +528,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_topology() {
-        let mesh = Mesh::new(4, 4).unwrap();
+        let mesh: Topology = Mesh::new(4, 4).unwrap().into();
         let cfg = FaultConfig {
             dead_links: vec![DeadLinkEvent {
                 a: NodeId(0),

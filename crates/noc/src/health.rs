@@ -14,7 +14,7 @@
 use crate::fault::FaultStats;
 use crate::flit::PacketId;
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::{Cycle, Direction, MessageClass, NodeId};
+use rcsim_core::{Cycle, MessageClass, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -65,8 +65,9 @@ pub struct StuckMessage {
 pub struct LeakedCircuit {
     /// Router holding the entry.
     pub node: NodeId,
-    /// Input port of the entry.
-    pub in_port: Direction,
+    /// Input port index of the entry (0–3 the network directions, 4+ the
+    /// router's local ports).
+    pub in_port: usize,
     /// The circuit's key.
     pub key: CircuitKey,
     /// Cycles since the entry was reserved.

@@ -13,9 +13,10 @@ use crate::ni::{Ni, NiOut};
 use crate::router::{Outgoing, Router};
 use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::routing::{path_is_healthy, route_path, Routing};
+use rcsim_core::routing::{path_is_healthy, Routing};
 use rcsim_core::{
     ConfigError, Cycle, Direction, KernelMode, MessageClass, NodeId, TopologyHealth, WakeTimes,
+    PORT_LOCAL,
 };
 use rcsim_trace::{EventKind, TraceSink};
 use std::collections::{HashMap, HashSet};
@@ -32,18 +33,36 @@ pub struct NetworkTelemetry {
     pub ni_backlog: u64,
 }
 
+/// The input port a flit sent out of network port `port` arrives on at
+/// the downstream router. All four network ports are grid-directional
+/// (N↔S, E↔W), so the opposite is a single XOR — valid on every
+/// topology, including wraparound links and 2-wide rings where both of a
+/// router's horizontal ports reach the same neighbour.
+fn opposite_port(port: usize) -> usize {
+    debug_assert!(port < PORT_LOCAL, "only network ports have an opposite");
+    port ^ 2
+}
+
 /// Messages in flight towards one router.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RouterInbox {
-    /// Flits per input direction, with arrival cycle.
-    flits: [Vec<(Cycle, Flit)>; 5],
-    /// Credits per *output* direction (they return upstream).
-    credits: [Vec<(Cycle, usize)>; 5],
+    /// Flits per input port, with arrival cycle.
+    flits: Vec<Vec<(Cycle, Flit)>>,
+    /// Credits per *output* port (they return upstream).
+    credits: Vec<Vec<(Cycle, usize)>>,
     /// Undo notifications.
     undos: Vec<(Cycle, CircuitKey, NodeId)>,
 }
 
 impl RouterInbox {
+    fn new(ports: usize) -> Self {
+        RouterInbox {
+            flits: vec![Vec::new(); ports],
+            credits: vec![Vec::new(); ports],
+            undos: Vec::new(),
+        }
+    }
+
     /// Earliest arrival cycle across every queue (`Cycle::MAX` if empty).
     fn next_due(&self) -> Cycle {
         let mut t = Cycle::MAX;
@@ -113,10 +132,11 @@ struct Scratch {
     ejected: Vec<Flit>,
     ni_credits: Vec<usize>,
     ni_out: NiOut,
-    arrivals: Vec<(Direction, Flit)>,
-    credits: Vec<(Direction, usize)>,
+    arrivals: Vec<(usize, Flit)>,
+    credits: Vec<(usize, usize)>,
     undos: Vec<(CircuitKey, NodeId)>,
     outgoing: Vec<Outgoing>,
+    stuck: Vec<bool>,
 }
 
 /// One scheduled permanent-fault transition, precomputed at construction
@@ -237,8 +257,10 @@ impl Network {
     /// internally inconsistent.
     pub fn with_faults(cfg: NocConfig, faults: FaultConfig) -> Result<Self, ConfigError> {
         cfg.mechanism.validate()?;
-        faults.validate(&cfg.mesh)?;
-        let n = cfg.mesh.nodes();
+        faults.validate(&cfg.topology)?;
+        let tiles = cfg.topology.nodes();
+        let routers_n = cfg.topology.routers();
+        let ports = cfg.topology.ports();
         let mut fault_schedule = Vec::new();
         for e in &faults.dead_links {
             fault_schedule.push((e.at, TopoChange::LinkDown(e.a, e.b)));
@@ -255,11 +277,19 @@ impl Network {
         fault_schedule.sort_by_key(|&(t, _)| t);
         Ok(Self {
             cfg,
-            routers: cfg.mesh.iter().map(|id| Router::new(id, &cfg)).collect(),
-            nis: cfg.mesh.iter().map(|id| Ni::new(id, &cfg)).collect(),
-            router_inboxes: (0..n).map(|_| RouterInbox::default()).collect(),
-            ni_inboxes: (0..n).map(|_| NiInbox::default()).collect(),
-            delivered: vec![Vec::new(); n],
+            routers: cfg
+                .topology
+                .iter_routers()
+                .map(|id| Router::new(id, &cfg))
+                .collect(),
+            nis: cfg
+                .topology
+                .iter_tiles()
+                .map(|id| Ni::new(id, &cfg))
+                .collect(),
+            router_inboxes: (0..routers_n).map(|_| RouterInbox::new(ports)).collect(),
+            ni_inboxes: (0..tiles).map(|_| NiInbox::default()).collect(),
+            delivered: vec![Vec::new(); tiles],
             stats: NocStats::default(),
             now: 0,
             next_packet: 0,
@@ -278,8 +308,8 @@ impl Network {
             dead_eating: HashSet::new(),
             last_progress: 0,
             kernel: KernelMode::from_env(),
-            ni_wake: WakeTimes::new(n),
-            router_wake: WakeTimes::new(n),
+            ni_wake: WakeTimes::new(tiles),
+            router_wake: WakeTimes::new(routers_n),
             scratch: Scratch::default(),
             ingress: None,
             sink: TraceSink::default(),
@@ -346,7 +376,7 @@ impl Network {
         assert!(!edges.is_empty(), "ingress needs at least one edge node");
         for e in &edges {
             assert!(
-                e.index() < self.cfg.mesh.nodes(),
+                e.index() < self.cfg.topology.nodes(),
                 "ingress edge {e} outside mesh"
             );
         }
@@ -451,8 +481,14 @@ impl Network {
     ///
     /// Panics if `src` or `dst` are outside the mesh.
     pub fn inject(&mut self, spec: PacketSpec) -> (PacketId, bool) {
-        assert!(spec.src.index() < self.cfg.mesh.nodes(), "src out of range");
-        assert!(spec.dst.index() < self.cfg.mesh.nodes(), "dst out of range");
+        assert!(
+            spec.src.index() < self.cfg.topology.nodes(),
+            "src out of range"
+        );
+        assert!(
+            spec.dst.index() < self.cfg.topology.nodes(),
+            "dst out of range"
+        );
         let id = PacketId(self.next_packet);
         self.next_packet += 1;
         self.sink.emit(|| rcsim_trace::TraceEvent {
@@ -567,7 +603,9 @@ impl Network {
     /// RNG draws, statistics — is shared verbatim with the dense kernel.
     pub fn tick(&mut self) {
         let now = self.now;
-        let n = self.cfg.mesh.nodes();
+        let tiles = self.cfg.topology.nodes();
+        let routers_n = self.cfg.topology.routers();
+        let ports = self.cfg.topology.ports();
         let mut moved = false;
         let event = self.kernel == KernelMode::Event;
         let mut s = std::mem::take(&mut self.scratch);
@@ -605,7 +643,7 @@ impl Network {
 
         // NIs first: they consume flits/credits produced last cycle and
         // inject at most one flit each into their router's local port.
-        for i in 0..n {
+        for i in 0..tiles {
             let due = self.ni_wake.due(i, now);
             if event && !due && !self.nis[i].is_active() {
                 // Nothing due and nothing queued or streaming: the tick
@@ -633,13 +671,16 @@ impl Network {
                     fs.stats.packets_rerouted += s.ni_out.reroutes;
                 }
             }
+            let tile = NodeId(i as u16);
+            let router = self.cfg.topology.router_of(tile).index();
+            let inject_port = self.cfg.topology.eject_port(tile);
             for flit in s.ni_out.flits.drain(..) {
-                self.router_wake.wake_at(i, now + 1);
-                self.router_inboxes[i].flits[Direction::Local.index()].push((now + 1, flit));
+                self.router_wake.wake_at(router, now + 1);
+                self.router_inboxes[router].flits[inject_port].push((now + 1, flit));
             }
             for (key, dst) in s.ni_out.undos.drain(..) {
-                self.router_wake.wake_at(i, now + 1);
-                self.router_inboxes[i].undos.push((now + 1, key, dst));
+                self.router_wake.wake_at(router, now + 1);
+                self.router_inboxes[router].undos.push((now + 1, key, dst));
             }
             for id in s.ni_out.corrupt_discards.drain(..) {
                 self.schedule_retry(id, now);
@@ -660,21 +701,29 @@ impl Network {
         }
 
         // Routers.
-        for i in 0..n {
+        for i in 0..routers_n {
             // The fault pre-pass runs densely for every router even under
             // the event kernel: stuck-port statistics and the per-router
             // table-corruption RNG draw happen every cycle regardless of
             // activity, so the fault stream is identical across kernels.
             // Scheduled stuck-port windows freeze individual input ports:
             // arrivals stay queued on the link until the window ends.
-            let mut stuck = [false; 5];
+            s.stuck.clear();
+            s.stuck.resize(ports, false);
             if let Some(fs) = &self.faults {
-                for (d, s) in stuck.iter_mut().enumerate() {
-                    *s = fs.port_stuck(i, Direction::from_index(d), now);
+                for (p, st) in s.stuck.iter_mut().enumerate() {
+                    // Scheduled stuck-port events name network ports by
+                    // direction; every local port maps to `Local`.
+                    let dir = if p < PORT_LOCAL {
+                        Direction::from_index(p)
+                    } else {
+                        Direction::Local
+                    };
+                    *st = fs.port_stuck(i, dir, now);
                 }
             }
             if let Some(fs) = self.faults.as_mut() {
-                fs.stats.stuck_port_cycles += stuck.iter().filter(|&&s| s).count() as u64;
+                fs.stats.stuck_port_cycles += s.stuck.iter().filter(|&&st| st).count() as u64;
             }
             // Soft errors in the reservation SRAM: one random entry of one
             // random port evaporates; the riding reply (if any) degrades
@@ -682,12 +731,11 @@ impl Network {
             if let Some((port, draw)) = self
                 .faults
                 .as_mut()
-                .and_then(FaultState::roll_table_corruption)
+                .and_then(|fs| fs.roll_table_corruption(ports))
             {
-                let dir = Direction::from_index(port);
-                let occ = self.routers[i].circuits.port_occupancy(dir);
+                let occ = self.routers[i].circuits.port_occupancy(port);
                 if occ > 0 {
-                    if let Some(e) = self.routers[i].circuits.fault_remove(dir, draw % occ) {
+                    if let Some(e) = self.routers[i].circuits.fault_remove(port, draw % occ) {
                         self.faulted_circuits.insert(e.key);
                         if let Some(fs) = self.faults.as_mut() {
                             fs.stats.table_entries_corrupted += 1;
@@ -705,28 +753,26 @@ impl Network {
             }
             if due {
                 let inbox = &mut self.router_inboxes[i];
-                for (d, port_stuck) in stuck.iter().enumerate() {
+                for (p, port_stuck) in s.stuck.iter().enumerate() {
                     if *port_stuck {
                         continue;
                     }
-                    let dir = Direction::from_index(d);
-                    let q = &mut inbox.flits[d];
+                    let q = &mut inbox.flits[p];
                     let mut j = 0;
                     while j < q.len() {
                         if q[j].0 <= now {
-                            s.arrivals.push((dir, q.remove(j).1));
+                            s.arrivals.push((p, q.remove(j).1));
                         } else {
                             j += 1;
                         }
                     }
                 }
-                for d in 0..5 {
-                    let dir = Direction::from_index(d);
-                    let q = &mut inbox.credits[d];
+                for p in 0..ports {
+                    let q = &mut inbox.credits[p];
                     let mut j = 0;
                     while j < q.len() {
                         if q[j].0 <= now {
-                            s.credits.push((dir, q.remove(j).1));
+                            s.credits.push((p, q.remove(j).1));
                         } else {
                             j += 1;
                         }
@@ -827,20 +873,23 @@ impl Network {
     fn route_outgoing(&mut self, from: NodeId, outgoing: &[Outgoing]) {
         for o in outgoing {
             match o {
-                Outgoing::Flit { dir, flit, arrive } => {
-                    if *dir == Direction::Local {
-                        self.ni_wake.wake_at(from.index(), *arrive);
-                        self.ni_inboxes[from.index()]
+                Outgoing::Flit { port, flit, arrive } => {
+                    if *port >= PORT_LOCAL {
+                        // Ejection: local port `4 + slot` reaches the NI of
+                        // the tile in that slot of this router.
+                        let tile = self.cfg.topology.tile_of(from, *port - PORT_LOCAL);
+                        self.ni_wake.wake_at(tile.index(), *arrive);
+                        self.ni_inboxes[tile.index()]
                             .flits
                             .push((*arrive, flit.clone()));
                         continue;
                     }
-                    let Some(nb) = self.cfg.mesh.neighbor(from, *dir) else {
+                    let Some(nb) = self.cfg.topology.neighbor(from, *port) else {
                         // Invariant: XY/YX routing never crosses the mesh
                         // edge. Losing one flit beats tearing down a long
                         // experiment run, and the watchdog will flag the
                         // wedged packet.
-                        debug_assert!(false, "routing crossed the mesh edge at {from}/{dir}");
+                        debug_assert!(false, "routing crossed the mesh edge at {from}/{port}");
                         continue;
                     };
                     if !self.topo.hop_usable(from, nb)
@@ -866,33 +915,34 @@ impl Network {
                         if let Some(fs) = self.faults.as_mut() {
                             fs.stats.dead_flits_lost += 1;
                         }
-                        self.drop_on_link(from, nb, *dir, flit, *arrive);
+                        self.drop_on_link(from, nb, *port, flit, *arrive);
                         continue;
                     }
                     let mut flit = flit.clone();
                     if let Some(fs) = self.faults.as_mut() {
-                        match fs.on_link_flit(from.index(), dir.index(), &flit) {
+                        match fs.on_link_flit(from.index(), *port, &flit) {
                             LinkFate::Deliver => {}
                             LinkFate::Corrupt => flit.corrupted = true,
                             LinkFate::Drop => {
-                                self.drop_on_link(from, nb, *dir, &flit, *arrive);
+                                self.drop_on_link(from, nb, *port, &flit, *arrive);
                                 continue;
                             }
                         }
                     }
                     self.router_wake.wake_at(nb.index(), *arrive);
-                    self.router_inboxes[nb.index()].flits[dir.opposite().index()]
+                    self.router_inboxes[nb.index()].flits[opposite_port(*port)]
                         .push((*arrive, flit));
                 }
-                Outgoing::Credit { dir, vc, arrive } => {
-                    if *dir == Direction::Local {
-                        self.ni_wake.wake_at(from.index(), *arrive);
-                        self.ni_inboxes[from.index()].credits.push((*arrive, *vc));
+                Outgoing::Credit { port, vc, arrive } => {
+                    if *port >= PORT_LOCAL {
+                        let tile = self.cfg.topology.tile_of(from, *port - PORT_LOCAL);
+                        self.ni_wake.wake_at(tile.index(), *arrive);
+                        self.ni_inboxes[tile.index()].credits.push((*arrive, *vc));
                         continue;
                     }
-                    let Some(nb) = self.cfg.mesh.neighbor(from, *dir) else {
+                    let Some(nb) = self.cfg.topology.neighbor(from, *port) else {
                         // Invariant: credits return along existing links.
-                        debug_assert!(false, "credit crossed the mesh edge at {from}/{dir}");
+                        debug_assert!(false, "credit crossed the mesh edge at {from}/{port}");
                         continue;
                     };
                     if self.faults.as_mut().is_some_and(FaultState::on_link_credit) {
@@ -904,19 +954,19 @@ impl Network {
                     // wedge permanently (DESIGN.md §10). Credit loss stays
                     // its own (random) fault class.
                     self.router_wake.wake_at(nb.index(), *arrive);
-                    self.router_inboxes[nb.index()].credits[dir.opposite().index()]
+                    self.router_inboxes[nb.index()].credits[opposite_port(*port)]
                         .push((*arrive, *vc));
                 }
                 Outgoing::Undo {
-                    dir,
+                    port,
                     key,
                     dst,
                     arrive,
                 } => {
-                    let Some(nb) = self.cfg.mesh.neighbor(from, *dir) else {
+                    let Some(nb) = self.cfg.topology.neighbor(from, *port) else {
                         // Invariant: undo propagation follows the reserved
                         // path, which never leaves the mesh.
-                        debug_assert!(false, "undo crossed the mesh edge at {from}/{dir}");
+                        debug_assert!(false, "undo crossed the mesh edge at {from}/{port}");
                         continue;
                     };
                     if !self.topo.hop_usable(from, nb) {
@@ -939,20 +989,13 @@ impl Network {
     /// class; drops must not wedge the fabric by themselves), tears down
     /// the circuit reservations the packet leaves orphaned, and schedules
     /// the end-to-end retransmission.
-    fn drop_on_link(
-        &mut self,
-        from: NodeId,
-        nb: NodeId,
-        dir: Direction,
-        flit: &Flit,
-        arrive: Cycle,
-    ) {
+    fn drop_on_link(&mut self, from: NodeId, nb: NodeId, port: usize, flit: &Flit, arrive: Cycle) {
         // Mirror the downstream router's credit-return rule: circuit VCs
         // are only credited when they are buffered (fragmented mode).
         let layout = self.cfg.vc_layout();
         if !layout.is_circuit_vc(flit.vc) || self.cfg.mechanism.circuit_vc_buffered() {
             self.router_wake.wake_at(from.index(), arrive);
-            self.router_inboxes[from.index()].credits[dir.index()].push((arrive, flit.vc));
+            self.router_inboxes[from.index()].credits[port].push((arrive, flit.vc));
         }
         if flit.kind.is_head() {
             if let Some(h) = &flit.circuit {
@@ -1035,18 +1078,15 @@ impl Network {
     /// adjacent to the dead region falls back to plain packet switching
     /// (DESIGN.md §10).
     fn refresh_degraded(&mut self) {
-        for i in 0..self.cfg.mesh.nodes() {
+        for i in 0..self.cfg.topology.routers() {
             let id = NodeId(i as u16);
             let degraded = self.topo.is_degraded()
                 && (!self.topo.node_usable(id)
-                    || (0..5).any(|d| {
-                        let dir = Direction::from_index(d);
-                        dir != Direction::Local
-                            && self
-                                .cfg
-                                .mesh
-                                .neighbor(id, dir)
-                                .is_some_and(|nb| !self.topo.hop_usable(id, nb))
+                    || (0..PORT_LOCAL).any(|p| {
+                        self.cfg
+                            .topology
+                            .neighbor(id, p)
+                            .is_some_and(|nb| !self.topo.hop_usable(id, nb))
                     }));
             self.routers[i].set_degraded(degraded);
         }
@@ -1061,15 +1101,16 @@ impl Network {
     /// `FaultDegraded` on delivery; one not yet enqueued finds its origin
     /// gone and records `TornDown`.
     fn teardown_circuits(&mut self, now: Cycle) {
-        let mesh = self.cfg.mesh;
+        let topology = self.cfg.topology;
+        let ports = topology.ports();
         let mut doomed: HashSet<CircuitKey> = HashSet::new();
-        for i in 0..mesh.nodes() {
+        for i in 0..topology.routers() {
             let node = NodeId(i as u16);
             for (_, e, _) in self.routers[i].circuits.stale_entries(now, 0) {
                 if doomed.contains(&e.key) {
                     continue;
                 }
-                let reply_path = route_path(&mesh, e.source, e.key.requestor, Routing::Yx);
+                let reply_path = topology.route_path(e.source, e.key.requestor, Routing::Yx);
                 if !self.topo.node_usable(node) || !path_is_healthy(&reply_path, &self.topo) {
                     doomed.insert(e.key);
                 }
@@ -1078,11 +1119,10 @@ impl Network {
         if doomed.is_empty() {
             return;
         }
-        for i in 0..mesh.nodes() {
+        for i in 0..topology.routers() {
             for key in &doomed {
-                for d in 0..5 {
-                    let dir = Direction::from_index(d);
-                    if self.routers[i].circuits.release(dir, *key).is_some() {
+                for p in 0..ports {
+                    if self.routers[i].circuits.release(p, *key).is_some() {
                         self.sink.emit(|| rcsim_trace::TraceEvent {
                             cycle: now,
                             kind: EventKind::CircuitTear {
@@ -1094,7 +1134,9 @@ impl Network {
                     }
                 }
             }
-            self.nis[i].purge_origins(&doomed);
+        }
+        for ni in &mut self.nis {
+            ni.purge_origins(&doomed);
         }
         if let Some(fs) = self.faults.as_mut() {
             fs.stats.circuits_torn += doomed.len() as u64;
@@ -1153,6 +1195,25 @@ impl Network {
             .as_ref()
             .map(|f| f.stats.clone())
             .unwrap_or_default()
+    }
+
+    /// Human-readable dump of every router's non-idle pipeline state and
+    /// every NI backlog. Tests print this next to [`Network::health`] when
+    /// a drain assertion fails, so a wedge report shows exactly which VCs
+    /// and credits are stuck (see `tests/echo_probe.rs`).
+    #[doc(hidden)]
+    pub fn debug_dump(&self) -> String {
+        let mut s = String::new();
+        for r in &self.routers {
+            r.debug_dump(&mut s);
+        }
+        for (i, ni) in self.nis.iter().enumerate() {
+            if ni.backlog() > 0 {
+                use std::fmt::Write;
+                writeln!(s, "  ni[{i}] backlog={}", ni.backlog()).ok();
+            }
+        }
+        s
     }
 
     /// Assembles a structured liveness snapshot: stall state, in-flight

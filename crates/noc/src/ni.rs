@@ -8,9 +8,9 @@ use crate::flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
 use crate::router::alloc::RoundRobin;
 use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::{CircuitHandle, CircuitKey};
-use rcsim_core::routing::{hop_count, path_is_healthy, route_path, route_path_healthy, Routing};
+use rcsim_core::routing::{path_is_healthy, Routing};
 use rcsim_core::{
-    CircuitMode, Cycle, MechanismConfig, Mesh, MessageClass, NodeId, TopologyHealth, Vnet,
+    CircuitMode, Cycle, MechanismConfig, MessageClass, NodeId, Topology, TopologyHealth, Vnet,
 };
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -103,7 +103,7 @@ impl NiOut {
 
 pub(crate) struct Ni {
     node: NodeId,
-    mesh: Mesh,
+    topology: Topology,
     layout: VcLayout,
     mechanism: MechanismConfig,
     flit_bytes: u32,
@@ -148,7 +148,7 @@ impl Ni {
         let total = layout.total();
         Self {
             node,
-            mesh: cfg.mesh,
+            topology: cfg.topology,
             layout,
             mechanism: cfg.mechanism,
             flit_bytes: cfg.flit_bytes,
@@ -238,9 +238,12 @@ impl Ni {
         };
 
         if !spec.class.is_reply() {
+            // A circuit needs at least one router-to-router hop: tiles
+            // sharing a router on a concentrated mesh exchange traffic
+            // through local ports only, where reservations buy nothing.
             if spec.class.builds_circuit()
                 && self.mechanism.circuits_enabled()
-                && spec.src != spec.dst
+                && self.topology.hop_count(spec.src, spec.dst) > 0
             {
                 let reply_flits = expected_reply_flits(spec.class, self.flit_bytes);
                 // The tail of a multi-flit request arrives len-1 cycles
@@ -251,7 +254,7 @@ impl Ni {
                     spec.src,
                     spec.block,
                     spec.dst,
-                    hop_count(&self.mesh, spec.src, spec.dst),
+                    self.topology.hop_count(spec.src, spec.dst),
                     reply_flits,
                     turnaround,
                 )
@@ -438,7 +441,7 @@ impl Ni {
     /// endpoint is closest to (and strictly closer than this node to)
     /// `final_dst`.
     fn best_scrounge_target(&self, final_dst: NodeId, now: Cycle) -> Option<CircuitKey> {
-        let here = hop_count(&self.mesh, self.node, final_dst);
+        let here = self.topology.hop_count(self.node, final_dst);
         self.origins
             .iter()
             .filter(|(_, o)| {
@@ -446,7 +449,7 @@ impl Ni {
                     && o.handle.timing.is_none()
                     && now.saturating_sub(o.registered_at) >= Self::SCROUNGE_MIN_IDLE
             })
-            .map(|(k, _)| (*k, hop_count(&self.mesh, k.requestor, final_dst)))
+            .map(|(k, _)| (*k, self.topology.hop_count(k.requestor, final_dst)))
             .filter(|&(_, d)| d < here)
             .min_by_key(|&(k, d)| (d, k.requestor.0, k.block))
             .map(|(k, _)| k)
@@ -737,18 +740,22 @@ impl Ni {
         topo: &TopologyHealth,
         out: &mut NiOut,
     ) -> Option<Box<Vec<NodeId>>> {
-        let dor = route_path(&self.mesh, self.node, p.dst, Routing::for_vnet(p.vnet));
+        let dor = self
+            .topology
+            .route_path(self.node, p.dst, Routing::for_vnet(p.vnet));
         if path_is_healthy(&dor, topo) {
             return None;
         }
+        let my_router = self.topology.router_of(self.node);
         let recorded = if p.vnet == Vnet::Reply {
             self.reply_paths
                 .remove(&(p.dst, p.block))
-                .filter(|r| r.first() == Some(&self.node) && path_is_healthy(r, topo))
+                .filter(|r| r.first() == Some(&my_router) && path_is_healthy(r, topo))
         } else {
             None
         };
-        let detour = recorded.or_else(|| route_path_healthy(&self.mesh, self.node, p.dst, topo))?;
+        let detour =
+            recorded.or_else(|| self.topology.route_path_healthy(self.node, p.dst, topo))?;
         // A detoured request reserves nothing: the reservation mirror
         // assumes the reply retraces the request's DOR route (§4.1),
         // which the detour breaks.

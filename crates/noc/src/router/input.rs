@@ -1,7 +1,7 @@
 //! Input-port state: per-VC buffers and the pipeline state machine.
 
 use crate::flit::Flit;
-use rcsim_core::{Cycle, Direction};
+use rcsim_core::Cycle;
 use std::collections::VecDeque;
 
 /// Pipeline state of one input virtual channel (the `G` field of the
@@ -29,8 +29,8 @@ pub struct InputVc {
     pub state_since: Cycle,
     /// Buffered flits, in arrival order.
     pub buffer: VecDeque<Flit>,
-    /// Computed output port (`R`).
-    pub route: Option<Direction>,
+    /// Computed output port index (`R`).
+    pub route: Option<usize>,
     /// Allocated output VC (`O`).
     pub out_vc: Option<usize>,
     /// Whether the circuit reservation for the buffered request head has
@@ -100,7 +100,7 @@ mod tests {
         assert!(vc.is_idle());
         vc.state = VcState::WaitVa;
         assert!(!vc.is_idle());
-        vc.route = Some(Direction::East);
+        vc.route = Some(1);
         vc.out_vc = Some(2);
         vc.circuit_attempted = true;
         vc.reset(42);

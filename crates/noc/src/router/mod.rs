@@ -19,28 +19,32 @@ use alloc::RoundRobin;
 use input::{InputPort, VcState};
 use rcsim_core::circuit::timing::{router_window, REQ_HOP_CYCLES};
 use rcsim_core::circuit::{CircuitKey, ReserveRequest, RouterCircuits};
-use rcsim_core::routing::{next_hop, next_hop_on_path, Routing};
-use rcsim_core::{CircuitMode, Cycle, Direction, MechanismConfig, Mesh, NodeId};
+use rcsim_core::routing::Routing;
+use rcsim_core::{CircuitMode, Cycle, MechanismConfig, NodeId, Topology, Vnet, PORT_LOCAL};
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use std::collections::VecDeque;
 
 /// A message leaving the router this cycle, to be routed by the network.
+///
+/// Ports are indices in `0..Topology::ports()`: 0–3 the N/E/S/W network
+/// ports, 4.. the local (NI) ports — one per tile concentrated on this
+/// router.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outgoing {
-    /// A flit leaving through `dir` (`Local` = ejection to this tile's NI).
+    /// A flit leaving through `port` (local ports eject to a tile's NI).
     Flit {
-        /// Output direction.
-        dir: Direction,
+        /// Output port index.
+        port: usize,
         /// The flit (its `vc` field is the downstream buffer index).
         flit: Flit,
         /// Cycle it reaches the neighbour router / NI.
         arrive: Cycle,
     },
-    /// A credit returned upstream through input port `dir` (`Local` = to
-    /// this tile's NI).
+    /// A credit returned upstream through input port `port` (local ports
+    /// go to a tile's NI).
     Credit {
         /// The input port whose buffer slot was freed.
-        dir: Direction,
+        port: usize,
         /// The VC the credit belongs to.
         vc: usize,
         /// Cycle it reaches the upstream router / NI.
@@ -49,8 +53,8 @@ pub enum Outgoing {
     /// Circuit-undo information riding the credit channel (§4.4) towards
     /// the circuit destination `dst`.
     Undo {
-        /// Direction of the next router on the circuit's path.
-        dir: Direction,
+        /// Port towards the next router on the circuit's path.
+        port: usize,
         /// Circuit identity.
         key: CircuitKey,
         /// The circuit's destination node (the original requestor).
@@ -99,8 +103,12 @@ struct StGrant {
 }
 
 pub(crate) struct Router {
+    /// Router id (`0..Topology::routers()`; equals the tile id only when
+    /// the concentration is 1).
     node: NodeId,
-    mesh: Mesh,
+    topology: Topology,
+    /// Ports per router (`Topology::ports()`), cached.
+    ports: usize,
     layout: VcLayout,
     mechanism: MechanismConfig,
     buffer_depth: u32,
@@ -114,9 +122,17 @@ pub(crate) struct Router {
     st_scratch: Vec<StGrant>,
     /// Reused request vector for [`Router::stage_sa`] phase 1.
     sa_requests: Vec<bool>,
+    /// Reused per-port scratch for the SA/VA arbitration sweeps.
+    sa_blocked: Vec<bool>,
+    sa_nominee: Vec<Option<usize>>,
+    arb_scratch: Vec<usize>,
     sa_rr_in: Vec<RoundRobin>,
     sa_rr_out: Vec<RoundRobin>,
     va_rr_out: Vec<RoundRobin>,
+    /// Reused candidate list for the VC-allocation sweep.
+    va_scratch: Vec<(Cycle, usize, Vnet, NodeId)>,
+    /// See [`NocConfig::va_hol_relief`].
+    va_hol_relief: bool,
     /// Bypass flits that lost a same-cycle output conflict (ideal mode) or
     /// arrived while an earlier flit of the same stream is still queued.
     bypass_retry: Vec<VecDeque<Flit>>,
@@ -135,7 +151,8 @@ impl Router {
     pub(crate) fn new(node: NodeId, cfg: &NocConfig) -> Self {
         let layout = cfg.vc_layout();
         let total = layout.total();
-        let outputs = (0..5)
+        let ports = cfg.topology.ports();
+        let outputs = (0..ports)
             .map(|_| OutputPort {
                 credits: vec![cfg.buffer_depth; total],
                 owner: vec![Owner::Free; total],
@@ -144,26 +161,33 @@ impl Router {
             .collect();
         Self {
             node,
-            mesh: cfg.mesh,
+            topology: cfg.topology,
+            ports,
             layout,
             mechanism: cfg.mechanism,
             buffer_depth: cfg.buffer_depth,
             link_latency: cfg.link_latency,
             inject_overhead: cfg.inject_overhead,
-            inputs: (0..5).map(|_| InputPort::new(total)).collect(),
+            inputs: (0..ports).map(|_| InputPort::new(total)).collect(),
             outputs,
-            circuits: RouterCircuits::new(
+            circuits: RouterCircuits::with_ports(
                 cfg.mechanism.mode,
                 cfg.mechanism.max_circuits_per_input,
                 cfg.mechanism.circuit_vcs().max(1),
+                ports,
             ),
             st_pending: Vec::new(),
             st_scratch: Vec::new(),
             sa_requests: vec![false; total],
-            sa_rr_in: (0..5).map(|_| RoundRobin::new(total)).collect(),
-            sa_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
-            va_rr_out: (0..5).map(|_| RoundRobin::new(5)).collect(),
-            bypass_retry: (0..5).map(|_| VecDeque::new()).collect(),
+            sa_blocked: vec![false; ports],
+            sa_nominee: vec![None; ports],
+            arb_scratch: Vec::with_capacity(ports),
+            sa_rr_in: (0..ports).map(|_| RoundRobin::new(total)).collect(),
+            sa_rr_out: (0..ports).map(|_| RoundRobin::new(ports)).collect(),
+            va_rr_out: (0..ports).map(|_| RoundRobin::new(ports)).collect(),
+            va_scratch: Vec::with_capacity(total),
+            va_hol_relief: cfg.va_hol_relief,
+            bypass_retry: (0..ports).map(|_| VecDeque::new()).collect(),
             degraded: false,
             activity: Activity::default(),
             sink: TraceSink::default(),
@@ -172,6 +196,54 @@ impl Router {
 
     pub(crate) fn set_trace_sink(&mut self, sink: TraceSink) {
         self.sink = sink;
+    }
+
+    /// Appends a human-readable dump of this router's non-idle pipeline
+    /// state (waiting VCs, bypass retry queues, busy output VCs) — used
+    /// by wedge-diagnosis assertions to show *where* traffic stuck.
+    pub(crate) fn debug_dump(&self, out: &mut String) {
+        use std::fmt::Write;
+        for (p, port) in self.inputs.iter().enumerate() {
+            for (v, vc) in port.vcs.iter().enumerate() {
+                if !vc.is_idle() {
+                    let head = vc
+                        .buffer
+                        .front()
+                        .map(|f| (f.packet.0, f.kind, f.on_circuit.is_some()));
+                    writeln!(
+                        out,
+                        "  {:?} in[{p}][{v}] state={:?} since={} route={:?} out_vc={:?} buf={} head={:?}",
+                        self.node, vc.state, vc.state_since, vc.route, vc.out_vc,
+                        vc.buffer.len(), head
+                    )
+                    .ok();
+                }
+            }
+        }
+        for (p, q) in self.bypass_retry.iter().enumerate() {
+            if !q.is_empty() {
+                let items: Vec<_> = q
+                    .iter()
+                    .map(|f| (f.packet.0, f.kind, f.vc, f.on_circuit.is_some()))
+                    .collect();
+                writeln!(out, "  {:?} bypass_retry[{p}]: {items:?}", self.node).ok();
+            }
+        }
+        for (o, outp) in self.outputs.iter().enumerate() {
+            let owned: Vec<_> = outp
+                .owner
+                .iter()
+                .enumerate()
+                .filter(|(_, ow)| **ow != Owner::Free)
+                .map(|(v, ow)| format!("vc{v}={ow:?} cr{}", outp.credits[v]))
+                .collect();
+            if !owned.is_empty() {
+                writeln!(out, "  {:?} out[{o}]: {owned:?}", self.node).ok();
+            }
+        }
+        if !self.st_pending.is_empty() {
+            writeln!(out, "  {:?} st_pending: {:?}", self.node, self.st_pending).ok();
+        }
     }
 
     /// Marks this router as part of (or adjacent to) a dead region; the
@@ -186,8 +258,8 @@ impl Router {
     pub(crate) fn tick(
         &mut self,
         now: Cycle,
-        arrivals: &mut Vec<(Direction, Flit)>,
-        credits: &mut Vec<(Direction, usize)>,
+        arrivals: &mut Vec<(usize, Flit)>,
+        credits: &mut Vec<(usize, usize)>,
         undos: &mut Vec<(CircuitKey, NodeId)>,
         out: &mut Vec<Outgoing>,
     ) {
@@ -198,8 +270,8 @@ impl Router {
         self.circuits.note_now(now);
 
         // Credits (and the undo information they may carry, §4.4).
-        for (dir, vc) in credits.drain(..) {
-            let o = &mut self.outputs[dir.index()];
+        for (port, vc) in credits.drain(..) {
+            let o = &mut self.outputs[port];
             o.credits[vc] += 1;
             if o.owner[vc] == Owner::Draining && o.credits[vc] >= self.buffer_depth {
                 o.owner[vc] = Owner::Free;
@@ -218,8 +290,8 @@ impl Router {
 
         // Retry queued bypass flits (in order per input), then arrivals.
         self.drain_bypass_retries(now, out);
-        for (dir, flit) in arrivals.drain(..) {
-            self.receive(now, dir, flit, out);
+        for (port, flit) in arrivals.drain(..) {
+            self.receive(now, port, flit, out);
         }
 
         self.stage_st(now, out);
@@ -255,7 +327,7 @@ impl Router {
     /// Undo handling: clear the local reservation and forward the undo
     /// towards the circuit destination (it rides credits, 1 cycle/hop).
     fn process_undo(&mut self, now: Cycle, key: CircuitKey, dst: NodeId, out: &mut Vec<Outgoing>) {
-        let dir = match self.circuits.undo(key) {
+        let port = match self.circuits.undo(key) {
             Some(entry) => {
                 self.sink.emit(|| TraceEvent {
                     cycle: now,
@@ -270,16 +342,16 @@ impl Router {
             // No reservation here (fragmented gap, or already expired):
             // keep following the reply path towards the destination.
             None => {
-                if self.node == dst {
+                if self.node == self.topology.router_of(dst) {
                     return;
                 }
-                next_hop(&self.mesh, self.node, dst, Routing::Yx)
+                self.topology.next_hop_port(self.node, dst, Routing::Yx)
             }
         };
-        if dir != Direction::Local {
+        if port < PORT_LOCAL {
             self.activity.credits += 1;
             out.push(Outgoing::Undo {
-                dir,
+                port,
                 key,
                 dst,
                 arrive: now + self.link_latency as Cycle,
@@ -288,13 +360,12 @@ impl Router {
     }
 
     fn drain_bypass_retries(&mut self, now: Cycle, out: &mut Vec<Outgoing>) {
-        for p in 0..5 {
+        for p in 0..self.ports {
             while let Some(flit) = self.bypass_retry[p].front().cloned() {
-                let dir = Direction::from_index(p);
-                match self.bypass_check(dir, &flit) {
+                match self.bypass_check(p, &flit) {
                     BypassCheck::Ready => {
                         let flit = self.bypass_retry[p].pop_front().expect("front checked");
-                        self.execute_bypass(now, dir, flit, out);
+                        self.execute_bypass(now, p, flit, out);
                     }
                     BypassCheck::Busy => break,
                     BypassCheck::Pipeline => {
@@ -305,7 +376,7 @@ impl Router {
                             break;
                         }
                         let flit = self.bypass_retry[p].pop_front().expect("front checked");
-                        self.buffer_flit(now, dir, flit);
+                        self.buffer_flit(now, p, flit);
                     }
                 }
             }
@@ -313,7 +384,7 @@ impl Router {
     }
 
     /// Whether a circuit-tagged flit can take the bypass path right now.
-    fn bypass_check(&mut self, dir: Direction, flit: &Flit) -> BypassCheck {
+    fn bypass_check(&mut self, port: usize, flit: &Flit) -> BypassCheck {
         let Some(key) = flit.on_circuit else {
             return BypassCheck::Pipeline;
         };
@@ -322,17 +393,17 @@ impl Router {
             // region: drop the local reservation (if any, so it cannot
             // leak — the tail that would have released it now streams
             // through the pipeline) and fall back.
-            self.circuits.release(dir, key);
+            self.circuits.release(port, key);
             return BypassCheck::Pipeline;
         }
-        let Some(entry) = self.circuits.lookup(dir, key).copied() else {
+        let Some(entry) = self.circuits.lookup(port, key).copied() else {
             // No reservation here: a fragmented gap, or a head that
             // already fell back and released the entry.
             return BypassCheck::Pipeline;
         };
         if self.mechanism.mode == CircuitMode::Fragmented
             && flit.kind.is_head()
-            && entry.out_port != Direction::Local
+            && entry.out_port < PORT_LOCAL
         {
             // Fragmented circuits keep buffers: the downstream circuit VC
             // must be able to hold the whole message in case its own
@@ -344,12 +415,12 @@ impl Router {
                 .circuit_vc(entry.vc as usize % self.layout.circuit_vcs);
             // A head needs the downstream VC completely idle (all credits
             // home), like the packet-switched Draining rule.
-            if self.outputs[entry.out_port.index()].credits[gvc] < self.buffer_depth {
-                self.circuits.release(dir, key);
+            if self.outputs[entry.out_port].credits[gvc] < self.buffer_depth {
+                self.circuits.release(port, key);
                 return BypassCheck::Pipeline;
             }
         }
-        if self.outputs[entry.out_port.index()].busy {
+        if self.outputs[entry.out_port].busy {
             // Ideal mode resolves collisions per cycle (§4.8); fragmented
             // circuits may share an output port through different circuit
             // VCs. The complete-circuit conflict rules make this
@@ -365,45 +436,39 @@ impl Router {
 
     /// Arrival processing: circuit check first (§4.3), else stage 1
     /// (buffer write + route computation).
-    fn receive(&mut self, now: Cycle, dir: Direction, flit: Flit, out: &mut Vec<Outgoing>) {
+    fn receive(&mut self, now: Cycle, port: usize, flit: Flit, out: &mut Vec<Outgoing>) {
         if flit.on_circuit.is_some() {
             self.activity.circuit_lookups += 1;
             // Keep stream order: if earlier flits of this input are already
             // queued for retry, queue behind them.
-            if !self.bypass_retry[dir.index()].is_empty() {
-                self.bypass_retry[dir.index()].push_back(flit);
+            if !self.bypass_retry[port].is_empty() {
+                self.bypass_retry[port].push_back(flit);
                 return;
             }
-            match self.bypass_check(dir, &flit) {
+            match self.bypass_check(port, &flit) {
                 BypassCheck::Ready => {
-                    self.execute_bypass(now, dir, flit, out);
+                    self.execute_bypass(now, port, flit, out);
                     return;
                 }
                 BypassCheck::Busy => {
-                    self.bypass_retry[dir.index()].push_back(flit);
+                    self.bypass_retry[port].push_back(flit);
                     return;
                 }
                 BypassCheck::Pipeline => {}
             }
         }
-        self.buffer_flit(now, dir, flit);
+        self.buffer_flit(now, port, flit);
     }
 
     /// One-cycle circuit traversal: straight through the crossbar (§4.3).
-    fn execute_bypass(
-        &mut self,
-        now: Cycle,
-        dir: Direction,
-        mut flit: Flit,
-        out: &mut Vec<Outgoing>,
-    ) {
+    fn execute_bypass(&mut self, now: Cycle, port: usize, mut flit: Flit, out: &mut Vec<Outgoing>) {
         let key = flit.on_circuit.expect("bypass requires a circuit key");
         let entry = *self
             .circuits
-            .lookup(dir, key)
+            .lookup(port, key)
             .expect("caller checked the entry exists");
         if flit.kind.is_head() {
-            self.circuits.begin_use(dir, key);
+            self.circuits.begin_use(port, key);
             self.sink.emit(|| TraceEvent {
                 cycle: now,
                 kind: EventKind::CircuitBypass {
@@ -418,11 +483,11 @@ impl Router {
                 // reply. If an undo raced the borrow, the entry comes
                 // back here — the undo already continued downstream, so
                 // dropping it completes the teardown.
-                self.circuits.end_use(dir, key);
+                self.circuits.end_use(port, key);
             } else {
                 // The tail clears the built-circuit bit (§4.3);
                 // consuming scroungers release the same way (DESIGN.md).
-                self.circuits.release(dir, key);
+                self.circuits.release(port, key);
             }
         }
         // A bypassed flit never occupies the buffer slot its VC credit paid
@@ -433,12 +498,12 @@ impl Router {
         if arrived_buffered {
             self.activity.credits += 1;
             out.push(Outgoing::Credit {
-                dir,
+                port,
                 vc: flit.vc,
                 arrive: now + self.link_latency as Cycle,
             });
         }
-        let o = &mut self.outputs[entry.out_port.index()];
+        let o = &mut self.outputs[entry.out_port];
         o.busy = true;
         self.activity.xbar_traversals += 1;
         flit.vc = if self.layout.circuit_vcs > 0 {
@@ -449,28 +514,28 @@ impl Router {
         };
         // Fragmented circuit VCs are buffered and credited; the bypass
         // consumes the downstream slot it may need at a gap router.
-        if self.mechanism.mode == CircuitMode::Fragmented && entry.out_port != Direction::Local {
+        if self.mechanism.mode == CircuitMode::Fragmented && entry.out_port < PORT_LOCAL {
             o.credits[flit.vc] = o.credits[flit.vc]
                 .checked_sub(1)
                 .expect("fragmented bypass head verified whole-message credits");
         }
-        let arrive = if entry.out_port == Direction::Local {
+        let arrive = if entry.out_port >= PORT_LOCAL {
             now + 1
         } else {
             self.activity.link_flits += 1;
             now + 1 + self.link_latency as Cycle
         };
         out.push(Outgoing::Flit {
-            dir: entry.out_port,
+            port: entry.out_port,
             flit,
             arrive,
         });
     }
 
     /// Stage 1: buffer write and route computation.
-    fn buffer_flit(&mut self, now: Cycle, dir: Direction, flit: Flit) {
+    fn buffer_flit(&mut self, now: Cycle, port: usize, flit: Flit) {
         let vc_idx = flit.vc;
-        if flit.kind.is_head() && !self.inputs[dir.index()].vcs[vc_idx].is_idle() {
+        if flit.kind.is_head() && !self.inputs[port].vcs[vc_idx].is_idle() {
             // A head whose fallback VC is still draining an earlier
             // packet — e.g. a timed circuit stream that lost its window
             // behind a stuck port and degraded to the pipeline. It must
@@ -478,10 +543,10 @@ impl Router {
             // retries ([`Router::drain_bypass_retries`] holds it until
             // the VC idles, and the non-empty queue keeps its body flits
             // behind it in arrival order).
-            self.bypass_retry[dir.index()].push_back(flit);
+            self.bypass_retry[port].push_back(flit);
             return;
         }
-        let vc = &mut self.inputs[dir.index()].vcs[vc_idx];
+        let vc = &mut self.inputs[port].vcs[vc_idx];
         self.activity.buffer_writes += 1;
         if flit.kind.is_head() {
             // Detoured packets follow the source route recorded in their
@@ -490,8 +555,8 @@ impl Router {
             let hop = flit
                 .path
                 .as_deref()
-                .and_then(|p| next_hop_on_path(&self.mesh, p, self.node))
-                .unwrap_or_else(|| next_hop(&self.mesh, self.node, flit.dst, routing));
+                .and_then(|p| self.topology.next_hop_on_path(p, self.node, flit.dst))
+                .unwrap_or_else(|| self.topology.next_hop_port(self.node, flit.dst, routing));
             vc.route = Some(hop);
             vc.state = VcState::WaitVa;
             vc.state_since = now;
@@ -512,7 +577,7 @@ impl Router {
             let vc = &self.inputs[g.in_port].vcs[g.in_vc];
             let route = vc.route.expect("granted VC has a route");
             let out_vc = vc.out_vc.expect("granted VC has an output VC");
-            if self.outputs[route.index()].busy {
+            if self.outputs[route].busy {
                 self.st_pending.push(g);
                 continue;
             }
@@ -535,18 +600,17 @@ impl Router {
             self.activity.xbar_traversals += 1;
 
             // Return the freed buffer slot upstream.
-            let in_dir = Direction::from_index(g.in_port);
             self.activity.credits += 1;
             out.push(Outgoing::Credit {
-                dir: in_dir,
+                port: g.in_port,
                 vc: g.in_vc,
                 arrive: now + self.link_latency as Cycle,
             });
 
-            let o = &mut self.outputs[route.index()];
+            let o = &mut self.outputs[route];
             o.busy = true;
             flit.vc = out_vc;
-            let arrive = if route == Direction::Local {
+            let arrive = if route >= PORT_LOCAL {
                 now + 1
             } else {
                 o.credits[out_vc] = o.credits[out_vc]
@@ -556,14 +620,14 @@ impl Router {
                 now + 1 + self.link_latency as Cycle
             };
             if is_tail {
-                o.owner[out_vc] = if route == Direction::Local {
+                o.owner[out_vc] = if route >= PORT_LOCAL {
                     Owner::Free
                 } else {
                     Owner::Draining
                 };
             }
             out.push(Outgoing::Flit {
-                dir: route,
+                port: route,
                 flit,
                 arrive,
             });
@@ -575,14 +639,18 @@ impl Router {
     /// the crossbar next cycle.
     fn stage_sa(&mut self, now: Cycle) {
         // Inputs with a grant still pending ST cannot be granted again.
-        let mut blocked = [false; 5];
+        // (Scratch vectors are swapped out of `self` so the round-robin
+        // arbiters can be borrowed mutably alongside them.)
+        let mut blocked = std::mem::take(&mut self.sa_blocked);
+        blocked.iter_mut().for_each(|b| *b = false);
         for g in &self.st_pending {
             blocked[g.in_port] = true;
         }
         // Phase 1: each input port nominates one VC.
-        let mut nominee: [Option<usize>; 5] = [None; 5];
+        let mut nominee = std::mem::take(&mut self.sa_nominee);
+        nominee.iter_mut().for_each(|n| *n = None);
         #[allow(clippy::needless_range_loop)] // p indexes three parallel arrays
-        for p in 0..5 {
+        for p in 0..self.ports {
             if blocked[p] {
                 continue;
             }
@@ -601,8 +669,8 @@ impl Router {
                 }
                 let route = vc.route.expect("post-VA VC has a route");
                 let out_vc = vc.out_vc.expect("post-VA VC has an output VC");
-                let credit_ok = route == Direction::Local
-                    || self.outputs[route.index()].credits[out_vc] > 0
+                let credit_ok = route >= PORT_LOCAL
+                    || self.outputs[route].credits[out_vc] > 0
                     // Circuit-class VCs are reservation-managed, not
                     // credited (fragmented gap traffic).
                     || self.layout.is_circuit_vc(out_vc);
@@ -613,18 +681,15 @@ impl Router {
             nominee[p] = self.sa_rr_in[p].grant(&self.sa_requests);
         }
         // Phase 2: each output port picks one input.
-        for out_port in 0..5 {
-            let mut contenders = [0usize; 5];
-            let mut n_con = 0;
+        let mut contenders = std::mem::take(&mut self.arb_scratch);
+        for out_port in 0..self.ports {
+            contenders.clear();
             for (p, nom) in nominee.iter().enumerate() {
-                if nom.is_some_and(|v| {
-                    self.inputs[p].vcs[v].route == Some(Direction::from_index(out_port))
-                }) {
-                    contenders[n_con] = p;
-                    n_con += 1;
+                if nom.is_some_and(|v| self.inputs[p].vcs[v].route == Some(out_port)) {
+                    contenders.push(p);
                 }
             }
-            if let Some(winner) = self.sa_rr_out[out_port].grant_among(&contenders[..n_con]) {
+            if let Some(winner) = self.sa_rr_out[out_port].grant_among(&contenders) {
                 let v = nominee[winner].expect("winner nominated a VC");
                 let vc = &mut self.inputs[winner].vcs[v];
                 if vc.state == VcState::WaitSa {
@@ -649,6 +714,9 @@ impl Router {
                 });
             }
         }
+        self.sa_blocked = blocked;
+        self.sa_nominee = nominee;
+        self.arb_scratch = contenders;
     }
 
     /// Stage 2: VC allocation — and, in parallel, the reactive-circuit
@@ -656,7 +724,7 @@ impl Router {
     fn stage_va(&mut self, now: Cycle, out: &mut Vec<Outgoing>) {
         // Circuit reservations happen on the first VA attempt, whether or
         // not the VC wins allocation this cycle.
-        for p in 0..5 {
+        for p in 0..self.ports {
             for v in 0..self.layout.total() {
                 let vc = &self.inputs[p].vcs[v];
                 if vc.state == VcState::WaitVa && vc.state_since < now && !vc.circuit_attempted {
@@ -667,75 +735,110 @@ impl Router {
 
         // Two-phase allocation: requesters grouped by output port; one
         // grant per output port per cycle, round-robin over input ports.
-        for out_port in 0..5 {
-            let dir = Direction::from_index(out_port);
-            let mut tried = [0usize; 5];
-            let mut n_tried = 0;
-            for p in 0..5 {
+        let mut tried = std::mem::take(&mut self.arb_scratch);
+        for out_port in 0..self.ports {
+            tried.clear();
+            for p in 0..self.ports {
                 if self.inputs[p].vcs.iter().any(|vc| {
-                    vc.state == VcState::WaitVa && vc.state_since < now && vc.route == Some(dir)
+                    vc.state == VcState::WaitVa
+                        && vc.state_since < now
+                        && vc.route == Some(out_port)
                 }) {
-                    tried[n_tried] = p;
-                    n_tried += 1;
+                    tried.push(p);
                 }
             }
             // Check a free output VC exists for at least one contender
             // class; pick the winner first (RR), then the VC.
             let mut granted = false;
-            while !granted && n_tried > 0 {
-                let Some(winner) = self.va_rr_out[out_port].grant_among(&tried[..n_tried]) else {
+            while !granted && !tried.is_empty() {
+                let Some(winner) = self.va_rr_out[out_port].grant_among(&tried) else {
                     break;
                 };
-                let pos = tried[..n_tried]
+                let pos = tried
                     .iter()
                     .position(|&p| p == winner)
                     .expect("winner came from the candidate list");
-                tried[pos..n_tried].rotate_left(1);
-                n_tried -= 1;
-                // The winning input port's oldest WaitVa VC for this output.
-                let Some((v, vnet)) = self.inputs[winner]
-                    .vcs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, vc)| {
-                        vc.state == VcState::WaitVa && vc.state_since < now && vc.route == Some(dir)
-                    })
-                    .min_by_key(|(_, vc)| vc.state_since)
-                    .map(|(v, vc)| {
-                        let head = vc.buffer.front().expect("WaitVa VC holds its head");
-                        (v, head.vnet)
-                    })
-                else {
-                    continue;
-                };
-                let free_vc = self
-                    .layout
-                    .allocatable_vcs(vnet)
-                    .find(|&ovc| self.outputs[out_port].owner[ovc] == Owner::Free);
-                if let Some(ovc) = free_vc {
-                    self.outputs[out_port].owner[ovc] = Owner::Owned(winner, v);
-                    let vc = &mut self.inputs[winner].vcs[v];
-                    vc.out_vc = Some(ovc);
-                    vc.state = VcState::WaitSa;
-                    vc.state_since = now;
-                    let packet = vc
-                        .buffer
-                        .front()
-                        .expect("WaitVa VC holds its head")
-                        .packet
-                        .0;
-                    self.sink.emit(|| TraceEvent {
-                        cycle: now,
-                        kind: EventKind::StageVa {
-                            packet,
-                            node: self.node.0,
-                        },
-                    });
-                    self.activity.vc_allocs += 1;
-                    granted = true;
+                tried.remove(pos);
+                // The winning input port's WaitVa VCs for this output,
+                // oldest first. The legacy allocator considers only the
+                // oldest one: if its virtual network has no free output
+                // VC, the whole input port is passed over — and since
+                // that oldest VC never changes, younger VCs behind it can
+                // be shadowed forever, a head-of-line wait that can close
+                // a request/reply credit cycle into a hard deadlock under
+                // sustained load. With `va_hol_relief` the allocator
+                // walks the port's candidates in age order and grants the
+                // first one that can actually be allocated.
+                let mut candidates = std::mem::take(&mut self.va_scratch);
+                candidates.clear();
+                candidates.extend(
+                    self.inputs[winner]
+                        .vcs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, vc)| {
+                            vc.state == VcState::WaitVa
+                                && vc.state_since < now
+                                && vc.route == Some(out_port)
+                        })
+                        .map(|(v, vc)| {
+                            let head = vc.buffer.front().expect("WaitVa VC holds its head");
+                            (vc.state_since, v, head.vnet, head.dst)
+                        }),
+                );
+                candidates.sort_unstable_by_key(|&(since, v, _, _)| (since, v));
+                if !self.va_hol_relief {
+                    candidates.truncate(1);
                 }
+                for &(_, v, vnet, dst) in &candidates {
+                    // Dateline deadlock avoidance: on wrap topologies a
+                    // packet crossing a network link may only claim VCs of
+                    // its dateline class, which breaks the dependency
+                    // cycle the wraparound links would otherwise close.
+                    let mut allocatable = if self.topology.has_wrap() && out_port < PORT_LOCAL {
+                        let downstream = self
+                            .topology
+                            .neighbor(self.node, out_port)
+                            .expect("network port leads to a neighbor");
+                        let class = self.topology.vc_class(
+                            downstream,
+                            self.topology.router_of(dst),
+                            out_port,
+                        );
+                        self.layout.allocatable_class_vcs(vnet, class as u8)
+                    } else {
+                        self.layout.allocatable_vcs(vnet)
+                    };
+                    let free_vc =
+                        allocatable.find(|&ovc| self.outputs[out_port].owner[ovc] == Owner::Free);
+                    if let Some(ovc) = free_vc {
+                        self.outputs[out_port].owner[ovc] = Owner::Owned(winner, v);
+                        let vc = &mut self.inputs[winner].vcs[v];
+                        vc.out_vc = Some(ovc);
+                        vc.state = VcState::WaitSa;
+                        vc.state_since = now;
+                        let packet = vc
+                            .buffer
+                            .front()
+                            .expect("WaitVa VC holds its head")
+                            .packet
+                            .0;
+                        self.sink.emit(|| TraceEvent {
+                            cycle: now,
+                            kind: EventKind::StageVa {
+                                packet,
+                                node: self.node.0,
+                            },
+                        });
+                        self.activity.vc_allocs += 1;
+                        granted = true;
+                        break;
+                    }
+                }
+                self.va_scratch = candidates;
             }
         }
+        self.arb_scratch = tried;
     }
 
     /// Number of flits buffered across all input VCs (occupancy telemetry
@@ -764,7 +867,7 @@ impl Router {
         // Reply direction through this router: it arrives from where the
         // request is going and leaves where the request came from.
         let in_port_reply = route;
-        let out_port_reply = Direction::from_index(p);
+        let out_port_reply = p;
         if self.degraded {
             // A degraded router refuses reservations outright: complete
             // circuits are doomed like any reservation conflict, while
@@ -775,7 +878,7 @@ impl Router {
                     let key = handle.key;
                     self.activity.credits += 1;
                     out.push(Outgoing::Undo {
-                        dir: out_port_reply,
+                        port: out_port_reply,
                         key,
                         dst: key.requestor,
                         arrive: now + self.link_latency as Cycle,
@@ -784,7 +887,33 @@ impl Router {
             }
             return;
         }
-        let h_req = self.mesh.distance(self.node, head.dst);
+        if self.topology.is_wrap_hop(self.node, in_port_reply)
+            || self.topology.is_wrap_hop(self.node, out_port_reply)
+        {
+            // Circuit reservations never span a wraparound link: a reply
+            // streaming through the bypass would skip the dateline VC
+            // switch and close the channel-dependency cycle the dateline
+            // exists to break. Complete circuits are doomed like any
+            // reservation conflict; fragmented and ideal ones simply gain
+            // a gap at the dateline router.
+            if self.mechanism.mode == CircuitMode::Complete {
+                handle.failed = true;
+                if handle.built_hops > 0 {
+                    let key = handle.key;
+                    self.activity.credits += 1;
+                    out.push(Outgoing::Undo {
+                        port: out_port_reply,
+                        key,
+                        dst: key.requestor,
+                        arrive: now + self.link_latency as Cycle,
+                    });
+                }
+            }
+            return;
+        }
+        let h_req = self
+            .topology
+            .distance(self.node, self.topology.router_of(head.dst));
 
         let (window, max_extra_shift, nominal, slack) = match handle.timing {
             Some(t) => {
@@ -851,7 +980,7 @@ impl Router {
                         if built > 0 {
                             self.activity.credits += 1;
                             out.push(Outgoing::Undo {
-                                dir: out_port_reply,
+                                port: out_port_reply,
                                 key,
                                 dst: key.requestor,
                                 arrive: now + self.link_latency as Cycle,
@@ -874,7 +1003,7 @@ impl Router {
 mod tests {
     use super::*;
     use crate::flit::{FlitKind, PacketId};
-    use rcsim_core::{MechanismConfig, Mesh, MessageClass, Vnet};
+    use rcsim_core::{MechanismConfig, Mesh, MessageClass, Vnet, PORT_EAST, PORT_NORTH, PORT_WEST};
 
     fn router(mechanism: MechanismConfig) -> Router {
         let mesh = Mesh::new(4, 4).expect("valid");
@@ -905,7 +1034,7 @@ mod tests {
         }
     }
 
-    fn tick(r: &mut Router, now: Cycle, mut arrivals: Vec<(Direction, Flit)>) -> Vec<Outgoing> {
+    fn tick(r: &mut Router, now: Cycle, mut arrivals: Vec<(usize, Flit)>) -> Vec<Outgoing> {
         let mut out = Vec::new();
         r.tick(
             now,
@@ -925,7 +1054,7 @@ mod tests {
         let mut r = router(MechanismConfig::baseline());
         // Head-tail toward n6 = (2,1): East of n5, arriving from the West.
         let f = flit(FlitKind::HeadTail, 0, 1, 6, 0);
-        let out = tick(&mut r, 0, vec![(Direction::West, f)]);
+        let out = tick(&mut r, 0, vec![(PORT_WEST, f)]);
         assert!(out.is_empty(), "cycle 0: buffered + route computed");
         assert!(tick(&mut r, 1, vec![]).is_empty(), "cycle 1: VC allocation");
         assert!(
@@ -936,17 +1065,17 @@ mod tests {
         let sent = out
             .iter()
             .find_map(|o| match o {
-                Outgoing::Flit { dir, arrive, .. } => Some((*dir, *arrive)),
+                Outgoing::Flit { port, arrive, .. } => Some((*port, *arrive)),
                 _ => None,
             })
             .expect("cycle 3: switch traversal");
-        assert_eq!(sent.0, Direction::East);
+        assert_eq!(sent.0, PORT_EAST);
         assert_eq!(sent.1, 3 + 2, "one ST cycle + one link cycle");
         // The freed buffer slot returns upstream as a credit.
         assert!(out.iter().any(|o| matches!(
             o,
             Outgoing::Credit {
-                dir: Direction::West,
+                port: PORT_WEST,
                 vc: 0,
                 ..
             }
@@ -963,7 +1092,7 @@ mod tests {
             let arrivals = if now < 5 {
                 let seq = now as u32;
                 vec![(
-                    Direction::West,
+                    PORT_WEST,
                     flit(FlitKind::for_position(seq, 5), seq, 5, 6, 0),
                 )]
             } else {
@@ -990,12 +1119,12 @@ mod tests {
         let mut b = flit(FlitKind::HeadTail, 0, 1, 6, 0);
         b.packet = PacketId(2);
         b.src = NodeId(1);
-        let _ = tick(&mut r, 0, vec![(Direction::West, a), (Direction::North, b)]);
+        let _ = tick(&mut r, 0, vec![(PORT_WEST, a), (PORT_NORTH, b)]);
         let mut departures = 0;
         for now in 1..10 {
             for o in tick(&mut r, now, vec![]) {
-                if let Outgoing::Flit { dir, .. } = o {
-                    assert_eq!(dir, Direction::East);
+                if let Outgoing::Flit { port, .. } = o {
+                    assert_eq!(port, PORT_EAST);
                     departures += 1;
                 }
             }
@@ -1017,7 +1146,7 @@ mod tests {
             5,
             7,
         )));
-        let _ = tick(&mut r, 0, vec![(Direction::West, f)]);
+        let _ = tick(&mut r, 0, vec![(PORT_WEST, f)]);
         assert_eq!(r.circuits.total_entries(), 0, "not during RC");
         let _ = tick(&mut r, 1, vec![]);
         assert_eq!(
@@ -1033,9 +1162,9 @@ mod tests {
         };
         let e = r
             .circuits
-            .lookup(Direction::East, key)
+            .lookup(PORT_EAST, key)
             .expect("entry at East input");
-        assert_eq!(e.out_port, Direction::West);
+        assert_eq!(e.out_port, PORT_WEST);
     }
 
     /// A reply flit with a matching reservation crosses in the arrival
@@ -1051,8 +1180,8 @@ mod tests {
             .try_reserve(&ReserveRequest {
                 key,
                 source: NodeId(6),
-                in_port: Direction::East,
-                out_port: Direction::West,
+                in_port: PORT_EAST,
+                out_port: PORT_WEST,
                 window: None,
                 max_extra_shift: 0,
             })
@@ -1061,15 +1190,15 @@ mod tests {
         f.class = MessageClass::L2Reply;
         f.vnet = Vnet::Reply;
         f.on_circuit = Some(key);
-        let out = tick(&mut r, 10, vec![(Direction::East, f)]);
-        let (dir, arrive) = out
+        let out = tick(&mut r, 10, vec![(PORT_EAST, f)]);
+        let (port, arrive) = out
             .iter()
             .find_map(|o| match o {
-                Outgoing::Flit { dir, arrive, .. } => Some((*dir, *arrive)),
+                Outgoing::Flit { port, arrive, .. } => Some((*port, *arrive)),
                 _ => None,
             })
             .expect("bypass departs the same cycle");
-        assert_eq!(dir, Direction::West);
+        assert_eq!(port, PORT_WEST);
         assert_eq!(arrive, 12, "1 router cycle + 1 link cycle");
         assert_eq!(r.circuits.total_entries(), 0, "tail released the circuit");
         assert_eq!(r.buffered_flits(), 0, "bypassed flits are never stored");
@@ -1088,8 +1217,8 @@ mod tests {
             .try_reserve(&ReserveRequest {
                 key,
                 source: NodeId(6),
-                in_port: Direction::East,
-                out_port: Direction::West,
+                in_port: PORT_EAST,
+                out_port: PORT_WEST,
                 window: None,
                 max_extra_shift: 0,
             })
@@ -1106,7 +1235,7 @@ mod tests {
         assert!(out.iter().any(|o| matches!(
             o,
             Outgoing::Undo {
-                dir: Direction::West,
+                port: PORT_WEST,
                 ..
             }
         )));

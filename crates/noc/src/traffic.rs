@@ -55,8 +55,8 @@ impl Generator {
     /// destination; `src` is returned and [`Generator::step`] skips the
     /// self-addressed packet.
     pub fn destination<R: Rng>(&self, net: &Network, src: NodeId, rng: &mut R) -> NodeId {
-        let mesh = net.config().mesh;
-        let n = mesh.nodes() as u16;
+        let topology = net.config().topology;
+        let n = topology.nodes() as u16;
         if n < 2 {
             return src;
         }
@@ -68,12 +68,16 @@ impl Generator {
                 }
             },
             Pattern::Transpose => {
-                let c = mesh.coord(src);
-                let max = (mesh.width() - 1).min(mesh.height() - 1);
-                let t = mesh.node(rcsim_core::geometry::Coord {
+                // Transpose acts on the router grid; a concentrated tile
+                // keeps its local slot at the transposed router.
+                let (w, h) = topology.dims();
+                let c = topology.coord(topology.router_of(src));
+                let max = (w - 1).min(h - 1);
+                let t_router = topology.router_at(rcsim_core::geometry::Coord {
                     x: c.y.min(max),
                     y: c.x.min(max),
                 });
+                let t = topology.tile_of(t_router, topology.local_slot(src));
                 if t == src {
                     NodeId((src.0 + 1) % n)
                 } else {
@@ -100,7 +104,7 @@ impl Generator {
     /// panicking — a sweep script overshooting saturation degrades to
     /// every-cycle injection.
     pub fn step<R: Rng>(&self, net: &mut Network, rng: &mut R, next_block: &mut u64) {
-        let nodes = net.config().mesh.nodes() as u16;
+        let nodes = net.config().topology.nodes() as u16;
         let rate = if self.injection_rate.is_finite() {
             self.injection_rate.clamp(0.0, 1.0)
         } else {

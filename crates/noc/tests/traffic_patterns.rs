@@ -33,7 +33,7 @@ fn transpose_never_self_and_involutive_off_diagonal() {
     for side in [4u16, 8] {
         let n = net(side, side);
         let g = gen(Pattern::Transpose);
-        let mesh = n.config().mesh;
+        let mesh = n.config().topology;
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         for s in 0..mesh.nodes() as u16 {
             let src = NodeId(s);

@@ -1,7 +1,7 @@
 //! Memory-system configuration (the paper's Table 2) and address mapping.
 
 use crate::cache::CacheConfig;
-use rcsim_core::{Cycle, Mesh, NodeId};
+use rcsim_core::{Cycle, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the coherent memory hierarchy.
@@ -46,11 +46,11 @@ fn default_max_reissues() -> u32 {
 }
 
 impl ProtocolConfig {
-    /// The Table 2 configuration for a mesh. The L2 bank arrays skip the
-    /// bank-select bits (lines interleave over all tiles).
-    pub fn paper_defaults(mesh: &Mesh) -> Self {
-        let bank_bits = (mesh.nodes() as u64).trailing_zeros();
-        let bank_bits = if mesh.nodes().is_power_of_two() {
+    /// The Table 2 configuration for a topology. The L2 bank arrays skip
+    /// the bank-select bits (lines interleave over all tiles).
+    pub fn paper_defaults(topology: &Topology) -> Self {
+        let bank_bits = (topology.nodes() as u64).trailing_zeros();
+        let bank_bits = if topology.nodes().is_power_of_two() {
             bank_bits
         } else {
             0
@@ -63,7 +63,7 @@ impl ProtocolConfig {
             mem_latency: 160,
             eliminate_acks: false,
             undo_on_l2_miss: false,
-            mc_tiles: mesh.memory_controller_tiles(),
+            mc_tiles: topology.memory_controller_tiles(),
             reissue_timeout: default_reissue_timeout(),
             max_reissues: default_max_reissues(),
         }
@@ -71,8 +71,8 @@ impl ProtocolConfig {
 
     /// A scaled-down configuration for fast tests (256-line L1, 4K-line
     /// L2, same latencies).
-    pub fn small_for_tests(mesh: &Mesh) -> Self {
-        let defaults = Self::paper_defaults(mesh);
+    pub fn small_for_tests(topology: &Topology) -> Self {
+        let defaults = Self::paper_defaults(topology);
         Self {
             l1: CacheConfig {
                 sets: 16,
@@ -90,8 +90,8 @@ impl ProtocolConfig {
 
     /// The L2 bank (home tile) of a cache line: address-interleaved over
     /// all tiles at line granularity.
-    pub fn home(&self, mesh: &Mesh, block: u64) -> NodeId {
-        NodeId((block % mesh.nodes() as u64) as u16)
+    pub fn home(&self, topology: &Topology, block: u64) -> NodeId {
+        NodeId((block % topology.nodes() as u64) as u16)
     }
 
     /// The memory controller serving a cache line.
@@ -103,10 +103,11 @@ impl ProtocolConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcsim_core::Mesh;
 
     #[test]
     fn paper_geometry() {
-        let mesh = Mesh::new(8, 8).unwrap();
+        let mesh: Topology = Mesh::new(8, 8).unwrap().into();
         let cfg = ProtocolConfig::paper_defaults(&mesh);
         assert_eq!(cfg.l1.sets * cfg.l1.ways * 64, 32 * 1024);
         assert_eq!(cfg.l2.sets * cfg.l2.ways * 64, 1024 * 1024);
@@ -115,7 +116,7 @@ mod tests {
 
     #[test]
     fn home_interleaves_over_all_tiles() {
-        let mesh = Mesh::new(4, 4).unwrap();
+        let mesh: Topology = Mesh::new(4, 4).unwrap().into();
         let cfg = ProtocolConfig::paper_defaults(&mesh);
         let homes: std::collections::HashSet<_> = (0..64u64).map(|b| cfg.home(&mesh, b)).collect();
         assert_eq!(homes.len(), 16);
@@ -125,7 +126,7 @@ mod tests {
 
     #[test]
     fn mc_mapping_hits_all_controllers() {
-        let mesh = Mesh::new(8, 8).unwrap();
+        let mesh: Topology = Mesh::new(8, 8).unwrap().into();
         let cfg = ProtocolConfig::paper_defaults(&mesh);
         let mcs: std::collections::HashSet<_> =
             (0..16u64).map(|b| cfg.memory_controller(b)).collect();

@@ -5,7 +5,7 @@
 use crate::cache::CacheArray;
 use crate::config::ProtocolConfig;
 use crate::msg::{Msg, Port, ReqKind};
-use rcsim_core::{Cycle, Mesh, MessageClass, NodeId};
+use rcsim_core::{Cycle, MessageClass, NodeId, Topology};
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -90,7 +90,7 @@ pub struct L1Stats {
 #[derive(Debug, Clone)]
 pub struct L1Cache {
     node: NodeId,
-    mesh: Mesh,
+    topology: Topology,
     cfg: ProtocolConfig,
     array: CacheArray<L1Line>,
     miss: Option<PendingMiss>,
@@ -102,11 +102,11 @@ pub struct L1Cache {
 
 impl L1Cache {
     /// An empty L1 for the tile at `node`.
-    pub fn new(node: NodeId, mesh: Mesh, cfg: ProtocolConfig) -> Self {
+    pub fn new(node: NodeId, topology: Topology, cfg: ProtocolConfig) -> Self {
         let array = CacheArray::new(cfg.l1);
         Self {
             node,
-            mesh,
+            topology,
             cfg,
             array,
             miss: None,
@@ -138,7 +138,7 @@ impl L1Cache {
     }
 
     fn home(&self, block: u64) -> NodeId {
-        self.cfg.home(&self.mesh, block)
+        self.cfg.home(&self.topology, block)
     }
 
     /// A core load (`write == false`) or store to `block`.
@@ -518,7 +518,7 @@ mod tests {
     }
 
     fn l1() -> L1Cache {
-        let mesh = Mesh::new(4, 4).unwrap();
+        let mesh: Topology = rcsim_core::Mesh::new(4, 4).unwrap().into();
         let cfg = ProtocolConfig::small_for_tests(&mesh);
         L1Cache::new(NodeId(3), mesh, cfg)
     }

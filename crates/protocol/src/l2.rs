@@ -7,7 +7,7 @@
 use crate::cache::CacheArray;
 use crate::config::ProtocolConfig;
 use crate::msg::{Msg, Port, ReqKind};
-use rcsim_core::{Cycle, Mesh, MessageClass, NodeId};
+use rcsim_core::{Cycle, MessageClass, NodeId, Topology};
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -127,10 +127,13 @@ impl L2Bank {
     ///
     /// Panics for meshes of more than 64 tiles (the sharer set is a
     /// 64-bit mask, enough for the paper's 16- and 64-core chips).
-    pub fn new(node: NodeId, mesh: Mesh, cfg: ProtocolConfig) -> Self {
-        assert!(mesh.nodes() <= 64, "sharer bitmask supports up to 64 tiles");
+    pub fn new(node: NodeId, topology: Topology, cfg: ProtocolConfig) -> Self {
+        assert!(
+            topology.nodes() <= 64,
+            "sharer bitmask supports up to 64 tiles"
+        );
         let array = CacheArray::new(cfg.l2);
-        let _ = mesh;
+        let _ = topology;
         Self {
             node,
             cfg,
@@ -873,7 +876,7 @@ mod tests {
     }
 
     fn bank() -> (L2Bank, TestPort) {
-        let mesh = Mesh::new(4, 4).unwrap();
+        let mesh: Topology = rcsim_core::Mesh::new(4, 4).unwrap().into();
         let cfg = ProtocolConfig::small_for_tests(&mesh);
         (L2Bank::new(NodeId(0), mesh, cfg), TestPort::new())
     }

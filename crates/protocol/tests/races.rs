@@ -4,7 +4,7 @@
 //! (write-back vs forward, upgrade vs invalidation, stale owners).
 
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::{Cycle, Mesh, MessageClass, NodeId};
+use rcsim_core::{Cycle, Mesh, MessageClass, NodeId, Topology};
 use rcsim_protocol::{Access, L1Cache, L2Bank, MemoryController, Msg, Port, ProtocolConfig};
 use std::collections::VecDeque;
 
@@ -31,7 +31,7 @@ impl Port for Wire {
 /// every block (single-bank world: all addresses are multiples of the
 /// node count); L1s at nodes 0..cores; one MC.
 struct Cluster {
-    mesh: Mesh,
+    mesh: Topology,
     l1s: Vec<L1Cache>,
     l2: L2Bank,
     mc: MemoryController,
@@ -40,7 +40,7 @@ struct Cluster {
 
 impl Cluster {
     fn new(cores: usize, delay: Cycle) -> Self {
-        let mesh = Mesh::new(4, 4).unwrap();
+        let mesh: Topology = Mesh::new(4, 4).unwrap().into();
         let cfg = ProtocolConfig::small_for_tests(&mesh);
         Cluster {
             mesh,

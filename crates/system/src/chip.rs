@@ -1,13 +1,13 @@
-//! Chip assembly: one tile per mesh node (core + L1 + L2 bank + router,
-//! plus a memory controller on four edge tiles — Figure 1), wired to the
-//! cycle-accurate NoC through an adapter implementing the protocol's
-//! [`Port`].
+//! Chip assembly: one tile per topology node (core + L1 + L2 bank +
+//! router, plus a memory controller on four edge tiles — Figure 1),
+//! wired to the cycle-accurate NoC through an adapter implementing the
+//! protocol's [`Port`].
 
 use crate::core_model::{Core, CoreAction};
 use crate::open_loop::{OpenLoopConfig, OpenLoopState, EXT_TOKEN_BIT};
 use crate::report::ExternalSummary;
 use rcsim_core::circuit::CircuitKey;
-use rcsim_core::{Cycle, KernelMode, MechanismConfig, Mesh, MessageClass, NodeId};
+use rcsim_core::{Cycle, KernelMode, MechanismConfig, MessageClass, NodeId, Topology};
 use rcsim_noc::{
     CircuitOutcome, FaultConfig, HealthReport, Network, NocConfig, NocStats, PacketSpec,
     WatchdogConfig,
@@ -89,7 +89,7 @@ impl Port for ChipPort<'_> {
 
 /// The full chip multiprocessor.
 pub struct Chip {
-    mesh: Mesh,
+    topology: Topology,
     proto_cfg: ProtocolConfig,
     net: Network,
     cores: Vec<Core>,
@@ -116,13 +116,13 @@ impl Chip {
     ///
     /// Propagates mechanism-configuration validation errors.
     pub fn new(
-        mesh: Mesh,
+        topology: impl Into<Topology>,
         mechanism: MechanismConfig,
         proto_cfg: ProtocolConfig,
         workload: &Workload,
     ) -> Result<Self, rcsim_core::ConfigError> {
         Chip::with_faults(
-            mesh,
+            topology,
             mechanism,
             proto_cfg,
             workload,
@@ -138,29 +138,30 @@ impl Chip {
     ///
     /// Propagates mechanism-configuration validation errors.
     pub fn with_faults(
-        mesh: Mesh,
+        topology: impl Into<Topology>,
         mechanism: MechanismConfig,
         mut proto_cfg: ProtocolConfig,
         workload: &Workload,
         faults: FaultConfig,
         watchdog: WatchdogConfig,
     ) -> Result<Self, rcsim_core::ConfigError> {
+        let topology = topology.into();
         mechanism.validate()?;
-        assert_eq!(workload.cores(), mesh.nodes(), "one thread per core");
+        assert_eq!(workload.cores(), topology.nodes(), "one thread per core");
         proto_cfg.eliminate_acks = mechanism.eliminate_acks;
         proto_cfg.undo_on_l2_miss = mechanism.undo_on_l2_miss;
-        let mut net = Network::with_faults(NocConfig::paper_baseline(mesh, mechanism), faults)?;
+        let mut net = Network::with_faults(NocConfig::paper_baseline(topology, mechanism), faults)?;
         net.set_watchdog(watchdog);
-        let cores = (0..mesh.nodes())
+        let cores = (0..topology.nodes())
             .map(|i| Core::new(i as u16, workload.core_trace(i)))
             .collect();
-        let l1s = mesh
-            .iter()
-            .map(|n| L1Cache::new(n, mesh, proto_cfg.clone()))
+        let l1s = topology
+            .iter_tiles()
+            .map(|n| L1Cache::new(n, topology, proto_cfg.clone()))
             .collect();
-        let l2s = mesh
-            .iter()
-            .map(|n| L2Bank::new(n, mesh, proto_cfg.clone()))
+        let l2s = topology
+            .iter_tiles()
+            .map(|n| L2Bank::new(n, topology, proto_cfg.clone()))
             .collect();
         let mcs = proto_cfg
             .mc_tiles
@@ -168,7 +169,7 @@ impl Chip {
             .map(|n| (n.index(), MemoryController::new(*n, proto_cfg.mem_latency)))
             .collect();
         Ok(Self {
-            mesh,
+            topology,
             proto_cfg,
             net,
             cores,
@@ -186,12 +187,17 @@ impl Chip {
     }
 
     /// Turns on open-loop external traffic: installs the bounded-ingress
-    /// layer at the mesh's west edge and seeds one arrival stream per
-    /// edge node. Every other tile serves external requests. Call before
-    /// the first [`Chip::tick`].
+    /// layer at the topology's ingress edge (the west router column; see
+    /// [`Topology::edge_nodes`]) and seeds one arrival stream per edge
+    /// node. Every other tile serves external requests. Call before the
+    /// first [`Chip::tick`].
     pub fn enable_open_loop(&mut self, cfg: OpenLoopConfig, seed: u64) {
-        let edges = self.mesh.west_edge();
-        let servers: Vec<NodeId> = self.mesh.iter().filter(|n| !edges.contains(n)).collect();
+        let edges = self.topology.edge_nodes();
+        let servers: Vec<NodeId> = self
+            .topology
+            .iter_tiles()
+            .filter(|n| !edges.contains(n))
+            .collect();
         let circuits_enabled = self.net.config().mechanism.circuits_enabled();
         self.open_loop = Some(Box::new(OpenLoopState::new(
             cfg,
@@ -250,15 +256,15 @@ impl Chip {
         self.net.now()
     }
 
-    /// The mesh.
-    pub fn mesh(&self) -> Mesh {
-        self.mesh
+    /// The interconnect topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// Advances the whole chip one cycle.
     pub fn tick(&mut self) {
         let now = self.net.now();
-        let n = self.mesh.nodes();
+        let n = self.topology.nodes();
         let mechanism = *self.net.config();
         let circuits_enabled = mechanism.mechanism.circuits_enabled();
         let track_undone = self.proto_cfg.undo_on_l2_miss;
@@ -538,7 +544,7 @@ impl Chip {
             }
             // Every actual holder must be known to the directory (the
             // directory may track stale sharers, never the reverse).
-            let home = self.proto_cfg.home(&self.mesh, *block);
+            let home = self.proto_cfg.home(&self.topology, *block);
             if let Some((owner, sharers)) = self.l2s[home.index()].probe(*block) {
                 for (n, w, _) in hs {
                     let known = owner == Some(*n) || sharers & (1u64 << n.index()) != 0;

@@ -2,7 +2,7 @@
 
 use crate::chip::Chip;
 use crate::report::RunResult;
-use rcsim_core::{KernelMode, MechanismConfig, Mesh};
+use rcsim_core::{KernelMode, MechanismConfig, TopologySpec};
 use rcsim_noc::{FaultConfig, HealthReport, WatchdogConfig};
 use rcsim_power::{area_savings, EnergyModel};
 use rcsim_protocol::ProtocolConfig;
@@ -52,6 +52,11 @@ pub struct SimConfig {
     /// before this field existed).
     #[serde(default)]
     pub open_loop: Option<crate::open_loop::OpenLoopConfig>,
+    /// Interconnect shape (`cores` fixes the concrete dimensions). The
+    /// default mesh is omitted from serialization so existing cache keys
+    /// and goldens stay byte-identical.
+    #[serde(default, skip_serializing_if = "TopologySpec::is_mesh")]
+    pub topology: TopologySpec,
 }
 
 impl SimConfig {
@@ -70,7 +75,15 @@ impl SimConfig {
             reissue_timeout: None,
             max_reissues: None,
             open_loop: None,
+            topology: TopologySpec::Mesh,
         }
+    }
+
+    /// The same configuration on a different interconnect shape.
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
+        self
     }
 }
 
@@ -201,15 +214,16 @@ fn run_sim_inner(
     trace: Option<&TraceConfig>,
     kernel: KernelMode,
 ) -> Result<(RunResult, Option<TraceReport>), SimError> {
-    // Square for the paper's 16/64-core chips; the most nearly square
-    // rectangle otherwise (scalability sweeps at 32, 48, … cores).
-    let mesh = Mesh::square(cfg.cores).or_else(|_| Mesh::near_square(cfg.cores))?;
-    let workload = Workload::by_name(&cfg.workload, mesh.nodes(), cfg.seed)
+    // The spec picks the router grid: square for the paper's 16/64-core
+    // chips, the most nearly square rectangle otherwise (scalability
+    // sweeps at 32, 48, … cores).
+    let topology = cfg.topology.build(cfg.cores)?;
+    let workload = Workload::by_name(&cfg.workload, topology.nodes(), cfg.seed)
         .ok_or_else(|| SimError::UnknownWorkload(cfg.workload.clone()))?;
     let mut proto = if cfg.small_caches {
-        ProtocolConfig::small_for_tests(&mesh)
+        ProtocolConfig::small_for_tests(&topology)
     } else {
-        ProtocolConfig::paper_defaults(&mesh)
+        ProtocolConfig::paper_defaults(&topology)
     };
     if let Some(t) = cfg.reissue_timeout {
         proto.reissue_timeout = t;
@@ -218,7 +232,7 @@ fn run_sim_inner(
         proto.max_reissues = n;
     }
     let mut chip = Chip::with_faults(
-        mesh,
+        topology,
         cfg.mechanism,
         proto,
         &workload,
@@ -267,17 +281,18 @@ fn run_sim_inner(
     let stats = chip.noc_stats();
     let l1 = chip.l1_totals();
     let l2 = chip.l2_totals();
+    let (grid_w, grid_h) = topology.dims();
     let energy = EnergyModel::default_32nm().network_energy(
         &stats,
         &cfg.mechanism,
-        mesh.width() as usize,
-        mesh.height() as usize,
+        grid_w as usize,
+        grid_h as usize,
     );
 
     let mut result = RunResult {
         workload: cfg.workload.clone(),
         mechanism: cfg.mechanism.label(),
-        cores: mesh.nodes(),
+        cores: topology.nodes(),
         cycles: cfg.measure_cycles,
         instructions: chip.instructions(),
         messages: BTreeMap::new(),
@@ -286,9 +301,9 @@ fn run_sim_inner(
         reservations_at_index: Vec::new(),
         reservations_failed: 0,
         reservation_failures: [0; 4],
-        load: stats.load_flits_per_node_per_100(mesh.nodes()),
+        load: stats.load_flits_per_node_per_100(topology.nodes()),
         energy,
-        area_savings: area_savings(&cfg.mechanism, mesh.nodes()),
+        area_savings: area_savings(&cfg.mechanism, topology.nodes()),
         l1_miss_rate: if l1.hits + l1.misses == 0 {
             0.0
         } else {

@@ -95,6 +95,35 @@ fn every_mechanism_agrees_on_8x8_under_faults() {
     }
 }
 
+/// The non-mesh topologies change the port counts, the wake patterns
+/// (wraparound neighbours, shared cmesh routers) and the VC layout
+/// (dateline classes), so each gets its own dense-vs-event check: a 4×4
+/// torus, a cmesh with four tiles per router, and a 16-node ring, across
+/// a representative mechanism set, must stay byte-identical.
+#[test]
+fn every_topology_agrees_on_both_kernels() {
+    use rcsim_core::TopologySpec;
+    let representative = [
+        MechanismConfig::baseline(),
+        MechanismConfig::fragmented(),
+        MechanismConfig::complete(),
+        MechanismConfig::complete_noack(),
+    ];
+    for spec in [
+        TopologySpec::Torus,
+        TopologySpec::CMesh { concentration: 4 },
+        TopologySpec::Ring,
+    ] {
+        for m in representative {
+            let cfg = quick(16, m).with_topology(spec);
+            assert_kernels_agree(
+                &cfg,
+                &format!("{} @ 16 cores on {}", m.label(), spec.label()),
+            );
+        }
+    }
+}
+
 /// Stuck input ports are a wake source of their own (queued arrivals must
 /// keep the router's wake time due until the window ends). Every Figure 6
 /// mechanism — including the timed ones, whose expired slots at a stuck

@@ -19,7 +19,10 @@ use std::collections::BTreeMap;
 ///
 /// v3: rows carry `p999_latency` (99.9th-percentile network latency) for
 /// SLO-tail tracking in the overload benches.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: rows carry `topology` (the interconnect label: `mesh`, `torus`,
+/// `cmesh-<c>`, `ring`) so topology sweeps stay diffable per shape.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// One measured configuration (one workload × mechanism × core-count
 /// point) inside a bench summary.
@@ -29,6 +32,10 @@ pub struct BenchRow {
     pub label: String,
     /// Core count the point ran with.
     pub cores: usize,
+    /// Interconnect topology label (`mesh` unless the bench swept
+    /// topologies; defaulted for summaries written before schema v4).
+    #[serde(default = "default_topology")]
+    pub topology: String,
     /// Mean network latency over reply messages, in cycles.
     pub avg_latency: f64,
     /// 99th-percentile network latency, in cycles.
@@ -43,6 +50,10 @@ pub struct BenchRow {
     /// Bench-specific extra values (speedups, energy, hop counts, ...).
     #[serde(default)]
     pub extra: BTreeMap<String, f64>,
+}
+
+fn default_topology() -> String {
+    "mesh".to_owned()
 }
 
 /// The document written to `BENCH_<name>.json`.
@@ -120,6 +131,9 @@ impl BenchSummary {
             if row.cores == 0 {
                 errors.push(format!("row {i} ({}): cores is 0", row.label));
             }
+            if row.topology.is_empty() {
+                errors.push(format!("row {i} ({}): empty topology", row.label));
+            }
             for (what, v) in [
                 ("avg_latency", row.avg_latency),
                 ("p99_latency", row.p99_latency),
@@ -153,6 +167,7 @@ mod tests {
         BenchRow {
             label: label.to_owned(),
             cores: 16,
+            topology: "mesh".to_owned(),
             avg_latency: 31.5,
             p99_latency: 88.0,
             p999_latency: 120.0,
@@ -195,11 +210,12 @@ mod tests {
 
     #[test]
     fn extra_defaults_when_absent_from_json() {
-        let json = r#"{"bench":"t","schema_version":3,"rows":[
+        let json = r#"{"bench":"t","schema_version":4,"rows":[
             {"label":"a","cores":4,"avg_latency":1.0,"p99_latency":2.0,"circuit_hit_rate":0.5}
         ]}"#;
         let s: BenchSummary = serde_json::from_str(json).unwrap();
         assert!(s.rows[0].extra.is_empty());
+        assert_eq!(s.rows[0].topology, "mesh");
         assert_eq!(s.rows[0].p999_latency, 0.0);
         assert_eq!(
             (s.wall_ms, s.busy_ms, s.jobs, s.cached_points),

@@ -166,6 +166,24 @@ diff <(strip_telemetry target/experiments/ci_overload_event.json) \
   || { echo "FAIL: BENCH_overload.json rows differ between RC_JOBS=1 and RC_JOBS=4"; exit 1; }
 $CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
 
+echo "==> topology smoke (mesh/torus/cmesh/ring circuit sweep, deadlock-freedom)"
+# Topology gate (DESIGN.md §12). A small closed-loop sweep over every
+# topology shape at 64 cores: every point must drain to quiescence with
+# zero abandoned packets (asserted inside the bench — this is the
+# wraparound dateline correctness check), rows must be byte-identical
+# across reruns (seeded, single-threaded determinism), and the summary
+# must validate against the schema.
+RC_TOPO_CYCLES=600 RC_TOPO_CORES=64 \
+  $CARGO run --release -q -p rcsim-bench --bin topology "$@" > /dev/null
+test -s target/experiments/BENCH_topology.json
+cp target/experiments/BENCH_topology.json target/experiments/ci_topology_a.json
+RC_TOPO_CYCLES=600 RC_TOPO_CORES=64 \
+  $CARGO run --release -q -p rcsim-bench --bin topology "$@" > /dev/null
+diff <(strip_telemetry target/experiments/ci_topology_a.json) \
+     <(strip_telemetry target/experiments/BENCH_topology.json) \
+  || { echo "FAIL: BENCH_topology.json rows differ between identical reruns"; exit 1; }
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
+
 echo "==> kernel/power/traffic differential suites (RC_JOBS=1 and 4)"
 # The dense-vs-event differential layer plus the new power-model and
 # traffic-pattern suites, under both a serial and a parallel test

@@ -25,6 +25,19 @@ struct Field {
     name: String,
     /// `#[serde(default)]`: substitute `Default::default()` when missing.
     default: bool,
+    /// `#[serde(default = "path")]`: substitute `path()` when missing.
+    default_path: Option<String>,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the field from the
+    /// serialized map when `path(&self.field)` is true.
+    skip_if: Option<String>,
+}
+
+/// Field-level serde attributes recognised by the stub.
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    default_path: Option<String>,
+    skip_if: Option<String>,
 }
 
 enum Shape {
@@ -53,9 +66,11 @@ struct Item {
 
 type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 
-/// Consumes leading attributes; returns `true` if any was `#[serde(default)]`.
-fn skip_attrs(it: &mut Tokens) -> bool {
-    let mut has_default = false;
+/// Consumes leading attributes; returns the recognised serde field
+/// attributes (`default`, `default = "path"`,
+/// `skip_serializing_if = "path"`).
+fn skip_attrs(it: &mut Tokens) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         it.next();
         let Some(TokenTree::Group(g)) = it.next() else {
@@ -65,10 +80,50 @@ fn skip_attrs(it: &mut Tokens) -> bool {
         if let Some(TokenTree::Ident(id)) = inner.next() {
             if id.to_string() == "serde" {
                 if let Some(TokenTree::Group(args)) = inner.next() {
-                    for t in args.stream() {
+                    let mut args = args.stream().into_iter().peekable();
+                    while let Some(t) = args.next() {
                         if let TokenTree::Ident(a) = t {
                             match a.to_string().as_str() {
-                                "default" => has_default = true,
+                                "default" => {
+                                    // Bare `default`, or `default = "path"`.
+                                    if matches!(
+                                        args.peek(),
+                                        Some(TokenTree::Punct(p)) if p.as_char() == '='
+                                    ) {
+                                        args.next();
+                                        match args.next() {
+                                            Some(TokenTree::Literal(path)) => {
+                                                let raw = path.to_string();
+                                                attrs.default_path =
+                                                    Some(raw.trim_matches('"').to_owned());
+                                            }
+                                            _ => panic!(
+                                                "serde_derive stub: default needs a \
+                                                 string path"
+                                            ),
+                                        }
+                                    } else {
+                                        attrs.default = true;
+                                    }
+                                }
+                                "skip_serializing_if" => {
+                                    // `= "Type::predicate"` follows.
+                                    match (args.next(), args.next()) {
+                                        (
+                                            Some(TokenTree::Punct(eq)),
+                                            Some(TokenTree::Literal(path)),
+                                        ) if eq.as_char() == '=' => {
+                                            let raw = path.to_string();
+                                            attrs.skip_if = Some(
+                                                raw.trim_matches('"').to_owned(),
+                                            );
+                                        }
+                                        _ => panic!(
+                                            "serde_derive stub: skip_serializing_if needs \
+                                             a string path"
+                                        ),
+                                    }
+                                }
                                 other => panic!(
                                     "serde_derive stub: unsupported serde attribute `{other}`"
                                 ),
@@ -79,7 +134,7 @@ fn skip_attrs(it: &mut Tokens) -> bool {
             }
         }
     }
-    has_default
+    attrs
 }
 
 /// Consumes `pub` / `pub(crate)` / `pub(super)` if present.
@@ -154,7 +209,7 @@ fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut it = ts.into_iter().peekable();
     loop {
-        let default = skip_attrs(&mut it);
+        let attrs = skip_attrs(&mut it);
         skip_visibility(&mut it);
         let Some(TokenTree::Ident(name)) = it.next() else {
             break;
@@ -166,7 +221,9 @@ fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
         skip_type(&mut it);
         fields.push(Field {
             name: name.to_string(),
-            default,
+            default: attrs.default,
+            default_path: attrs.default_path,
+            skip_if: attrs.skip_if,
         });
     }
     fields
@@ -303,24 +360,44 @@ fn type_args(item: &Item) -> String {
 }
 
 fn ser_named_fields(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
-    let entries: Vec<String> = fields
+    let entry = |f: &Field| {
+        format!(
+            "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content({a}))",
+            n = f.name,
+            a = accessor(&f.name)
+        )
+    };
+    if fields.iter().all(|f| f.skip_if.is_none()) {
+        let entries: Vec<String> = fields.iter().map(entry).collect();
+        return format!("{C}::Map(::std::vec![{}])", entries.join(", "));
+    }
+    // Conditional fields: build the map imperatively so skipped fields
+    // leave no trace (matches real serde's `skip_serializing_if`).
+    let pushes: Vec<String> = fields
         .iter()
-        .map(|f| {
-            format!(
-                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content({a}))",
-                n = f.name,
-                a = accessor(&f.name)
-            )
+        .map(|f| match &f.skip_if {
+            None => format!("__entries.push({});", entry(f)),
+            Some(pred) => format!(
+                "if !{pred}({a}) {{ __entries.push({e}); }}",
+                a = accessor(&f.name),
+                e = entry(f)
+            ),
         })
         .collect();
-    format!("{C}::Map(::std::vec![{}])", entries.join(", "))
+    format!(
+        "{{ let mut __entries: ::std::vec::Vec<(::std::string::String, {C})> = \
+         ::std::vec::Vec::new(); {} {C}::Map(__entries) }}",
+        pushes.join(" ")
+    )
 }
 
 fn de_named_fields(ty_label: &str, fields: &[Field], map_var: &str) -> String {
     fields
         .iter()
         .map(|f| {
-            let missing = if f.default {
+            let missing = if let Some(path) = &f.default_path {
+                format!("{path}()")
+            } else if f.default {
                 "::std::default::Default::default()".to_owned()
             } else {
                 format!(
