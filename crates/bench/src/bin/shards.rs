@@ -1,0 +1,242 @@
+//! In-tick sharding sweep: wall-clock speedup and byte-identity of the
+//! `RC_SHARDS` domain-decomposed tick across {mesh size × topology ×
+//! mechanism} × shard counts {1, 2, 4, 8}, composed with the event
+//! kernel (`RC_KERNEL=event` semantics — the production default).
+//!
+//! Like the topology sweep, this drives the [`Network`] directly with a
+//! closed-loop request/reply echo (the coherence protocol's sharer
+//! bitmask caps full-chip runs at 64 tiles; the interesting shard
+//! scaling starts above that). Every point re-runs the identical
+//! workload at each shard count and **asserts** the serialized
+//! statistics and fault counters are byte-for-byte identical to the
+//! serial run before reporting any speedup — a perf number from a
+//! diverged simulation would be meaningless.
+//!
+//! Speedups are honest wall-clock ratios on the current host: on a
+//! single-core container the sharded runs pay thread-spawn overhead for
+//! nothing and the ratio sits below 1; on a ≥4-core host the 256-core
+//! points are expected to clear ~1.8× at 4 shards (ci.sh gates on a
+//! softer 1.5× only when `nproc >= 4`).
+//!
+//! Knobs: `RC_SHARD_CYCLES` (injection window per point, default 3000),
+//! `RC_SHARD_CORES` (comma list, default `64,256`), `RC_SHARD_COUNTS`
+//! (comma list, default `1,2,4,8`), `RC_TOPO_WINDOW` (outstanding
+//! requests per node, default 8).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcsim_bench::{save_bench_summary, save_json, BenchRow, BenchSummary};
+use rcsim_core::circuit::CircuitKey;
+use rcsim_core::{KernelMode, MechanismConfig, MessageClass, NodeId, Topology, TopologySpec};
+use rcsim_noc::{CircuitOutcome, MessageGroup, Network, NocConfig, PacketSpec};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn cycles() -> u64 {
+    std::env::var("RC_SHARD_CYCLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000)
+}
+
+fn cores_list() -> Vec<u16> {
+    std::env::var("RC_SHARD_CORES")
+        .ok()
+        .map(|s| s.split(',').filter_map(|c| c.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u16>| !v.is_empty())
+        .unwrap_or_else(|| vec![64, 256])
+}
+
+fn shard_counts() -> Vec<usize> {
+    std::env::var("RC_SHARD_COUNTS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|c| c.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn window_outstanding() -> u32 {
+    std::env::var("RC_TOPO_WINDOW")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+}
+
+/// One measured run at a fixed shard count.
+struct Measured {
+    hit_rate: f64,
+    avg_latency: f64,
+    p99_latency: f64,
+    p999_latency: f64,
+    /// Serialized `NocStats` + fault counters: the byte-identity witness.
+    fingerprint: String,
+    /// Wall-clock seconds for the whole point (injection + drain).
+    wall: f64,
+}
+
+/// Consumes deliveries: requests bounce back as circuit-riding data
+/// replies; delivered replies release their requestor's window slot.
+fn echo(net: &mut Network, outstanding: &mut [u32]) {
+    for (node, d) in net.take_all_delivered() {
+        match d.class {
+            MessageClass::L1Request => {
+                let key = CircuitKey {
+                    requestor: d.src,
+                    block: d.block,
+                };
+                net.inject(
+                    PacketSpec::new(node, d.src, MessageClass::L2Reply)
+                        .with_block(d.block)
+                        .with_circuit_key(key),
+                );
+            }
+            MessageClass::L2Reply => outstanding[node.0 as usize] -= 1,
+            other => panic!("unexpected class {other}"),
+        }
+    }
+}
+
+/// Drives one {topology × mechanism} point at `shards` workers: a
+/// `window`-cycle closed-loop uniform echo (per-node Bernoulli at a
+/// light 0.02 requests/node/cycle, gated on a free window slot), then a
+/// drain to quiescence. Identical inputs at every shard count — the RNG
+/// stream, the injection schedule and the tick loop see no shard-count
+/// dependence whatsoever — so the fingerprints must match.
+fn run_point(
+    topology: Topology,
+    mechanism: MechanismConfig,
+    shards: usize,
+    window: u64,
+) -> Measured {
+    let cfg = NocConfig::paper_baseline(topology, mechanism);
+    let mut net = Network::new(cfg).expect("valid config");
+    net.set_kernel(KernelMode::Event);
+    net.set_shards(shards);
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(0xC1C0);
+    let n = topology.nodes() as u16;
+    let max_outstanding = window_outstanding();
+    let mut outstanding = vec![0u32; n as usize];
+    let mut block = 0u64;
+    for _ in 0..window {
+        for s in 0..n {
+            if outstanding[s as usize] < max_outstanding && rng.gen_bool(0.02) {
+                let src = NodeId(s);
+                let dst = loop {
+                    let d = NodeId(rng.gen_range(0..n));
+                    if d != src {
+                        break d;
+                    }
+                };
+                block += 64;
+                net.inject(PacketSpec::new(src, dst, MessageClass::L1Request).with_block(block));
+                outstanding[s as usize] += 1;
+            }
+        }
+        net.tick();
+        echo(&mut net, &mut outstanding);
+    }
+    let deadline = net.now() + 200 * window + 2_000_000;
+    while !net.is_quiescent() && net.now() < deadline {
+        net.tick();
+        echo(&mut net, &mut outstanding);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let health = net.health();
+    assert!(
+        net.is_quiescent(),
+        "{}/{} @ {shards} shards: not quiescent after drain\n{health}",
+        topology.label(),
+        mechanism.label()
+    );
+    let stats = net.stats();
+    let fingerprint = format!(
+        "{}|{}",
+        serde_json::to_string(&stats).expect("stats serialize"),
+        serde_json::to_string(&net.fault_stats()).expect("fault stats serialize"),
+    );
+    let lat = stats.network_latency.get(&MessageGroup::CircuitRep);
+    Measured {
+        hit_rate: stats.outcome_fraction(CircuitOutcome::OnCircuit),
+        avg_latency: lat.map_or(0.0, |l| l.mean()),
+        p99_latency: lat.and_then(|l| l.p99()).unwrap_or(0.0),
+        p999_latency: lat.and_then(|l| l.p999()).unwrap_or(0.0),
+        fingerprint,
+        wall,
+    }
+}
+
+fn main() {
+    let window = cycles();
+    let counts = shard_counts();
+    let mechanisms = [
+        ("baseline", MechanismConfig::baseline()),
+        ("complete", MechanismConfig::complete()),
+    ];
+    let specs = [
+        TopologySpec::Mesh,
+        TopologySpec::Torus,
+        TopologySpec::CMesh { concentration: 4 },
+        TopologySpec::Ring,
+    ];
+    println!("In-tick sharding sweep (RC_SHARD_CYCLES={window}, shard counts {counts:?})\n");
+    println!(
+        "{:<10} {:>6} {:<10} {:>10} speedup per shard count",
+        "topology", "cores", "mechanism", "serial s"
+    );
+    let mut summary = BenchSummary::new("shards");
+    let mut raw = Vec::new();
+    for spec in specs {
+        for &cores in &cores_list() {
+            let topology = spec.build(cores).expect("sweep sizes fit every shape");
+            for (name, mechanism) in mechanisms {
+                let mut serial: Option<Measured> = None;
+                let mut extra = BTreeMap::new();
+                let mut speedups = String::new();
+                for &shards in &counts {
+                    let m = run_point(topology, mechanism, shards, window);
+                    extra.insert(format!("wall_s_shards{shards}"), m.wall);
+                    if let Some(s) = &serial {
+                        assert_eq!(
+                            s.fingerprint,
+                            m.fingerprint,
+                            "{}/{name}/c{cores}: {shards} shards diverged from serial",
+                            topology.label()
+                        );
+                        let speedup = s.wall / m.wall.max(1e-9);
+                        extra.insert(format!("speedup_shards{shards}"), speedup);
+                        speedups.push_str(&format!("  x{shards}:{speedup:>5.2}"));
+                        raw.push((topology.label(), cores, name, shards, m.wall, speedup));
+                    } else {
+                        raw.push((topology.label(), cores, name, shards, m.wall, 1.0));
+                        serial = Some(m);
+                    }
+                }
+                let s = serial.expect("shard counts include the serial run");
+                println!(
+                    "{:<10} {:>6} {:<10} {:>9.2}s {}",
+                    topology.label(),
+                    cores,
+                    name,
+                    s.wall,
+                    speedups
+                );
+                summary.push(BenchRow {
+                    label: format!("{}/{name}/c{cores}", topology.label()),
+                    cores: cores as usize,
+                    topology: topology.label(),
+                    avg_latency: s.avg_latency,
+                    p99_latency: s.p99_latency,
+                    p999_latency: s.p999_latency,
+                    circuit_hit_rate: s.hit_rate.clamp(0.0, 1.0),
+                    extra,
+                });
+            }
+        }
+    }
+    println!("\n(every shard count is asserted byte-identical to the serial run before");
+    println!(" its speedup is reported; sub-1.0 speedups mean the host has fewer");
+    println!(" usable cores than shards)");
+    save_json("shard_sweep", &raw);
+    save_bench_summary(&mut summary);
+}

@@ -101,11 +101,10 @@ fn echo(net: &mut Network, outstanding: &mut [u32]) {
 /// slot), replies echoed back over the reserved circuits, then runs to
 /// quiescence and asserts nothing deadlocked or was abandoned.
 fn run_point(topology: Topology, mechanism: MechanismConfig, rate: f64, window: u64) -> Measured {
-    let mut cfg = NocConfig::paper_baseline(topology, mechanism);
-    // Sustained bidirectional load can wedge the legacy allocator's
-    // head-of-line shadowing (see `NocConfig::va_hol_relief`); the sweep
-    // runs with relief on so its drain assertion checks the *topologies*.
-    cfg.va_hol_relief = true;
+    // `NocConfig::va_hol_relief` defaults to on, so the sweep's drain
+    // assertion checks the *topologies*, not the legacy allocator's
+    // head-of-line shadowing wedge.
+    let cfg = NocConfig::paper_baseline(topology, mechanism);
     let mut net = Network::new(cfg).expect("valid config");
     let mut rng = StdRng::seed_from_u64(0xC1C0);
     let n = topology.nodes() as u16;

@@ -24,7 +24,7 @@ use std::time::Instant;
 /// Bumped whenever [`RunResult`] or the simulator's semantics change in a
 /// way that invalidates previously cached results. Part of the cache key,
 /// so stale entries are simply never looked up again.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Stable 64-bit FNV-1a over `bytes` — deliberately not `DefaultHasher`,
 /// whose output may change between Rust releases; cache keys must be

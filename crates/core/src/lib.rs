@@ -43,6 +43,7 @@ pub mod config;
 pub mod geometry;
 pub mod routing;
 pub mod sched;
+pub mod shard;
 pub mod topology;
 pub mod types;
 
@@ -50,6 +51,7 @@ pub use config::{CircuitMode, ConfigError, MechanismConfig, TimedPolicy};
 pub use geometry::Mesh;
 pub use routing::TopologyHealth;
 pub use sched::{KernelMode, WakeTimes};
+pub use shard::{shards_from_env, ShardPlan};
 pub use topology::{
     Topology, TopologySpec, PORT_EAST, PORT_LOCAL, PORT_NORTH, PORT_SOUTH, PORT_WEST,
 };

@@ -1,0 +1,167 @@
+//! Domain decomposition for in-tick sharded parallelism (`RC_SHARDS`).
+//!
+//! A [`ShardPlan`] partitions a topology's routers into contiguous,
+//! index-ordered domains. Because tiles are numbered `router * c + slot`
+//! (see [`Topology::tile_of`](crate::topology::Topology::tile_of)), a
+//! contiguous router range induces a contiguous tile range, so an NI and
+//! its router always land in the same shard — the property that lets a
+//! shard tick its NIs and routers with no cross-shard writes (boundary
+//! flits and credits are exchanged by a serial merge pass, in fixed
+//! shard-then-index order; see `rcsim-noc`'s `Network::tick` and
+//! DESIGN.md §13).
+//!
+//! The plan is a pure function of `(routers, shards)`: no RNG, no
+//! host-dependent input. Two constructions with the same arguments are
+//! identical, which is what makes the merge order — and therefore the
+//! whole simulation — byte-identical at any shard count.
+
+use crate::topology::Topology;
+use std::ops::Range;
+
+/// A contiguous partition of a topology's routers (and, via the
+/// concentration factor, its tiles) into `shards` balanced domains.
+///
+/// Ranges are ascending and non-empty: shard `s` owns routers
+/// `s·R/K .. (s+1)·R/K` (integer division), so sizes differ by at most
+/// one. Iterating shards in order visits every router exactly once, in
+/// global index order — the canonical merge order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Router-index boundaries; `bounds[s]..bounds[s + 1]` is shard `s`.
+    bounds: Vec<usize>,
+    /// Tiles per router, cached from the topology.
+    concentration: usize,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `topology` with the requested shard count,
+    /// clamped to `1..=routers` so every shard is non-empty.
+    pub fn new(topology: &Topology, shards: usize) -> Self {
+        let routers = topology.routers();
+        let shards = shards.clamp(1, routers.max(1));
+        let bounds = (0..=shards).map(|s| s * routers / shards).collect();
+        ShardPlan {
+            bounds,
+            concentration: topology.concentration(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total routers covered by the plan.
+    pub fn routers(&self) -> usize {
+        *self.bounds.last().expect("bounds are never empty")
+    }
+
+    /// The contiguous router-index range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shards()`.
+    pub fn router_range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The contiguous tile-index range owned by shard `s` — the router
+    /// range scaled by the concentration, so `router_of(tile)` of every
+    /// tile in the range lies in [`ShardPlan::router_range`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shards()`.
+    pub fn tile_range(&self, s: usize) -> Range<usize> {
+        (self.bounds[s] * self.concentration)..(self.bounds[s + 1] * self.concentration)
+    }
+
+    /// The shard owning router `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the plan.
+    pub fn shard_of_router(&self, r: usize) -> usize {
+        assert!(r < self.routers(), "router {r} outside the plan");
+        // First boundary strictly above r, minus one.
+        self.bounds.partition_point(|&b| b <= r) - 1
+    }
+
+    /// The shard owning tile `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside the plan.
+    pub fn shard_of_tile(&self, t: usize) -> usize {
+        self.shard_of_router(t / self.concentration)
+    }
+}
+
+/// Reads the `RC_SHARDS` environment knob: the number of in-tick worker
+/// domains (1 = the serial path, the default; values are clamped to the
+/// router count at plan construction). Mirrors
+/// [`KernelMode::from_env`](crate::sched::KernelMode::from_env): the knob
+/// deliberately lives *outside* the serializable configuration structs so
+/// cache keys and goldens are shard-invariant, exactly like `RC_KERNEL`
+/// and `RC_JOBS`.
+pub fn shards_from_env() -> usize {
+    std::env::var("RC_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologySpec;
+
+    fn mesh(cores: u16) -> Topology {
+        TopologySpec::Mesh.build(cores).unwrap()
+    }
+
+    #[test]
+    fn ranges_partition_the_routers() {
+        for shards in [1, 2, 3, 4, 7, 16] {
+            let plan = ShardPlan::new(&mesh(64), shards);
+            let mut covered = Vec::new();
+            for s in 0..plan.shards() {
+                assert!(!plan.router_range(s).is_empty(), "empty shard {s}");
+                covered.extend(plan.router_range(s));
+            }
+            assert_eq!(covered, (0..64).collect::<Vec<_>>(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_router_count() {
+        let plan = ShardPlan::new(&mesh(16), 64);
+        assert_eq!(plan.shards(), 16);
+        let plan = ShardPlan::new(&mesh(16), 0);
+        assert_eq!(plan.shards(), 1);
+    }
+
+    #[test]
+    fn tiles_follow_their_router() {
+        let t = TopologySpec::CMesh { concentration: 4 }.build(64).unwrap();
+        let plan = ShardPlan::new(&t, 4);
+        for tile in 0..t.nodes() {
+            let router = t.router_of(crate::types::NodeId(tile as u16)).index();
+            assert_eq!(
+                plan.shard_of_tile(tile),
+                plan.shard_of_router(router),
+                "tile {tile} split from its router"
+            );
+        }
+        let total: usize = (0..plan.shards()).map(|s| plan.tile_range(s).len()).sum();
+        assert_eq!(total, t.nodes());
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_its_inputs() {
+        let a = ShardPlan::new(&mesh(64), 4);
+        let b = ShardPlan::new(&mesh(64), 4);
+        assert_eq!(a, b);
+    }
+}

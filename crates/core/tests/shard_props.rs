@@ -1,0 +1,153 @@
+//! Property-based tests for the shard-partition invariants the sharded
+//! simulation kernel relies on (`RC_SHARDS`, DESIGN.md §13): every
+//! router lands in exactly one shard, domains are contiguous and
+//! balanced, tiles follow their router, links cross at most one shard
+//! edge, and the partition is a pure (seed-independent, deterministic)
+//! function of `(topology, shard count)` — so the serial merge order,
+//! which is derived from the partition, is deterministic too.
+
+use proptest::prelude::*;
+use rcsim_core::{Mesh, ShardPlan, Topology};
+
+/// A strategy over all four topology families at mixed sizes (4–1024
+/// tiles), mirroring the spread the topology benches sweep.
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2u16..=8, 2u16..=8).prop_map(|(w, h)| Topology::from(Mesh::new(w, h).expect("mesh dims"))),
+        (2u16..=8, 2u16..=8).prop_map(|(w, h)| Topology::torus(w, h).expect("torus dims")),
+        (2u16..=6, 2u16..=6, prop_oneof![Just(2u16), Just(4u16)])
+            .prop_map(|(w, h, c)| Topology::cmesh(w, h, c).expect("cmesh dims")),
+        (3u16..=64).prop_map(|n| Topology::ring(n).expect("ring size")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Partition: the shard ranges are contiguous, ordered, cover
+    /// 0..routers exactly once, and no shard is empty — every router is
+    /// owned by exactly one worker.
+    #[test]
+    fn every_router_lands_in_exactly_one_shard(
+        topology in topology_strategy(),
+        shards in 1usize..=16,
+    ) {
+        let plan = ShardPlan::new(&topology, shards);
+        prop_assert!(plan.shards() >= 1);
+        prop_assert!(plan.shards() <= topology.routers());
+        let mut next = 0;
+        for s in 0..plan.shards() {
+            let r = plan.router_range(s);
+            prop_assert_eq!(r.start, next, "shard {} not contiguous", s);
+            prop_assert!(!r.is_empty(), "shard {} empty", s);
+            for i in r.clone() {
+                prop_assert_eq!(plan.shard_of_router(i), s);
+            }
+            next = r.end;
+        }
+        prop_assert_eq!(next, topology.routers(), "ranges must cover every router");
+    }
+
+    /// Balance: contiguous `s * n / k` bounds keep shard sizes within one
+    /// router of each other, so no worker gets starved or overloaded.
+    #[test]
+    fn shards_are_balanced_within_one_router(
+        topology in topology_strategy(),
+        shards in 1usize..=16,
+    ) {
+        let plan = ShardPlan::new(&topology, shards);
+        let sizes: Vec<usize> = (0..plan.shards())
+            .map(|s| plan.router_range(s).len())
+            .collect();
+        let min = *sizes.iter().min().expect("at least one shard");
+        let max = *sizes.iter().max().expect("at least one shard");
+        prop_assert!(max - min <= 1, "unbalanced partition: {:?}", sizes);
+    }
+
+    /// Tiles follow their router: a tile's shard is its router's shard on
+    /// every topology, including concentrated meshes where several tiles
+    /// share one router — the invariant that lets NI→router injection stay
+    /// shard-local (no cross-shard writes in phase B).
+    #[test]
+    fn tiles_always_land_in_their_routers_shard(
+        topology in topology_strategy(),
+        shards in 1usize..=16,
+    ) {
+        let plan = ShardPlan::new(&topology, shards);
+        for tile in topology.iter_tiles() {
+            let router = topology.router_of(tile).index();
+            let s = plan.shard_of_router(router);
+            prop_assert_eq!(plan.shard_of_tile(tile.index()), s);
+            prop_assert!(
+                plan.tile_range(s).contains(&tile.index()),
+                "tile {} outside its shard's tile range",
+                tile
+            );
+        }
+        // And the tile ranges tile the tile space exactly.
+        let mut next = 0;
+        for s in 0..plan.shards() {
+            let t = plan.tile_range(s);
+            prop_assert_eq!(t.start, next);
+            next = t.end;
+        }
+        prop_assert_eq!(next, topology.nodes());
+    }
+
+    /// Boundary links: every link of the fabric either stays inside one
+    /// shard or connects exactly two distinct shards — contiguous ranges
+    /// make "crosses a shard edge" well-defined, which is what the
+    /// boundary flit/credit exchange of the serial merge relies on.
+    #[test]
+    fn links_cross_at_most_one_shard_edge(
+        topology in topology_strategy(),
+        shards in 1usize..=16,
+    ) {
+        let plan = ShardPlan::new(&topology, shards);
+        for router in topology.iter_routers() {
+            for port in 0..4 {
+                let Some(nb) = topology.neighbor(router, port) else {
+                    continue;
+                };
+                let a = plan.shard_of_router(router.index());
+                let b = plan.shard_of_router(nb.index());
+                // Both endpoints are owned shards; the link is either
+                // internal (a == b) or a boundary between exactly the two.
+                prop_assert!(a < plan.shards());
+                prop_assert!(b < plan.shards());
+            }
+        }
+    }
+
+    /// Purity: the plan is a deterministic function of its inputs alone —
+    /// rebuilding it (in any process, from any seed) yields identical
+    /// bounds, so the phase C merge order is reproducible by construction.
+    #[test]
+    fn partition_is_seed_independent(
+        topology in topology_strategy(),
+        shards in 1usize..=16,
+        _noise in any::<u64>(),
+    ) {
+        let a = ShardPlan::new(&topology, shards);
+        let b = ShardPlan::new(&topology, shards);
+        prop_assert_eq!(a.shards(), b.shards());
+        for s in 0..a.shards() {
+            prop_assert_eq!(a.router_range(s), b.router_range(s));
+            prop_assert_eq!(a.tile_range(s), b.tile_range(s));
+        }
+    }
+
+    /// Clamping: asking for more shards than routers degrades gracefully
+    /// to one router per shard, never to an empty domain.
+    #[test]
+    fn oversubscribed_shard_counts_clamp(
+        topology in topology_strategy(),
+        extra in 0usize..64,
+    ) {
+        let plan = ShardPlan::new(&topology, topology.routers() + extra);
+        prop_assert_eq!(plan.shards(), topology.routers());
+        for s in 0..plan.shards() {
+            prop_assert_eq!(plan.router_range(s).len(), 1);
+        }
+    }
+}

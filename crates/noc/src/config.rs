@@ -37,21 +37,29 @@ pub struct NocConfig {
     /// Head-of-line relief in the VC allocator: when the oldest waiting
     /// VC of the winning input port cannot be allocated (its virtual
     /// network has no free output VC), consider the port's younger
-    /// waiting VCs instead of granting nothing. The legacy allocator
-    /// (`false`, the default pinned by the goldens) considers only the
-    /// oldest VC, which can shadow younger VCs forever and close a
+    /// waiting VCs instead of granting nothing — the oldest VC would
+    /// otherwise shadow younger VCs forever and could close a
     /// request/reply credit cycle into a hard deadlock under sustained
-    /// bidirectional load. Synthetic sweeps that drive such load (the
-    /// topology bench) enable this.
-    #[serde(default, skip_serializing_if = "is_false")]
+    /// bidirectional load (the wedges pinned by `tests/echo_probe.rs`).
+    /// On by default since the legacy single-candidate sweep was retired
+    /// (the goldens are regenerated accordingly); the flag remains so the
+    /// config round-trips and experiments can demonstrate the legacy
+    /// wedge's *absence*, but the allocator no longer honours `false`.
+    #[serde(default = "default_true", skip_serializing_if = "is_true")]
     pub va_hol_relief: bool,
 }
 
+/// Serde default for [`NocConfig::va_hol_relief`] (on since the legacy
+/// allocator was retired).
+fn default_true() -> bool {
+    true
+}
+
 /// `skip_serializing_if` helper: keeps default configs byte-identical to
-/// the pre-flag serialization (cache keys, goldens).
+/// serializations from before the flag existed (cache keys, goldens).
 #[allow(clippy::trivially_copy_pass_by_ref)]
-fn is_false(b: &bool) -> bool {
-    !*b
+fn is_true(b: &bool) -> bool {
+    *b
 }
 
 impl NocConfig {
@@ -69,7 +77,7 @@ impl NocConfig {
             link_latency: 1,
             inject_overhead: 6,
             extra_reply_vcs: usize::from(topology.has_wrap()),
-            va_hol_relief: false,
+            va_hol_relief: true,
         }
     }
 

@@ -88,6 +88,16 @@ pub(crate) struct NiOut {
     /// Packets this tick sent on a recorded detour because their DOR path
     /// crossed a dead link or router (added to the fault counters).
     pub reroutes: u64,
+    /// The statistics-counted injection this tick started, if any (class
+    /// and flit count of the head emitted with `count_injection` set). At
+    /// most one per tick — an NI injects at most one flit per cycle. The
+    /// network replays it into [`NocStats::record_injection`]: keeping
+    /// *all* NI statistics out of [`Ni::tick`] makes the tick body safe to
+    /// run on a shard worker, with the serial merge replaying deliveries
+    /// and injections in fixed tile order so the f64 accumulation order —
+    /// and therefore every derived statistic — is byte-identical to the
+    /// serial path.
+    pub injection: Option<(MessageClass, u32)>,
 }
 
 impl NiOut {
@@ -98,6 +108,7 @@ impl NiOut {
         self.delivered.clear();
         self.corrupt_discards.clear();
         self.reroutes = 0;
+        self.injection = None;
     }
 }
 
@@ -458,13 +469,17 @@ impl Ni {
     /// One NI cycle: process ejected flits, then inject at most one flit
     /// into the router's local port (circuit streams have priority).
     /// Inputs are drained in place so the caller can reuse the buffers.
+    ///
+    /// Deliberately statistics-free: deliveries and the counted injection
+    /// are surfaced through `out` and replayed into [`NocStats`] by the
+    /// network, in tile order, so the tick body can run on a shard worker
+    /// (see [`NiOut::injection`]).
     pub(crate) fn tick(
         &mut self,
         now: Cycle,
         ejected: &mut Vec<Flit>,
         credit_arrivals: &mut Vec<usize>,
         topo: &TopologyHealth,
-        stats: &mut NocStats,
         out: &mut NiOut,
     ) {
         out.undos.append(&mut self.pending_undos);
@@ -472,9 +487,9 @@ impl Ni {
             self.credits[vc] += 1;
         }
         for flit in ejected.drain(..) {
-            self.receive_flit(flit, now, stats, out);
+            self.receive_flit(flit, now, out);
         }
-        self.inject_one(now, topo, stats, out);
+        self.inject_one(now, topo, out);
     }
 
     /// `true` when a tick with no arriving flits or credits could still
@@ -485,7 +500,7 @@ impl Ni {
         self.backlog() > 0 || !self.pending_undos.is_empty()
     }
 
-    fn receive_flit(&mut self, flit: Flit, now: Cycle, stats: &mut NocStats, out: &mut NiOut) {
+    fn receive_flit(&mut self, flit: Flit, now: Cycle, out: &mut NiOut) {
         let a = self.assembling.entry(flit.packet).or_default();
         a.received += 1;
         if flit.kind.is_head() {
@@ -526,11 +541,11 @@ impl Ni {
             }
         }
 
-        stats.record_delivery(
-            head.class,
-            head.injected_at - head.created_at,
-            now - head.injected_at,
-        );
+        // The delivery statistic is replayed by the network from the
+        // `Delivered` record below: its arguments — class, queueing delay
+        // (`injected_at - created_at`) and network latency
+        // (`delivered_at - injected_at`) — are all fields of the record,
+        // so the replay is exact.
         let circuit = head.circuit.as_deref().copied();
         if let Some(h) = &circuit {
             let register = match self.mechanism.mode {
@@ -574,13 +589,7 @@ impl Ni {
         });
     }
 
-    fn inject_one(
-        &mut self,
-        now: Cycle,
-        topo: &TopologyHealth,
-        stats: &mut NocStats,
-        out: &mut NiOut,
-    ) {
+    fn inject_one(&mut self, now: Cycle, topo: &TopologyHealth, out: &mut NiOut) {
         // Circuit streams first: they must hold their committed schedule.
         if self.circuit_active.is_none() {
             if let Some(p) = self.circuit_queue.front() {
@@ -600,7 +609,7 @@ impl Ni {
             }
         }
         if let Some(mut s) = self.circuit_active.take() {
-            let flit = self.emit_flit(&mut s, now, topo, stats, out);
+            let flit = self.emit_flit(&mut s, now, topo, out);
             out.flits.push(flit);
             if s.next_seq < s.pending.len {
                 self.circuit_active = Some(s);
@@ -617,7 +626,7 @@ impl Ni {
         if let Some(vc) = self.rr_stream.grant_among(&self.sendable) {
             let mut s = self.streams[vc].take().expect("sendable stream exists");
             self.credits[vc] -= 1;
-            let flit = self.emit_flit(&mut s, now, topo, stats, out);
+            let flit = self.emit_flit(&mut s, now, topo, out);
             out.flits.push(flit);
             if s.next_seq < s.pending.len {
                 self.streams[vc] = Some(s);
@@ -668,7 +677,6 @@ impl Ni {
         s: &mut Stream,
         now: Cycle,
         topo: &TopologyHealth,
-        stats: &mut NocStats,
         out: &mut NiOut,
     ) -> Flit {
         let p = &mut s.pending;
@@ -678,7 +686,7 @@ impl Ni {
                 p.injected_at = Some(now);
             }
             if p.count_injection {
-                stats.record_injection(p.class, p.len);
+                out.injection = Some((p.class, p.len));
             }
             // Scrounger legs and retransmissions re-emit: the breakdown
             // post-pass keeps the first injection per packet id.

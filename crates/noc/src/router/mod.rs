@@ -131,8 +131,6 @@ pub(crate) struct Router {
     va_rr_out: Vec<RoundRobin>,
     /// Reused candidate list for the VC-allocation sweep.
     va_scratch: Vec<(Cycle, usize, Vnet, NodeId)>,
-    /// See [`NocConfig::va_hol_relief`].
-    va_hol_relief: bool,
     /// Bypass flits that lost a same-cycle output conflict (ideal mode) or
     /// arrived while an earlier flit of the same stream is still queued.
     bypass_retry: Vec<VecDeque<Flit>>,
@@ -186,7 +184,6 @@ impl Router {
             sa_rr_out: (0..ports).map(|_| RoundRobin::new(ports)).collect(),
             va_rr_out: (0..ports).map(|_| RoundRobin::new(ports)).collect(),
             va_scratch: Vec::with_capacity(total),
-            va_hol_relief: cfg.va_hol_relief,
             bypass_retry: (0..ports).map(|_| VecDeque::new()).collect(),
             degraded: false,
             activity: Activity::default(),
@@ -760,15 +757,15 @@ impl Router {
                     .expect("winner came from the candidate list");
                 tried.remove(pos);
                 // The winning input port's WaitVa VCs for this output,
-                // oldest first. The legacy allocator considers only the
-                // oldest one: if its virtual network has no free output
-                // VC, the whole input port is passed over — and since
-                // that oldest VC never changes, younger VCs behind it can
-                // be shadowed forever, a head-of-line wait that can close
-                // a request/reply credit cycle into a hard deadlock under
-                // sustained load. With `va_hol_relief` the allocator
-                // walks the port's candidates in age order and grants the
-                // first one that can actually be allocated.
+                // walked in age order: the first candidate that can
+                // actually be allocated wins. (The retired legacy
+                // allocator considered only the oldest VC; if its virtual
+                // network had no free output VC the whole input port was
+                // passed over, and since that oldest VC never changes,
+                // younger VCs behind it were shadowed forever — a
+                // head-of-line wait that can close a request/reply credit
+                // cycle into a hard deadlock under sustained load; see
+                // `NocConfig::va_hol_relief` and tests/echo_probe.rs.)
                 let mut candidates = std::mem::take(&mut self.va_scratch);
                 candidates.clear();
                 candidates.extend(
@@ -787,9 +784,6 @@ impl Router {
                         }),
                 );
                 candidates.sort_unstable_by_key(|&(since, v, _, _)| (since, v));
-                if !self.va_hol_relief {
-                    candidates.truncate(1);
-                }
                 for &(_, v, vnet, dst) in &candidates {
                     // Dateline deadlock avoidance: on wrap topologies a
                     // packet crossing a network link may only claim VCs of

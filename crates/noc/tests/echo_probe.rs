@@ -1,12 +1,13 @@
 //! Sustained closed-loop request/reply echo under Complete circuits.
 //!
-//! The legacy VC allocator considers only the oldest waiting VC of the
-//! winning input port; under sustained bidirectional load the oldest VC
-//! can be unallocatable (its VN's output VCs all draining) and shadow
-//! younger VCs forever, closing a request/reply credit cycle into a hard
-//! deadlock (several of the configurations below wedge it within a few
-//! hundred cycles). `NocConfig::va_hol_relief` walks the port's waiting
-//! VCs in age order instead; with it enabled every configuration must
+//! These configurations are wedge repros for the legacy VC allocator:
+//! it considered only the oldest waiting VC of the winning input port,
+//! and under sustained bidirectional load the oldest VC can be
+//! unallocatable (its VN's output VCs all draining) and shadow younger
+//! VCs forever, closing a request/reply credit cycle into a hard
+//! deadlock within a few hundred cycles. `NocConfig::va_hol_relief` —
+//! now the default and the only allocator path — walks the port's
+//! waiting VCs in age order instead; every configuration below must
 //! drain to quiescence.
 
 use rand::rngs::StdRng;
@@ -19,8 +20,7 @@ use rcsim_noc::{Network, NocConfig, PacketSpec};
 /// outstanding; delivered requests bounce back as circuit-riding replies.
 fn drive(cores: u16, rate: f64, window: u32, cycles: u64, seed: u64) {
     let mesh = Mesh::square(cores).unwrap();
-    let mut cfg = NocConfig::paper_baseline(mesh, MechanismConfig::complete());
-    cfg.va_hol_relief = true;
+    let cfg = NocConfig::paper_baseline(mesh, MechanismConfig::complete());
     let mut net = Network::new(cfg).unwrap();
     let n = mesh.nodes() as u16;
     let mut rng = StdRng::seed_from_u64(seed);

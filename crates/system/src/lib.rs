@@ -38,7 +38,7 @@ mod sim;
 pub use chip::Chip;
 pub use core_model::Core;
 pub use open_loop::OpenLoopConfig;
-pub use rcsim_core::KernelMode;
+pub use rcsim_core::{shards_from_env, KernelMode};
 pub use rcsim_noc::{
     DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, HealthReport, IngressConfig,
     OverloadReport, StuckPortEvent, WatchdogConfig,
@@ -46,6 +46,6 @@ pub use rcsim_noc::{
 pub use rcsim_workload::ArrivalProcess;
 pub use report::{ExternalSummary, LatencyRow, RunResult};
 pub use sim::{
-    run_sim, run_sim_traced, run_sim_traced_with_kernel, run_sim_with_kernel, SimConfig, SimError,
-    TraceConfig, TraceReport,
+    run_sim, run_sim_traced, run_sim_traced_with, run_sim_traced_with_kernel, run_sim_with,
+    run_sim_with_kernel, SimConfig, SimError, TraceConfig, TraceReport,
 };

@@ -26,6 +26,14 @@ pub enum TraceSink {
     Disabled,
     /// Events go into a shared bounded ring.
     Ring(Arc<Mutex<RingLog>>),
+    /// Events go into an unbounded staging buffer, to be drained into the
+    /// real sink by whoever installed it. The sharded simulation kernel
+    /// hands each component its own buffer so workers record concurrently
+    /// without interleaving, then replays every buffer into the shared
+    /// ring in fixed component order — reproducing the serial emission
+    /// order byte for byte (DESIGN.md §13). Buffers never drop events
+    /// (they are drained every cycle, so they stay tick-sized).
+    Buffer(Arc<Mutex<Vec<TraceEvent>>>),
 }
 
 impl TraceSink {
@@ -36,6 +44,11 @@ impl TraceSink {
     /// Panics if `capacity` is zero.
     pub fn ring(capacity: usize) -> Self {
         TraceSink::Ring(Arc::new(Mutex::new(RingLog::new(capacity))))
+    }
+
+    /// A fresh unbounded staging buffer (see [`TraceSink::Buffer`]).
+    pub fn buffer() -> Self {
+        TraceSink::Buffer(Arc::new(Mutex::new(Vec::new())))
     }
 
     /// `true` when events are being recorded.
@@ -50,9 +63,16 @@ impl TraceSink {
     #[inline]
     pub fn emit(&self, f: impl FnOnce() -> TraceEvent) {
         #[cfg(feature = "hooks")]
-        if let TraceSink::Ring(ring) = self {
-            let event = f();
-            ring.lock().expect("trace ring poisoned").push(event);
+        match self {
+            TraceSink::Disabled => {}
+            TraceSink::Ring(ring) => {
+                let event = f();
+                ring.lock().expect("trace ring poisoned").push(event);
+            }
+            TraceSink::Buffer(buf) => {
+                let event = f();
+                buf.lock().expect("trace buffer poisoned").push(event);
+            }
         }
         #[cfg(not(feature = "hooks"))]
         let _ = f;
@@ -64,6 +84,7 @@ impl TraceSink {
         match self {
             TraceSink::Disabled => Vec::new(),
             TraceSink::Ring(ring) => ring.lock().expect("trace ring poisoned").snapshot(),
+            TraceSink::Buffer(buf) => buf.lock().expect("trace buffer poisoned").clone(),
         }
     }
 
@@ -72,14 +93,19 @@ impl TraceSink {
         match self {
             TraceSink::Disabled => Vec::new(),
             TraceSink::Ring(ring) => ring.lock().expect("trace ring poisoned").drain(),
+            TraceSink::Buffer(buf) => {
+                std::mem::take(&mut *buf.lock().expect("trace buffer poisoned"))
+            }
         }
     }
 
-    /// Events lost to ring overflow so far.
+    /// Events lost to ring overflow so far (buffers are unbounded and
+    /// never drop).
     pub fn dropped(&self) -> u64 {
         match self {
             TraceSink::Disabled => 0,
             TraceSink::Ring(ring) => ring.lock().expect("trace ring poisoned").dropped(),
+            TraceSink::Buffer(_) => 0,
         }
     }
 }
@@ -125,5 +151,19 @@ mod tests {
     fn sink_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TraceSink>();
+    }
+
+    #[test]
+    fn buffer_sink_stages_and_drains_in_order() {
+        let sink = TraceSink::buffer();
+        assert!(sink.is_enabled());
+        sink.emit(|| ev(3));
+        sink.emit(|| ev(1));
+        let cycles: Vec<u64> = sink.snapshot().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 1], "buffers preserve emission order");
+        assert_eq!(sink.dropped(), 0, "buffers never drop");
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.drain().is_empty(), "drain empties the buffer");
     }
 }
