@@ -417,6 +417,10 @@ pub enum ConfigError {
     /// of bounds, non-adjacent link pair, `Local` stuck port). The payload
     /// names the problem.
     FaultTopology(&'static str),
+    /// An adaptive-policy knob violates its invariants (zero decision
+    /// epoch, zero regions, inverted hysteresis band). The payload names
+    /// the problem.
+    AdaptivePolicy(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -448,6 +452,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::FaultTopology(what) => {
                 write!(f, "scheduled fault references invalid topology: {what}")
+            }
+            ConfigError::AdaptivePolicy(what) => {
+                write!(f, "adaptive policy misconfigured: {what}")
             }
         }
     }

@@ -41,6 +41,7 @@
 pub mod circuit;
 pub mod config;
 pub mod geometry;
+pub mod policy;
 pub mod routing;
 pub mod sched;
 pub mod shard;
@@ -49,6 +50,10 @@ pub mod types;
 
 pub use config::{CircuitMode, ConfigError, MechanismConfig, TimedPolicy};
 pub use geometry::Mesh;
+pub use policy::{
+    AdaptiveConfig, CongestionMap, PolicyController, RegionDecision, RegionMode, RegionSample,
+    SCORE_SCALE,
+};
 pub use routing::TopologyHealth;
 pub use sched::{KernelMode, WakeTimes};
 pub use shard::{shards_from_env, ShardPlan};

@@ -38,6 +38,7 @@
 
 use crate::config::ConfigError;
 use crate::geometry::{Coord, Mesh};
+use crate::policy::CongestionMap;
 use crate::routing::{Routing, TopologyHealth};
 use crate::types::{Direction, NodeId};
 use serde::{Deserialize, Serialize};
@@ -540,6 +541,115 @@ impl Topology {
                     return Some(path);
                 }
                 frontier.push_back(nb);
+            }
+        }
+        None
+    }
+
+    /// Like [`Topology::route_path_healthy`], but additionally refuses to
+    /// route *through* routers the [`CongestionMap`] marks hot, and —
+    /// unlike the fault BFS, whose detours are rare — constrains the path
+    /// to a deadlock-free *turn model*, because congestion detours happen
+    /// in bulk and unrestricted paths would close cycles in a virtual
+    /// network's channel-dependency graph (observed as wormhole deadlock
+    /// among detoured replies):
+    ///
+    /// * request VN (`Routing::Xy`) — **west-first**: every West hop
+    ///   precedes any other direction. XY DOR paths satisfy this (their
+    ///   X phase comes first), and west-first prohibits exactly the
+    ///   North→West / South→West turns that close both abstract mesh
+    ///   cycles (Glass & Ni), so DOR traffic plus these detours stays
+    ///   acyclic;
+    /// * reply VN (`Routing::Yx`) — **east-last**: after the first East
+    ///   hop, only East hops follow. YX DOR paths satisfy it (horizontal
+    ///   phase last), it prohibits the East→North / East→South turns
+    ///   (again one per abstract cycle), and it is exactly the *reverse*
+    ///   of west-first — so a reply retracing a detoured request's
+    ///   recorded route is compliant by construction.
+    ///
+    /// Wrap links are never taken: a detour across the torus dateline is
+    /// outside the mesh turn-model argument, so detours stay on the mesh
+    /// subgraph (torus DOR traffic keeps its dateline VC classes).
+    ///
+    /// The endpoints are exempt from the hot check — a packet cannot
+    /// avoid its own source or destination router — so this returns
+    /// `None` only when every healthy, model-compliant route crosses a
+    /// hot interior router (callers then fall back to DOR). Fixed
+    /// E/W/N/S BFS expansion order, for the same determinism guarantee
+    /// as [`Topology::route_path_healthy`].
+    pub fn route_path_healthy_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        routing: Routing,
+        topo: &TopologyHealth,
+        cong: &CongestionMap,
+    ) -> Option<Vec<NodeId>> {
+        let src = self.router_of(src);
+        let dst = self.router_of(dst);
+        if !topo.node_usable(src) || !topo.node_usable(dst) {
+            return None;
+        }
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = self.routers();
+        // Two BFS layers per router: before and after the turn-model
+        // commit point (west-first: the first non-West hop; east-last:
+        // the first East hop).
+        let idx = |r: NodeId, committed: bool| r.index() + if committed { n } else { 0 };
+        let mut prev: Vec<Option<(NodeId, bool)>> = vec![None; 2 * n];
+        let mut seen = vec![false; 2 * n];
+        seen[idx(src, false)] = true;
+        let mut frontier = VecDeque::from([(src, false)]);
+        while let Some((at, committed)) = frontier.pop_front() {
+            for port in [PORT_EAST, PORT_WEST, PORT_NORTH, PORT_SOUTH] {
+                let Some(nb) = self.neighbor(at, port) else {
+                    continue;
+                };
+                let (a, b) = (self.coord(at), self.coord(nb));
+                if a.x.abs_diff(b.x) + a.y.abs_diff(b.y) != 1 {
+                    continue; // wrap link
+                }
+                let next_committed = match routing {
+                    Routing::Xy => {
+                        if committed && port == PORT_WEST {
+                            continue;
+                        }
+                        committed || port != PORT_WEST
+                    }
+                    Routing::Yx => {
+                        if committed && port != PORT_EAST {
+                            continue;
+                        }
+                        committed || port == PORT_EAST
+                    }
+                };
+                if seen[idx(nb, next_committed)]
+                    || !topo.node_usable(nb)
+                    || !topo.link_usable(at, nb)
+                {
+                    continue;
+                }
+                if nb != dst && cong.is_hot(nb.index()) {
+                    continue;
+                }
+                seen[idx(nb, next_committed)] = true;
+                prev[idx(nb, next_committed)] = Some((at, committed));
+                if nb == dst {
+                    let mut path = vec![dst];
+                    let mut cur = (at, committed);
+                    loop {
+                        path.push(cur.0);
+                        match prev[idx(cur.0, cur.1)] {
+                            Some(p) => cur = p,
+                            None => break,
+                        }
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                frontier.push_back((nb, next_committed));
             }
         }
         None

@@ -76,6 +76,29 @@ pub struct LeakedCircuit {
     pub in_use: bool,
 }
 
+/// Counters from the adaptive runtime-policy controller (all zero when
+/// adaptation is disabled — the default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveReport {
+    /// Decision epochs the controller has run.
+    pub decisions: u64,
+    /// Regions switched calm→hot.
+    pub hot_switches: u64,
+    /// Regions switched hot→calm.
+    pub calm_switches: u64,
+    /// Circuit-table entries torn down by calm→hot mechanism switches.
+    pub circuits_torn_on_switch: u64,
+    /// Packets sent on a congestion-aware detour (DOR path healthy but
+    /// crossing a hot region; distinct from fault reroutes).
+    pub congestion_detours: u64,
+    /// Requests that skipped circuit construction because their reply
+    /// path crossed a hot region (the path-sensitive mechanism switch).
+    #[serde(default)]
+    pub circuits_suppressed: u64,
+    /// Regions hot at the time the report was taken.
+    pub hot_regions: u64,
+}
+
 /// Structured snapshot of network liveness, produced by
 /// [`crate::Network::health`] and attached to simulation results.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -118,6 +141,10 @@ pub struct HealthReport {
     /// layer is configured).
     #[serde(default)]
     pub overload: crate::ingress::OverloadReport,
+    /// Adaptive-policy controller counters (all zero when the adaptive
+    /// block is absent — the default).
+    #[serde(default)]
+    pub adaptive: AdaptiveReport,
 }
 
 impl HealthReport {
@@ -204,6 +231,20 @@ impl fmt::Display for HealthReport {
         }
         if self.overload.offered > 0 {
             writeln!(f, "  ingress: {}", self.overload)?;
+        }
+        if self.adaptive.decisions > 0 {
+            writeln!(
+                f,
+                "  adaptive: {} decisions, {} hot / {} calm switches ({} hot now), \
+                 {} circuits torn on switch, {} suppressed, {} congestion detours",
+                self.adaptive.decisions,
+                self.adaptive.hot_switches,
+                self.adaptive.calm_switches,
+                self.adaptive.hot_regions,
+                self.adaptive.circuits_torn_on_switch,
+                self.adaptive.circuits_suppressed,
+                self.adaptive.congestion_detours
+            )?;
         }
         Ok(())
     }

@@ -56,7 +56,7 @@ pub mod traffic;
 pub use config::{NocConfig, VcLayout};
 pub use fault::{DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, StuckPortEvent};
 pub use flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
-pub use health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
+pub use health::{AdaptiveReport, HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
 pub use ingress::{
     Admission, IngressConfig, OverloadReport, RejectReason, ReleasedArrival, ShedArrival,
 };

@@ -5,7 +5,7 @@
 use crate::config::NocConfig;
 use crate::fault::{FaultConfig, FaultState, FaultStats, LinkFate};
 use crate::flit::{Delivered, Flit, PacketId, PacketSpec};
-use crate::health::{HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
+use crate::health::{AdaptiveReport, HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
 use crate::ingress::{
     Admission, IngressConfig, IngressState, OverloadReport, ReleasedArrival, ShedArrival,
 };
@@ -15,8 +15,9 @@ use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::routing::{path_is_healthy, Routing};
 use rcsim_core::{
-    shards_from_env, ConfigError, Cycle, Direction, KernelMode, MessageClass, NodeId, ShardPlan,
-    Topology, TopologyHealth, WakeTimes, PORT_LOCAL,
+    shards_from_env, AdaptiveConfig, ConfigError, CongestionMap, Cycle, Direction, KernelMode,
+    MessageClass, NodeId, PolicyController, RegionMode, RegionSample, ShardPlan, Topology,
+    TopologyHealth, WakeTimes, PORT_LOCAL,
 };
 use rcsim_trace::{EventKind, TraceSink};
 use std::collections::{HashMap, HashSet};
@@ -183,6 +184,7 @@ struct NiMerge {
     n_corrupt: usize,
     injection: Option<(MessageClass, u32)>,
     reroutes: u64,
+    congestion_reroutes: u64,
 }
 
 /// The disjoint slice of network state one shard worker owns for a tick:
@@ -210,12 +212,14 @@ struct ShardWork<'a> {
 /// serial phase C to replay in fixed order. Writes go only through `w`'s
 /// disjoint slices, so any number of workers may run concurrently; see
 /// DESIGN.md §13 for the byte-identity argument.
+#[allow(clippy::too_many_arguments)]
 fn shard_phase_b(
     w: &mut ShardWork<'_>,
     now: Cycle,
     event: bool,
     topology: Topology,
     topo: &TopologyHealth,
+    cong: &CongestionMap,
     stuck: &[bool],
     ports: usize,
 ) {
@@ -240,7 +244,14 @@ fn shard_phase_b(
         }
         l.moved |= !l.ejected.is_empty();
         l.ni_out.clear();
-        w.nis[t].tick(now, &mut l.ejected, &mut l.ni_credits, topo, &mut l.ni_out);
+        w.nis[t].tick(
+            now,
+            &mut l.ejected,
+            &mut l.ni_credits,
+            topo,
+            cong,
+            &mut l.ni_out,
+        );
         l.moved |= !l.ni_out.flits.is_empty() || !l.ni_out.delivered.is_empty();
         let tile = NodeId((w.tile0 + t) as u16);
         let router = topology.router_of(tile).index() - w.router0;
@@ -264,6 +275,7 @@ fn shard_phase_b(
             || !l.ni_out.corrupt_discards.is_empty()
             || injection.is_some()
             || l.ni_out.reroutes > 0
+            || l.ni_out.congestion_reroutes > 0
         {
             l.ni_merge.push(NiMerge {
                 tile: w.tile0 + t,
@@ -271,6 +283,7 @@ fn shard_phase_b(
                 n_corrupt: l.ni_out.corrupt_discards.len(),
                 injection,
                 reroutes: l.ni_out.reroutes,
+                congestion_reroutes: l.ni_out.congestion_reroutes,
             });
             l.delivered.append(&mut l.ni_out.delivered);
             l.corrupt.append(&mut l.ni_out.corrupt_discards);
@@ -353,6 +366,21 @@ enum TopoChange {
     RouterDown(NodeId),
     /// A bounded dead-router window ends.
     RouterUp(NodeId),
+}
+
+/// Runtime state of the adaptive policy layer (DESIGN.md §14): the knobs,
+/// the region map (its *own* `ShardPlan`, independent of the `RC_SHARDS`
+/// execution plan so decisions are shard-invariant), the deterministic
+/// controller, the cumulative counters and the next decision cycle.
+/// Boxed behind `Option` so the default (adaptive-off) network carries a
+/// single extra pointer.
+#[derive(Debug)]
+struct AdaptiveState {
+    cfg: AdaptiveConfig,
+    plan: ShardPlan,
+    controller: PolicyController,
+    report: AdaptiveReport,
+    next_decision: Cycle,
 }
 
 /// One injected packet, tracked until delivery or abandonment: the raw
@@ -445,6 +473,15 @@ pub struct Network {
     ni_stage: Vec<TraceSink>,
     /// Per-router staging buffers for sharded tracing; empty otherwise.
     router_stage: Vec<TraceSink>,
+    /// Adaptive policy layer; `None` (the default) is the exact seed
+    /// behavior. See [`Network::enable_adaptive`].
+    adaptive: Option<Box<AdaptiveState>>,
+    /// Which routers the adaptive policy currently marks hot, plus the
+    /// staleness era for recorded detour paths. Always present (an
+    /// all-calm map when adaptation is off) because the era also fences
+    /// fault-heal staleness: it bumps on every link/router revival, so
+    /// post-heal replies stop riding detours recorded under the fault.
+    congestion: CongestionMap,
 }
 
 impl Network {
@@ -528,6 +565,8 @@ impl Network {
             shard_locals: Vec::new(),
             ni_stage: Vec::new(),
             router_stage: Vec::new(),
+            adaptive: None,
+            congestion: CongestionMap::new(routers_n),
         };
         // Like the kernel, the shard count is an environment knob rather
         // than part of the (serialized, cache-keyed) configuration:
@@ -573,6 +612,50 @@ impl Network {
     /// The active simulation kernel.
     pub fn kernel(&self) -> KernelMode {
         self.kernel
+    }
+
+    /// Installs the adaptive runtime-policy layer (DESIGN.md §14): a
+    /// deterministic per-region controller that, every
+    /// [`AdaptiveConfig::decision_epoch`] cycles — in the serial tick
+    /// prologue, so `RC_KERNEL` and `RC_SHARDS` byte-identity is
+    /// preserved — samples occupancy telemetry per region and flips
+    /// regions between calm and hot with hysteresis and min-dwell. While
+    /// a region is hot, requests whose reply path would cross it skip
+    /// circuit construction (path-sensitive mechanism switch; the
+    /// established circuits through it are torn down via §4.4 undo), and
+    /// congestion-aware detours route traffic around its routers — per
+    /// the config's `mech_switch` / `detour` switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::AdaptivePolicy`] when the knobs violate
+    /// their invariants (see [`AdaptiveConfig::validate`]).
+    pub fn enable_adaptive(&mut self, cfg: AdaptiveConfig) -> Result<(), ConfigError> {
+        cfg.validate()?;
+        let plan = ShardPlan::new(&self.cfg.topology, cfg.regions);
+        let controller = PolicyController::new(cfg, plan.shards());
+        self.congestion.set_features(cfg.detour, cfg.mech_switch);
+        self.adaptive = Some(Box::new(AdaptiveState {
+            cfg,
+            plan,
+            controller,
+            report: AdaptiveReport::default(),
+            next_decision: self.now + cfg.decision_epoch,
+        }));
+        Ok(())
+    }
+
+    /// The adaptive-policy counters (all zero when adaptation is off).
+    pub fn adaptive_report(&self) -> AdaptiveReport {
+        self.adaptive
+            .as_ref()
+            .map(|a| {
+                let mut r = a.report;
+                r.hot_regions = a.controller.hot_regions();
+                r.circuits_suppressed = self.nis.iter().map(|ni| ni.circuits_suppressed()).sum();
+                r
+            })
+            .unwrap_or_default()
     }
 
     /// Installs a trace sink, fanning it out to every NI and router so the
@@ -801,7 +884,13 @@ impl Network {
             });
             return (id, false);
         }
-        let committed = self.nis[spec.src.index()].enqueue(spec, id, self.now, &mut self.stats);
+        let committed = self.nis[spec.src.index()].enqueue(
+            spec,
+            id,
+            self.now,
+            &self.congestion,
+            &mut self.stats,
+        );
         self.outstanding.insert(
             id,
             Outstanding {
@@ -894,6 +983,14 @@ impl Network {
         // and draw no fault RNG.
         self.process_fault_onsets(now);
 
+        // Adaptive policy decisions come next, after the fault map has
+        // settled (a sample taken exactly at a fault-onset tick sees the
+        // post-onset state). Serial, dense, RNG-free: decisions — and the
+        // trace events and teardowns they trigger — land at the same
+        // point of every tick path, which is the whole byte-identity
+        // argument for `RC_KERNEL` × `RC_SHARDS` under adaptation.
+        self.adaptive_tick(now);
+
         // Due end-to-end retransmissions re-enter their source NI.
         let mut due_retries = Vec::new();
         self.retry_queue.retain(|&(t, id)| {
@@ -921,6 +1018,145 @@ impl Network {
         }
 
         self.fault_pre_pass(now, stuck);
+    }
+
+    /// One adaptive-policy step: on decision-epoch boundaries, samples
+    /// every region's occupancy, runs the controller, and applies the
+    /// switched regions' effects — circuit suppression flags, congestion
+    /// map updates (with an era bump when a region cools, staling
+    /// recorded detours through it), region circuit teardown, event
+    /// wake-ups and trace events. A no-op (one `Option` check) when
+    /// adaptation is off.
+    fn adaptive_tick(&mut self, now: Cycle) {
+        let Some(mut ad) = self.adaptive.take() else {
+            return;
+        };
+        if now >= ad.next_decision {
+            while ad.next_decision <= now {
+                ad.next_decision += ad.cfg.decision_epoch;
+            }
+            let samples = self.region_samples(&ad.plan);
+            // Threshold-calibration aid: `RC_ADAPT_DEBUG=1` dumps every
+            // epoch's region scores to stderr so `hot_enter`/`hot_exit`
+            // can be placed relative to a workload's calm and burst
+            // bands. Output only — never feeds back into decisions.
+            if std::env::var_os("RC_ADAPT_DEBUG").is_some() {
+                let scores: Vec<u64> = samples.iter().map(|s| s.score()).collect();
+                eprintln!("[adaptive] t={now} scores={scores:?}");
+            }
+            let decisions = ad.controller.decide(now, &samples);
+            ad.report.decisions += 1;
+            let mut newly_hot: Vec<usize> = Vec::new();
+            for d in decisions.iter().filter(|d| d.switched) {
+                let hot = d.mode == RegionMode::Hot;
+                self.sink.emit(|| rcsim_trace::TraceEvent {
+                    cycle: now,
+                    kind: EventKind::PolicySwitch {
+                        region: d.region as u16,
+                        hot,
+                        score: d.score,
+                    },
+                });
+                if hot {
+                    ad.report.hot_switches += 1;
+                    if ad.cfg.mech_switch {
+                        newly_hot.push(d.region);
+                    }
+                } else {
+                    ad.report.calm_switches += 1;
+                }
+                // Both features key off the hot-router map: detours avoid
+                // hot routers, the mechanism switch suppresses circuits
+                // whose reply path crosses one. Which of the two actually
+                // fires is gated by the feature bits armed on the map at
+                // [`Network::enable_adaptive`] time.
+                if ad.cfg.detour || ad.cfg.mech_switch {
+                    for r in ad.plan.router_range(d.region) {
+                        self.congestion.set_hot(r, hot);
+                    }
+                    if !hot {
+                        // The blocking condition cleared: recorded detour
+                        // paths through this region are stale from now on.
+                        self.congestion.bump_era();
+                    }
+                }
+                // Wake the region so the event kernel re-evaluates its
+                // components under the new policy this very cycle.
+                for t in ad.plan.tile_range(d.region) {
+                    self.ni_wake.wake_at(t, now);
+                }
+                for r in ad.plan.router_range(d.region) {
+                    self.router_wake.wake_at(r, now);
+                }
+            }
+            if !newly_hot.is_empty() {
+                ad.report.circuits_torn_on_switch +=
+                    self.teardown_regions(now, &ad.plan, &newly_hot);
+            }
+            ad.report.hot_regions = ad.controller.hot_regions();
+        }
+        self.adaptive = Some(ad);
+    }
+
+    /// Per-region occupancy sums (the [`Network::telemetry`] quantities,
+    /// split over the region plan's contiguous router/tile ranges).
+    fn region_samples(&self, plan: &ShardPlan) -> Vec<RegionSample> {
+        (0..plan.shards())
+            .map(|s| {
+                let rr = plan.router_range(s);
+                let routers = rr.len() as u64;
+                RegionSample {
+                    buffered_flits: self.routers[rr.clone()]
+                        .iter()
+                        .map(|r| r.buffered_flits() as u64)
+                        .sum(),
+                    circuit_entries: self.routers[rr]
+                        .iter()
+                        .map(|r| r.circuits.total_entries() as u64)
+                        .sum(),
+                    ni_backlog: self.nis[plan.tile_range(s)]
+                        .iter()
+                        .map(|ni| ni.backlog() as u64)
+                        .sum(),
+                    routers,
+                }
+            })
+            .collect()
+    }
+
+    /// Mechanism-switch circuit teardown. Unlike the fault path
+    /// ([`Network::teardown_circuits`]), which may rip table entries out
+    /// directly because the dead resource also kills any flit that still
+    /// references them, a policy switch happens on a *healthy* fabric:
+    /// requests may still be mid-flight writing reservations, scroungers
+    /// may be borrowing, and a direct release would strand headless body
+    /// flits. So the teardown goes through each circuit's NI *origin*
+    /// instead: every built circuit whose reply path (YX
+    /// source→requestor) crosses a newly-hot region has its origin
+    /// forgotten and §4.4 undo propagation started
+    /// ([`Ni::teardown_origin`]) — the proven abort path, which releases
+    /// entries hop by hop and defers in-use entries to the passing tail.
+    /// NIs are visited in index order and keys in sorted order, so the
+    /// teardown (and its `CircuitTear` trace stream) is deterministic.
+    /// Returns the circuits torn.
+    fn teardown_regions(&mut self, now: Cycle, plan: &ShardPlan, regions: &[usize]) -> u64 {
+        let topology = self.cfg.topology;
+        let mut torn = 0u64;
+        for i in 0..self.nis.len() {
+            let node = NodeId(i as u16);
+            for key in self.nis[i].origin_keys() {
+                let reply_path = topology.route_path(node, key.requestor, Routing::Yx);
+                if reply_path
+                    .iter()
+                    .any(|r| regions.contains(&plan.shard_of_router(r.index())))
+                    && self.nis[i].teardown_origin(key)
+                {
+                    torn += 1;
+                    self.ni_wake.wake_at(i, now);
+                }
+            }
+        }
+        torn
     }
 
     /// The dense per-cycle fault pre-pass, hoisted ahead of the NI and
@@ -1011,6 +1247,7 @@ impl Network {
                 &mut s.ejected,
                 &mut s.ni_credits,
                 &self.topo,
+                &self.congestion,
                 &mut s.ni_out,
             );
             moved |= !s.ni_out.flits.is_empty() || !s.ni_out.delivered.is_empty();
@@ -1033,6 +1270,11 @@ impl Network {
             if s.ni_out.reroutes > 0 {
                 if let Some(fs) = self.faults.as_mut() {
                     fs.stats.packets_rerouted += s.ni_out.reroutes;
+                }
+            }
+            if s.ni_out.congestion_reroutes > 0 {
+                if let Some(ad) = self.adaptive.as_mut() {
+                    ad.report.congestion_detours += s.ni_out.congestion_reroutes;
                 }
             }
             let tile = NodeId(i as u16);
@@ -1174,6 +1416,7 @@ impl Network {
         // Phase B.
         {
             let topo = &self.topo;
+            let cong = &self.congestion;
             let stuck = &s.stuck[..];
             let mut works: Vec<ShardWork<'_>> = Vec::with_capacity(plan.shards());
             let mut nis = &mut self.nis[..];
@@ -1218,11 +1461,11 @@ impl Network {
                 let handles: Vec<_> = works
                     .map(|mut w| {
                         scope.spawn(move || {
-                            shard_phase_b(&mut w, now, event, topology, topo, stuck, ports);
+                            shard_phase_b(&mut w, now, event, topology, topo, cong, stuck, ports);
                         })
                     })
                     .collect();
-                shard_phase_b(&mut first, now, event, topology, topo, stuck, ports);
+                shard_phase_b(&mut first, now, event, topology, topo, cong, stuck, ports);
                 for h in handles {
                     h.join().expect("shard worker panicked");
                 }
@@ -1270,6 +1513,11 @@ impl Network {
                 if e.reroutes > 0 {
                     if let Some(fs) = self.faults.as_mut() {
                         fs.stats.packets_rerouted += e.reroutes;
+                    }
+                }
+                if e.congestion_reroutes > 0 {
+                    if let Some(ad) = self.adaptive.as_mut() {
+                        ad.report.congestion_detours += e.congestion_reroutes;
                     }
                 }
                 for k in 0..e.n_corrupt {
@@ -1583,6 +1831,11 @@ impl Network {
                 TopoChange::LinkDown(..) | TopoChange::RouterDown(..)
             ) {
                 self.teardown_circuits(now);
+            } else {
+                // A heal invalidates recorded detour paths: any reply path
+                // an NI memorised before this cycle may now be worse than
+                // DOR, so stale it via the era fence.
+                self.congestion.bump_era();
             }
         }
     }
@@ -1792,6 +2045,7 @@ impl Network {
             dead_routers,
             l1_reissues: 0,
             overload: self.overload_report(),
+            adaptive: self.adaptive_report(),
         }
     }
 }

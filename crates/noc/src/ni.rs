@@ -10,7 +10,8 @@ use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::{CircuitHandle, CircuitKey};
 use rcsim_core::routing::{path_is_healthy, Routing};
 use rcsim_core::{
-    CircuitMode, Cycle, MechanismConfig, MessageClass, NodeId, Topology, TopologyHealth, Vnet,
+    CircuitMode, CongestionMap, Cycle, MechanismConfig, MessageClass, NodeId, Topology,
+    TopologyHealth, Vnet,
 };
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -88,6 +89,10 @@ pub(crate) struct NiOut {
     /// Packets this tick sent on a recorded detour because their DOR path
     /// crossed a dead link or router (added to the fault counters).
     pub reroutes: u64,
+    /// Packets this tick sent on a congestion-aware detour: their DOR path
+    /// was healthy but crossed a hot region (added to the adaptive
+    /// counters, not the fault counters).
+    pub congestion_reroutes: u64,
     /// The statistics-counted injection this tick started, if any (class
     /// and flit count of the head emitted with `count_injection` set). At
     /// most one per tick — an NI injects at most one flit per cycle. The
@@ -108,6 +113,7 @@ impl NiOut {
         self.delivered.clear();
         self.corrupt_discards.clear();
         self.reroutes = 0;
+        self.congestion_reroutes = 0;
         self.injection = None;
     }
 }
@@ -137,8 +143,13 @@ pub(crate) struct Ni {
     /// Reversed source routes of detoured requests delivered here, keyed
     /// by `(requestor, block)`: consumed when the matching reply is
     /// emitted so it retraces the request's detour instead of a freshly
-    /// recomputed route (path symmetry, DESIGN.md §10). Bounded FIFO.
-    reply_paths: HashMap<(NodeId, u64), Vec<NodeId>>,
+    /// recomputed route (path symmetry, DESIGN.md §10). Each route is
+    /// stamped with the [`CongestionMap`] era it was recorded under and
+    /// only consumed while that era is still current — when the blocking
+    /// condition heals (link/router revival, hot region cooling) the era
+    /// bumps and the stale detour is ignored, so post-heal replies return
+    /// to DOR. Bounded FIFO.
+    reply_paths: HashMap<(NodeId, u64), (u64, Vec<NodeId>)>,
     /// Insertion order of `reply_paths` keys, for deterministic eviction.
     reply_path_order: VecDeque<(NodeId, u64)>,
     /// Circuit origins removed by fault-recovery teardown; consumed when
@@ -149,6 +160,9 @@ pub(crate) struct Ni {
     pending_undos: Vec<(CircuitKey, NodeId)>,
     /// Reused scratch for [`Ni::inject_one`]'s sendable-VC collection.
     sendable: Vec<usize>,
+    /// Requests whose circuit construction the adaptive mechanism switch
+    /// suppressed (reply path crossed a hot region at enqueue time).
+    circuits_suppressed: u64,
     /// Where trace events go; disabled by default.
     sink: TraceSink,
 }
@@ -179,8 +193,15 @@ impl Ni {
             assembling: HashMap::new(),
             pending_undos: Vec::new(),
             sendable: Vec::new(),
+            circuits_suppressed: 0,
             sink: TraceSink::default(),
         }
+    }
+
+    /// How many requests enqueued here had their circuit construction
+    /// suppressed by the adaptive mechanism switch.
+    pub(crate) fn circuits_suppressed(&self) -> u64 {
+        self.circuits_suppressed
     }
 
     pub(crate) fn set_trace_sink(&mut self, sink: TraceSink) {
@@ -205,6 +226,31 @@ impl Ni {
         }
     }
 
+    /// The circuit keys of every origin registered at this NI, in sorted
+    /// order (deterministic iteration for the adaptive teardown).
+    pub(crate) fn origin_keys(&self) -> Vec<CircuitKey> {
+        let mut keys: Vec<CircuitKey> = self.origins.keys().copied().collect();
+        keys.sort_by_key(|k| (k.requestor, k.block));
+        keys
+    }
+
+    /// Mechanism-switch teardown (DESIGN.md §14): forgets the origin and
+    /// starts §4.4 undo propagation to release the router entries hop by
+    /// hop — the abort path that is already safe against every in-flight
+    /// race (reservations still arriving, borrowed scroungers, streams:
+    /// in-use entries are flagged `undo_pending` and removed when the
+    /// tail passes). The reply that would have ridden the circuit records
+    /// the `torn_down` outcome and goes packet-switched.
+    pub(crate) fn teardown_origin(&mut self, key: CircuitKey) -> bool {
+        if self.origins.remove(&key).is_some() {
+            self.torn.insert(key);
+            self.pending_undos.push((key, key.requestor));
+            true
+        } else {
+            false
+        }
+    }
+
     /// Protocol-initiated circuit teardown (the L2-forwards-to-owner flow
     /// of §4.4). Records the `undone` outcome and starts undo propagation.
     pub(crate) fn undo_circuit(&mut self, key: CircuitKey, stats: &mut NocStats) -> bool {
@@ -225,6 +271,7 @@ impl Ni {
         spec: PacketSpec,
         id: PacketId,
         now: Cycle,
+        cong: &CongestionMap,
         stats: &mut NocStats,
     ) -> bool {
         let len = spec
@@ -255,6 +302,7 @@ impl Ni {
             if spec.class.builds_circuit()
                 && self.mechanism.circuits_enabled()
                 && self.topology.hop_count(spec.src, spec.dst) > 0
+                && !self.mech_switch_suppresses(&spec, cong)
             {
                 let reply_flits = expected_reply_flits(spec.class, self.flit_bytes);
                 // The tail of a multi-flit request arrives len-1 cycles
@@ -363,6 +411,31 @@ impl Ni {
             self.queues[pending.vnet.index()].push_back(pending);
         }
         committed
+    }
+
+    /// The adaptive mechanism switch (DESIGN.md §14): `true` when circuit
+    /// construction for this request should be skipped because the reply
+    /// it reserves for would cross a hot region. The reply retraces the
+    /// request's route YX (§4.1), so the check routes `dst → src` on the
+    /// reply vnet; endpoints are exempt for the same reason as in
+    /// [`Ni::path_is_congested`] — a reply into or out of the hot region
+    /// cannot avoid it, and a reservation still beats queueing there.
+    /// Suppression is path-sensitive rather than per-source: a requestor
+    /// far from the congestion keeps building circuits on clear paths,
+    /// while any requestor whose reply would thread the jam falls back to
+    /// Baseline-equivalent packet switching (no timed window to miss, no
+    /// undo traffic when it inevitably would).
+    fn mech_switch_suppresses(&mut self, spec: &PacketSpec, cong: &CongestionMap) -> bool {
+        if !cong.suppress_active() {
+            return false;
+        }
+        let reply = self.topology.route_path(spec.dst, spec.src, Routing::Yx);
+        if Self::path_is_congested(&reply, cong) {
+            self.circuits_suppressed += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Re-injection of a scrounger at its intermediate node: same logical
@@ -480,6 +553,7 @@ impl Ni {
         ejected: &mut Vec<Flit>,
         credit_arrivals: &mut Vec<usize>,
         topo: &TopologyHealth,
+        cong: &CongestionMap,
         out: &mut NiOut,
     ) {
         out.undos.append(&mut self.pending_undos);
@@ -487,9 +561,9 @@ impl Ni {
             self.credits[vc] += 1;
         }
         for flit in ejected.drain(..) {
-            self.receive_flit(flit, now, out);
+            self.receive_flit(flit, now, cong, out);
         }
-        self.inject_one(now, topo, out);
+        self.inject_one(now, topo, cong, out);
     }
 
     /// `true` when a tick with no arriving flits or credits could still
@@ -500,7 +574,7 @@ impl Ni {
         self.backlog() > 0 || !self.pending_undos.is_empty()
     }
 
-    fn receive_flit(&mut self, flit: Flit, now: Cycle, out: &mut NiOut) {
+    fn receive_flit(&mut self, flit: Flit, now: Cycle, cong: &CongestionMap, out: &mut NiOut) {
         let a = self.assembling.entry(flit.packet).or_default();
         a.received += 1;
         if flit.kind.is_head() {
@@ -537,7 +611,7 @@ impl Ni {
                 // reply retraces it (path symmetry, DESIGN.md §10).
                 let mut rev = path.as_ref().clone();
                 rev.reverse();
-                self.record_reply_path((head.src, head.block), rev);
+                self.record_reply_path((head.src, head.block), cong.era(), rev);
             }
         }
 
@@ -589,7 +663,13 @@ impl Ni {
         });
     }
 
-    fn inject_one(&mut self, now: Cycle, topo: &TopologyHealth, out: &mut NiOut) {
+    fn inject_one(
+        &mut self,
+        now: Cycle,
+        topo: &TopologyHealth,
+        cong: &CongestionMap,
+        out: &mut NiOut,
+    ) {
         // Circuit streams first: they must hold their committed schedule.
         if self.circuit_active.is_none() {
             if let Some(p) = self.circuit_queue.front() {
@@ -609,7 +689,7 @@ impl Ni {
             }
         }
         if let Some(mut s) = self.circuit_active.take() {
-            let flit = self.emit_flit(&mut s, now, topo, out);
+            let flit = self.emit_flit(&mut s, now, topo, cong, out);
             out.flits.push(flit);
             if s.next_seq < s.pending.len {
                 self.circuit_active = Some(s);
@@ -626,7 +706,7 @@ impl Ni {
         if let Some(vc) = self.rr_stream.grant_among(&self.sendable) {
             let mut s = self.streams[vc].take().expect("sendable stream exists");
             self.credits[vc] -= 1;
-            let flit = self.emit_flit(&mut s, now, topo, out);
+            let flit = self.emit_flit(&mut s, now, topo, cong, out);
             out.flits.push(flit);
             if s.next_seq < s.pending.len {
                 self.streams[vc] = Some(s);
@@ -677,6 +757,7 @@ impl Ni {
         s: &mut Stream,
         now: Cycle,
         topo: &TopologyHealth,
+        cong: &CongestionMap,
         out: &mut NiOut,
     ) -> Flit {
         let p = &mut s.pending;
@@ -697,8 +778,8 @@ impl Ni {
                     node: self.node.0,
                 },
             });
-            if topo.is_degraded() && p.dst != self.node {
-                path = self.plan_detour(p, now, topo, out);
+            if (topo.is_degraded() || cong.detour_active()) && p.dst != self.node {
+                path = self.plan_detour(p, now, topo, cong, out);
             }
         }
         let kind = FlitKind::for_position(s.next_seq, p.len);
@@ -730,14 +811,16 @@ impl Ni {
         flit
     }
 
-    /// When the packet's DOR route crosses a dead link or router, the
-    /// detour to record in its head flit: the reversed route of the
-    /// request it answers when one was recorded (path symmetry, DESIGN.md
-    /// §10), else a deterministic BFS around the dead region. `None` when
-    /// DOR is healthy (the ordinary case, bit-identical to a fault-free
-    /// run) or when no healthy route exists at all — then the flit is
-    /// emitted on DOR, dies at the dead resource and the end-to-end
-    /// retry/abandon machinery takes over.
+    /// When the packet's DOR route crosses a dead link or router — or a
+    /// hot region the adaptive policy wants avoided — the detour to record
+    /// in its head flit: the reversed route of the request it answers when
+    /// a current-era one was recorded (path symmetry, DESIGN.md §10), else
+    /// a deterministic BFS around the dead (and, when adaptation is on,
+    /// hot) region. `None` when DOR is healthy and uncongested (the
+    /// ordinary case, bit-identical to a fault-free run), when every
+    /// healthy route crosses the hot region anyway, or when no healthy
+    /// route exists at all — then the flit is emitted on DOR and, for
+    /// faults, the end-to-end retry/abandon machinery takes over.
     // The Box matches `Flit::path`, which keeps the no-detour case
     // pointer-sized on every head flit.
     #[allow(clippy::box_collection)]
@@ -746,29 +829,67 @@ impl Ni {
         p: &mut Pending,
         now: Cycle,
         topo: &TopologyHealth,
+        cong: &CongestionMap,
         out: &mut NiOut,
     ) -> Option<Box<Vec<NodeId>>> {
         let dor = self
             .topology
             .route_path(self.node, p.dst, Routing::for_vnet(p.vnet));
-        if path_is_healthy(&dor, topo) {
+        let dor_healthy = path_is_healthy(&dor, topo);
+        let dor_congested = cong.detour_active() && Self::path_is_congested(&dor, cong);
+        if dor_healthy && !dor_congested {
             return None;
         }
         let my_router = self.topology.router_of(self.node);
         let recorded = if p.vnet == Vnet::Reply {
             self.reply_paths
                 .remove(&(p.dst, p.block))
-                .filter(|r| r.first() == Some(&my_router) && path_is_healthy(r, topo))
+                .filter(|(era, r)| {
+                    *era == cong.era()
+                        && r.first() == Some(&my_router)
+                        && path_is_healthy(r, topo)
+                        // While adaptive detours are live, every reply-VN
+                        // path must obey the east-last turn model (see
+                        // `route_path_healthy_avoiding`). Reversed
+                        // congestion detours comply by construction
+                        // (reverse of west-first); a reversed *fault*
+                        // detour may not — those replies re-plan instead.
+                        && (!cong.detour_active() || self.path_obeys_east_last(r))
+                })
+                .map(|(_, r)| r)
         } else {
             None
         };
-        let detour =
-            recorded.or_else(|| self.topology.route_path_healthy(self.node, p.dst, topo))?;
+        let detour = recorded.or_else(|| {
+            if cong.detour_active() {
+                // Prefer a route that is both healthy and clear of hot
+                // regions; when none exists, congestion alone is not
+                // worth stalling for — fall through.
+                if let Some(clear) = self.topology.route_path_healthy_avoiding(
+                    self.node,
+                    p.dst,
+                    Routing::for_vnet(p.vnet),
+                    topo,
+                    cong,
+                ) {
+                    return Some(clear);
+                }
+            }
+            if dor_healthy {
+                None
+            } else {
+                self.topology.route_path_healthy(self.node, p.dst, topo)
+            }
+        })?;
         // A detoured request reserves nothing: the reservation mirror
         // assumes the reply retraces the request's DOR route (§4.1),
         // which the detour breaks.
         p.circuit = None;
-        out.reroutes += 1;
+        if dor_healthy {
+            out.congestion_reroutes += 1;
+        } else {
+            out.reroutes += 1;
+        }
         self.sink.emit(|| TraceEvent {
             cycle: now,
             kind: EventKind::NiReroute {
@@ -779,11 +900,36 @@ impl Ni {
         Some(Box::new(detour))
     }
 
+    /// `true` when the recorded path satisfies the reply VN's east-last
+    /// turn model: after its first East hop, every hop is East.
+    fn path_obeys_east_last(&self, path: &[NodeId]) -> bool {
+        let mut gone_east = false;
+        for w in path.windows(2) {
+            let east = self.topology.port_between(w[0], w[1]) == Some(rcsim_core::PORT_EAST);
+            if gone_east && !east {
+                return false;
+            }
+            gone_east |= east;
+        }
+        true
+    }
+
+    /// `true` when the routed path crosses a hot *interior* router. The
+    /// endpoints are exempt: traffic into or out of a hot router cannot
+    /// avoid it, so detouring such a packet would burn hops for nothing.
+    fn path_is_congested(path: &[NodeId], cong: &CongestionMap) -> bool {
+        path.len() > 2
+            && path[1..path.len() - 1]
+                .iter()
+                .any(|r| cong.is_hot(r.index()))
+    }
+
     /// Remembers the reversed route of a detoured request so its reply can
-    /// retrace it. Bounded: the oldest recorded route is evicted first.
-    fn record_reply_path(&mut self, key: (NodeId, u64), rev: Vec<NodeId>) {
+    /// retrace it, stamped with the current staleness era. Bounded: the
+    /// oldest recorded route is evicted first.
+    fn record_reply_path(&mut self, key: (NodeId, u64), era: u64, rev: Vec<NodeId>) {
         const REPLY_PATH_CAP: usize = 256;
-        if self.reply_paths.insert(key, rev).is_none() {
+        if self.reply_paths.insert(key, (era, rev)).is_none() {
             self.reply_path_order.push_back(key);
         }
         while self.reply_paths.len() > REPLY_PATH_CAP {

@@ -204,6 +204,157 @@ fn isolated_node_abandons_after_retries() {
 }
 
 #[test]
+fn reply_after_heal_ignores_stale_recorded_path() {
+    // Regression: recorded reverse paths are keyed (dst, block) and
+    // era-stamped. A request detours around a dead link and its reversed
+    // route is recorded at the responder — but the link heals before the
+    // reply is sent, so the reply must ride plain DOR, not retrace the
+    // now-pointless detour. Observable two ways: the reroute counter
+    // stays at 1 (the request only), and the reply's in-network latency
+    // equals that of a control reply that never had a recorded path.
+    let mut n = faulty_net(MechanismConfig::complete(), dead_link(1, 2, 0, Some(400)));
+    n.inject(PacketSpec::new(NodeId(0), NodeId(3), MessageClass::L1Request).with_block(0x40));
+    run(&mut n, 300);
+    assert_eq!(n.take_delivered(NodeId(3)).len(), 1);
+    assert_eq!(n.health().faults.packets_rerouted, 1, "request detoured");
+
+    run(&mut n, 200); // past the heal at cycle 400 (bumps the path era)
+    assert!(n.health().dead_links.is_empty());
+
+    // Control: a reply between the same endpoints with a block no request
+    // ever recorded a path for — pure DOR by construction.
+    let control_key = CircuitKey {
+        requestor: NodeId(0),
+        block: 0x999,
+    };
+    n.inject(
+        PacketSpec::new(NodeId(3), NodeId(0), MessageClass::L2Reply)
+            .with_block(0x999)
+            .with_circuit_key(control_key),
+    );
+    run(&mut n, 100);
+    let control = n.take_delivered(NodeId(0));
+    assert_eq!(control.len(), 1);
+    let dor_latency = control[0].delivered_at - control[0].injected_at;
+
+    // The reply to the detoured request: its recorded path is stale.
+    let key = CircuitKey {
+        requestor: NodeId(0),
+        block: 0x40,
+    };
+    n.inject(
+        PacketSpec::new(NodeId(3), NodeId(0), MessageClass::L2Reply)
+            .with_block(0x40)
+            .with_circuit_key(key),
+    );
+    run(&mut n, 100);
+    let d = n.take_delivered(NodeId(0));
+    assert_eq!(d.len(), 1);
+    assert_eq!(
+        d[0].delivered_at - d[0].injected_at,
+        dor_latency,
+        "post-heal reply must match the control's DOR latency, \
+         not retrace the recorded detour"
+    );
+    assert_eq!(
+        n.health().faults.packets_rerouted,
+        1,
+        "no reroute may be charged to the post-heal reply"
+    );
+    assert!(n.health().healthy());
+}
+
+#[test]
+fn reply_after_region_cools_ignores_stale_congestion_detour() {
+    // The congestion twin of the heal test: a request detours around a
+    // hot region and its reversed route is recorded — then the region
+    // cools (which bumps the staleness era) before the reply is sent.
+    // The reply must ride plain DOR: the congestion-detour counter stays
+    // at the request's 1 and the reply's latency matches a control.
+    use rcsim_core::AdaptiveConfig;
+    let mesh = Mesh::new(4, 4).unwrap();
+    let mut n = Network::new(NocConfig::paper_baseline(mesh, MechanismConfig::baseline())).unwrap();
+    n.enable_adaptive(AdaptiveConfig {
+        decision_epoch: 10,
+        regions: 4, // rows of the 4×4 mesh
+        hot_enter: 512,
+        hot_exit: 64,
+        min_dwell: 10,
+        detour: true,
+        mech_switch: false,
+    })
+    .unwrap();
+
+    // Pile write-backs onto node 1's NI: region 0 (routers 0–3) heats at
+    // the next decision epoch.
+    for i in 0..48u64 {
+        n.inject(PacketSpec::new(NodeId(1), NodeId(2), MessageClass::WbData).with_block(i * 64));
+    }
+    run(&mut n, 12);
+    assert!(
+        n.health().adaptive.hot_switches >= 1,
+        "backlog must heat row 0: {}",
+        n.health()
+    );
+
+    // A request across the hot row detours around it (and node 3's NI
+    // records the reversed route for the reply).
+    n.inject(PacketSpec::new(NodeId(0), NodeId(3), MessageClass::L1Request).with_block(0x40));
+    run(&mut n, 100);
+    assert_eq!(n.take_delivered(NodeId(3)).len(), 1);
+    let detours = n.health().adaptive.congestion_detours;
+    assert!(detours >= 1, "request must detour: {}", n.health());
+
+    // Drain the backlog; the region cools, staling the recorded path.
+    run(&mut n, 2_000);
+    assert!(n.is_quiescent());
+    assert!(
+        n.health().adaptive.calm_switches >= 1,
+        "row 0 must cool: {}",
+        n.health()
+    );
+
+    let control_key = CircuitKey {
+        requestor: NodeId(0),
+        block: 0x999,
+    };
+    n.inject(
+        PacketSpec::new(NodeId(3), NodeId(0), MessageClass::L2Reply)
+            .with_block(0x999)
+            .with_circuit_key(control_key),
+    );
+    run(&mut n, 100);
+    let control = n.take_delivered(NodeId(0));
+    assert_eq!(control.len(), 1);
+    let dor_latency = control[0].delivered_at - control[0].injected_at;
+
+    let key = CircuitKey {
+        requestor: NodeId(0),
+        block: 0x40,
+    };
+    n.inject(
+        PacketSpec::new(NodeId(3), NodeId(0), MessageClass::L2Reply)
+            .with_block(0x40)
+            .with_circuit_key(key),
+    );
+    run(&mut n, 100);
+    let d = n.take_delivered(NodeId(0));
+    assert_eq!(d.len(), 1);
+    assert_eq!(
+        d[0].delivered_at - d[0].injected_at,
+        dor_latency,
+        "post-cool reply must match the control's DOR latency, \
+         not retrace the recorded congestion detour"
+    );
+    assert_eq!(
+        n.health().adaptive.congestion_detours,
+        detours,
+        "no congestion detour may be charged to the post-cool reply"
+    );
+    assert!(n.health().healthy());
+}
+
+#[test]
 fn dead_fault_config_survives_serde_round_trip() {
     let f = dead_link(1, 2, 100, Some(50));
     let json = serde_json::to_string(&f).unwrap();

@@ -209,6 +209,17 @@ impl Chip {
         )));
     }
 
+    /// Turns on the adaptive runtime-policy controller: per-region
+    /// congestion-aware detours and mechanism switching on the network
+    /// (see [`Network::enable_adaptive`](rcsim_noc::Network::enable_adaptive)
+    /// and DESIGN.md §14). Call before the first [`Chip::tick`].
+    pub fn enable_adaptive(
+        &mut self,
+        cfg: rcsim_core::AdaptiveConfig,
+    ) -> Result<(), rcsim_core::ConfigError> {
+        self.net.enable_adaptive(cfg)
+    }
+
     /// The external-traffic summary (all-zero for closed-loop chips).
     pub fn external_summary(&self) -> ExternalSummary {
         self.open_loop

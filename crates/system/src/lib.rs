@@ -38,7 +38,7 @@ mod sim;
 pub use chip::Chip;
 pub use core_model::Core;
 pub use open_loop::OpenLoopConfig;
-pub use rcsim_core::{shards_from_env, KernelMode};
+pub use rcsim_core::{shards_from_env, AdaptiveConfig, KernelMode};
 pub use rcsim_noc::{
     DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, HealthReport, IngressConfig,
     OverloadReport, StuckPortEvent, WatchdogConfig,

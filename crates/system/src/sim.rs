@@ -2,7 +2,7 @@
 
 use crate::chip::Chip;
 use crate::report::RunResult;
-use rcsim_core::{shards_from_env, KernelMode, MechanismConfig, TopologySpec};
+use rcsim_core::{shards_from_env, AdaptiveConfig, KernelMode, MechanismConfig, TopologySpec};
 use rcsim_noc::{FaultConfig, HealthReport, WatchdogConfig};
 use rcsim_power::{area_savings, EnergyModel};
 use rcsim_protocol::ProtocolConfig;
@@ -57,6 +57,12 @@ pub struct SimConfig {
     /// and goldens stay byte-identical.
     #[serde(default, skip_serializing_if = "TopologySpec::is_mesh")]
     pub topology: TopologySpec,
+    /// Adaptive runtime policies: congestion-aware detours and per-region
+    /// mechanism switching (`None` keeps the network static — the
+    /// default, omitted from serialization so existing cache keys and
+    /// goldens stay byte-identical).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl SimConfig {
@@ -76,6 +82,7 @@ impl SimConfig {
             max_reissues: None,
             open_loop: None,
             topology: TopologySpec::Mesh,
+            adaptive: None,
         }
     }
 
@@ -279,6 +286,9 @@ fn run_sim_inner(
     chip.set_shards(shards);
     if let Some(ol) = &cfg.open_loop {
         chip.enable_open_loop(ol.clone(), cfg.seed);
+    }
+    if let Some(ad) = cfg.adaptive {
+        chip.enable_adaptive(ad)?;
     }
 
     let sink = match trace {

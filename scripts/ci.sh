@@ -225,6 +225,34 @@ if [ "$(nproc)" -ge 4 ]; then
     || { echo "FAIL: expected > 1.5x tick speedup with RC_SHARDS=4 at 256 cores on a $(nproc)-core runner (best ${best:-0})"; exit 1; }
 fi
 
+echo "==> adaptive policy smoke (static-vs-adaptive rows, off-path byte-identity)"
+# Adaptive-policy gate (DESIGN.md §14). The differential suite proves
+# the policy hooks are invisible with `adaptive` off (traced kernel x
+# shard matrix on mesh and torus) and deterministic with it on; the
+# property suite pins the controller's hysteresis/dwell algebra and the
+# teardown conservation law. The adaptive bench then runs the
+# adversarial sweep — phased hotspot salvos over a light closed-loop
+# foreground — and asserts internally that the adaptive row beats the
+# best static row on p99 RTT or foreground goodput while actually
+# switching; the rows are echoed here so a CI log shows the margin.
+# Finally, an off-path re-check: a fresh RC_NO_CACHE=1 fig6 run after
+# the policy layer has been exercised must still match the serial rows
+# from the sweep smoke bit for bit (RC_NO_CACHE=1 is load-bearing —
+# `adaptive` is skip-serialized when off, so a cache hit would compare
+# a pre-adaptive row with itself).
+$CARGO test -q -p rcsim-system --test adaptive_diff "$@"
+$CARGO test -q -p rcsim-core --test policy_props "$@"
+$CARGO run --release -q -p rcsim-bench --bin adaptive "$@" > /dev/null
+test -s target/experiments/BENCH_adaptive.json
+grep -E '"(label|p99_latency|goodput)"' target/experiments/BENCH_adaptive.json \
+  | sed 's/^ */    /'
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
+env "${smoke[@]}" RC_JOBS=1 RC_NO_CACHE=1 \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+diff <(strip_telemetry target/experiments/ci_fig6_serial.json) \
+     <(strip_telemetry target/experiments/BENCH_fig6.json) \
+  || { echo "FAIL: adaptive-off BENCH_fig6.json rows drifted after the adaptive smoke"; exit 1; }
+
 echo "==> kernel/shard/power/traffic differential suites (RC_JOBS=1 and 4)"
 # The dense-vs-event differential layer plus the new power-model and
 # traffic-pattern suites, under both a serial and a parallel test
