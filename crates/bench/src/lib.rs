@@ -34,7 +34,9 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 pub use rcsim_trace::{BenchRow, BenchSummary};
-pub use sweep::{cache_key, SweepOutcome, SweepRunner, SweepStats, CACHE_FORMAT_VERSION};
+pub use sweep::{
+    cache_key, SweepOutcome, SweepRunner, SweepStats, CACHE_FORMAT_VERSION, DEFAULT_CKPT_INTERVAL,
+};
 
 /// The workloads an experiment sweeps (see `RC_APPS`).
 pub fn experiment_apps() -> Vec<String> {
@@ -214,8 +216,12 @@ pub fn sweep_totals() -> SweepTotals {
 /// reported before the process exits, so one stalled configuration no
 /// longer hides the rest of the sweep. A watchdog-declared stall prints
 /// the [`rcsim_system::HealthReport`] (what wedged, the oldest in-flight
-/// messages, suspected circuit-table leaks) to stderr and exits with
-/// status 2 — CI gets an actionable log instead of a hung or garbage run.
+/// messages, suspected circuit-table leaks, and — when the wait-for
+/// graph closes — the deadlock cycle itself, entry-capped like the other
+/// inventories) to stderr and exits with status 2 — CI gets an
+/// actionable log instead of a hung or garbage run. With `RC_CKPT_DIR`
+/// set, the wedged chip state is also dumped as a checkpoint loadable by
+/// `rcsim-replay`.
 ///
 /// # Panics
 ///

@@ -15,11 +15,20 @@
 //! bypasses the cache entirely. A corrupt, truncated or stale-format
 //! cache file is treated as a miss and recomputed, never an error.
 
-use rcsim_system::{run_sim, RunResult, SimConfig, SimError};
+use rcsim_system::{
+    run_sim, run_sim_resumable, shards_from_env, KernelMode, RunResult, SimConfig, SimError,
+};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Cycles between periodic checkpoints when `RC_CKPT_DIR` enables them
+/// without an explicit `RC_CKPT_INTERVAL`. Long enough that the snapshot
+/// cost stays well under 5% of the wall time of any realistic point (the
+/// `BENCH_checkpoint` harness asserts it), short enough that a killed
+/// overnight sweep loses minutes, not hours.
+pub const DEFAULT_CKPT_INTERVAL: u64 = 100_000;
 
 /// Bumped whenever [`RunResult`] or the simulator's semantics change in a
 /// way that invalidates previously cached results. Part of the cache key,
@@ -93,6 +102,7 @@ pub struct SweepOutcome {
 pub struct SweepRunner {
     workers: usize,
     cache_dir: Option<PathBuf>,
+    checkpoints: Option<(PathBuf, u64)>,
 }
 
 impl SweepRunner {
@@ -103,7 +113,20 @@ impl SweepRunner {
         Self {
             workers: workers.max(1),
             cache_dir,
+            checkpoints: None,
         }
+    }
+
+    /// Enables crash resilience: uncached points checkpoint to `dir`
+    /// every `interval` cycles and resume from the latest valid
+    /// checkpoint on a rerun, so a killed sweep re-does at most
+    /// `interval` cycles per in-flight point. Composes with the result
+    /// cache — a finished point is served from the cache, a half-finished
+    /// one from its checkpoint.
+    #[must_use]
+    pub fn with_checkpoints(mut self, dir: PathBuf, interval: u64) -> Self {
+        self.checkpoints = Some((dir, interval.max(1)));
+        self
     }
 
     /// The runner the experiment binaries use: `RC_JOBS` workers (default
@@ -127,7 +150,18 @@ impl SweepRunner {
                     .unwrap_or_else(|_| "target/experiments/cache".to_owned()),
             ))
         };
-        Self::new(workers, cache_dir)
+        let runner = Self::new(workers, cache_dir);
+        match std::env::var("RC_CKPT_DIR") {
+            Ok(dir) if !dir.is_empty() => {
+                let interval = std::env::var("RC_CKPT_INTERVAL")
+                    .ok()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(DEFAULT_CKPT_INTERVAL);
+                runner.with_checkpoints(PathBuf::from(dir), interval)
+            }
+            _ => runner,
+        }
     }
 
     /// Worker threads this runner fans across.
@@ -138,6 +172,12 @@ impl SweepRunner {
     /// Where this runner caches results (`None` = caching disabled).
     pub fn cache_dir(&self) -> Option<&Path> {
         self.cache_dir.as_deref()
+    }
+
+    /// The checkpoint directory and interval, when crash resilience is
+    /// enabled (`RC_CKPT_DIR` / [`Self::with_checkpoints`]).
+    pub fn checkpoints(&self) -> Option<(&Path, u64)> {
+        self.checkpoints.as_ref().map(|(d, i)| (d.as_path(), *i))
     }
 
     /// The on-disk cache file a config maps to, if caching is enabled.
@@ -190,7 +230,16 @@ impl SweepRunner {
             return (Ok(hit), true, 0.0);
         }
         let started = Instant::now();
-        let res = run_sim(cfg);
+        let res = match &self.checkpoints {
+            Some((dir, interval)) => run_sim_resumable(
+                cfg,
+                KernelMode::from_env(),
+                shards_from_env(),
+                dir,
+                *interval,
+            ),
+            None => run_sim(cfg),
+        };
         let ms = started.elapsed().as_secs_f64() * 1e3;
         match &res {
             Ok(r) => {
@@ -300,6 +349,50 @@ mod tests {
         assert_ne!(cache_key(&cycles).unwrap(), k0);
         let mech = SimConfig::quick(16, MechanismConfig::complete_noack(), "fft");
         assert_ne!(cache_key(&mech).unwrap(), k0);
+    }
+
+    #[test]
+    fn checkpointed_sweep_is_byte_identical_and_resumes() {
+        use rcsim_system::{SessionSnapshot, SimSession};
+
+        let cfg = SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 900,
+            ..SimConfig::quick(16, MechanismConfig::complete_noack(), "fft")
+        };
+        let dir = std::env::temp_dir().join(format!("rcsim-sweep-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = [("point".to_owned(), cfg.clone())];
+
+        let plain = SweepRunner::new(1, None).run(&jobs);
+        let ckpt = SweepRunner::new(1, None)
+            .with_checkpoints(dir.clone(), 250)
+            .run(&jobs);
+        assert_eq!(
+            serde_json::to_string(plain.results[0].as_ref().unwrap()).unwrap(),
+            serde_json::to_string(ckpt.results[0].as_ref().unwrap()).unwrap(),
+            "checkpointed run diverged from the plain run"
+        );
+
+        // A half-finished checkpoint left behind by a "killed" run is
+        // picked up: plant one mid-run at the exact path the resumable
+        // driver uses, rerun, and the result must still be identical.
+        let json = serde_json::to_string(&cfg).unwrap();
+        let path = dir.join(format!("{:016x}.ckpt", fnv1a(json.as_bytes())));
+        let mut half = SimSession::new(&cfg, None, KernelMode::Event, 1).unwrap();
+        half.run_until(700).unwrap();
+        half.checkpoint().save(&path).unwrap();
+        assert!(SessionSnapshot::load(&path).is_some());
+        let resumed = SweepRunner::new(1, None)
+            .with_checkpoints(dir.clone(), 250)
+            .run(&jobs);
+        assert_eq!(
+            serde_json::to_string(plain.results[0].as_ref().unwrap()).unwrap(),
+            serde_json::to_string(resumed.results[0].as_ref().unwrap()).unwrap(),
+            "resumed run diverged from the plain run"
+        );
+        assert!(!path.exists(), "completed point must remove its checkpoint");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -51,10 +51,10 @@ pub mod types;
 pub use config::{CircuitMode, ConfigError, MechanismConfig, TimedPolicy};
 pub use geometry::Mesh;
 pub use policy::{
-    AdaptiveConfig, CongestionMap, PolicyController, RegionDecision, RegionMode, RegionSample,
-    SCORE_SCALE,
+    AdaptiveConfig, CongestionMap, CongestionSnapshot, PolicyController, RegionDecision,
+    RegionMode, RegionSample, SCORE_SCALE,
 };
-pub use routing::TopologyHealth;
+pub use routing::{TopologyHealth, TopologyHealthSnapshot};
 pub use sched::{KernelMode, WakeTimes};
 pub use shard::{shards_from_env, ShardPlan};
 pub use topology::{

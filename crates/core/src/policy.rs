@@ -224,6 +224,33 @@ impl PolicyController {
             .count() as u64
     }
 
+    /// The dynamic per-region state as `(mode, last_switch)` pairs, for
+    /// checkpointing (the knobs travel in the config, not the snapshot).
+    pub fn snapshot(&self) -> Vec<(RegionMode, Option<Cycle>)> {
+        self.regions
+            .iter()
+            .map(|r| (r.mode, r.last_switch))
+            .collect()
+    }
+
+    /// Overwrites the per-region state from a [`PolicyController::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's region count differs from this
+    /// controller's (the snapshot belongs to a different configuration).
+    pub fn restore(&mut self, snapshot: &[(RegionMode, Option<Cycle>)]) {
+        assert_eq!(
+            snapshot.len(),
+            self.regions.len(),
+            "snapshot region count must match the controller's"
+        );
+        for (st, &(mode, last_switch)) in self.regions.iter_mut().zip(snapshot) {
+            st.mode = mode;
+            st.last_switch = last_switch;
+        }
+    }
+
     /// Runs one decision: applies hysteresis and min-dwell to every
     /// region's sample and returns the per-region verdicts (one per
     /// region, in region order — callers filter on `switched`).
@@ -356,6 +383,41 @@ impl CongestionMap {
     pub fn bump_era(&mut self) {
         self.era += 1;
     }
+
+    /// The full dynamic state, for checkpointing.
+    pub fn snapshot(&self) -> CongestionSnapshot {
+        CongestionSnapshot {
+            hot: self.hot.clone(),
+            era: self.era,
+            detour: self.detour,
+            suppress: self.suppress,
+        }
+    }
+
+    /// Overwrites this map from a [`CongestionMap::snapshot`]. The hot
+    /// count is recomputed, so a snapshot is self-consistent by
+    /// construction.
+    pub fn restore(&mut self, snap: &CongestionSnapshot) {
+        self.hot = snap.hot.clone();
+        self.hot_count = self.hot.iter().filter(|&&h| h).count();
+        self.era = snap.era;
+        self.detour = snap.detour;
+        self.suppress = snap.suppress;
+    }
+}
+
+/// Serializable state of a [`CongestionMap`] (the hot count is derived
+/// and recomputed on restore).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CongestionSnapshot {
+    /// Per-router hot flags.
+    pub hot: Vec<bool>,
+    /// Staleness era for recorded detour paths.
+    pub era: u64,
+    /// Detour feature armed.
+    pub detour: bool,
+    /// Circuit-suppression feature armed.
+    pub suppress: bool,
 }
 
 #[cfg(test)]

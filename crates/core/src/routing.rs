@@ -171,6 +171,36 @@ impl TopologyHealth {
         v.sort_unstable_by_key(|n| n.0);
         v
     }
+
+    /// The full health state as sorted lists, for checkpointing.
+    pub fn snapshot(&self) -> TopologyHealthSnapshot {
+        TopologyHealthSnapshot {
+            dead_links: self.dead_links_sorted(),
+            dead_routers: self.dead_routers_sorted(),
+        }
+    }
+
+    /// Rebuilds health state from a [`TopologyHealth::snapshot`].
+    pub fn from_snapshot(snap: &TopologyHealthSnapshot) -> Self {
+        let mut h = TopologyHealth::new();
+        for &(a, b) in &snap.dead_links {
+            h.kill_link(a, b);
+        }
+        for &n in &snap.dead_routers {
+            h.kill_router(n);
+        }
+        h
+    }
+}
+
+/// Serializable state of a [`TopologyHealth`] map (sorted, so equal maps
+/// serialize identically regardless of insertion history).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TopologyHealthSnapshot {
+    /// Dead links as normalized `(min, max)` pairs, sorted.
+    pub dead_links: Vec<(NodeId, NodeId)>,
+    /// Dead routers, sorted.
+    pub dead_routers: Vec<NodeId>,
 }
 
 /// `true` when every router on `path` is alive and every consecutive hop

@@ -42,9 +42,10 @@ pub struct NocConfig {
     /// request/reply credit cycle into a hard deadlock under sustained
     /// bidirectional load (the wedges pinned by `tests/echo_probe.rs`).
     /// On by default since the legacy single-candidate sweep was retired
-    /// (the goldens are regenerated accordingly); the flag remains so the
-    /// config round-trips and experiments can demonstrate the legacy
-    /// wedge's *absence*, but the allocator no longer honours `false`.
+    /// (the goldens are regenerated accordingly). Setting it to `false`
+    /// restores the legacy oldest-only sweep — the reproducible wedge the
+    /// wait-for-graph deadlock diagnoser is regression-tested against
+    /// (see [`crate::DeadlockReport`]).
     #[serde(default = "default_true", skip_serializing_if = "is_true")]
     pub va_hol_relief: bool,
 }

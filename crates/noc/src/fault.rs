@@ -383,6 +383,39 @@ impl FaultState {
             .iter()
             .any(|e| e.node.index() == node && e.dir == dir && e.active(now))
     }
+
+    /// The full dynamic state, for checkpointing (the configuration
+    /// travels with the run config). The swallow map is sorted by key so
+    /// the snapshot bytes are deterministic.
+    pub(crate) fn snapshot(&self) -> FaultSnapshot {
+        let (rng_state, rng_stream) = self.rng.state_words();
+        let mut eating: Vec<((usize, usize, PacketId), u32)> =
+            self.eating.iter().map(|(k, v)| (*k, *v)).collect();
+        eating.sort_by_key(|&((node, port, packet), _)| (node, port, packet.0));
+        FaultSnapshot {
+            rng_state,
+            rng_stream,
+            eating,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Overwrites the dynamic state from a [`FaultState::snapshot`] taken
+    /// under the same fault configuration.
+    pub(crate) fn restore(&mut self, snap: FaultSnapshot) {
+        self.rng = ChaCha8Rng::from_state_words(snap.rng_state, snap.rng_stream);
+        self.eating = snap.eating.into_iter().collect();
+        self.stats = snap.stats;
+    }
+}
+
+/// Complete dynamic state of the fault layer, for checkpointing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct FaultSnapshot {
+    rng_state: u64,
+    rng_stream: u64,
+    eating: Vec<((usize, usize, PacketId), u32)>,
+    stats: FaultStats,
 }
 
 #[cfg(test)]
@@ -645,6 +678,116 @@ mod tests {
                 a.on_link_flit(i, 0, &head(1)),
                 b.on_link_flit(i, 0, &head(1))
             );
+        }
+    }
+
+    /// Property round trip of the fault-layer checkpoint: after an
+    /// arbitrary prefix of link/credit/table rolls (including packets
+    /// mid-swallow), a [`FaultState`] restored from the snapshot — into a
+    /// state built from a *different* seed — must produce the identical
+    /// fate sequence for any continuation, and the snapshot must survive
+    /// serde byte-for-byte.
+    mod snapshot_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Roll {
+            Flit {
+                from: usize,
+                dir: usize,
+                len: u32,
+                pkt: u64,
+            },
+            Credit,
+            Table,
+        }
+
+        fn roll_strategy() -> impl Strategy<Value = Roll> {
+            prop_oneof![
+                (0usize..16, 0usize..4, 1u32..6, 0u64..8).prop_map(|(from, dir, len, pkt)| {
+                    Roll::Flit {
+                        from,
+                        dir,
+                        len,
+                        pkt,
+                    }
+                }),
+                Just(Roll::Credit),
+                Just(Roll::Table),
+            ]
+        }
+
+        fn play(fs: &mut FaultState, rolls: &[Roll]) -> Vec<u64> {
+            let mut trace = Vec::with_capacity(rolls.len());
+            for r in rolls {
+                let outcome = match *r {
+                    Roll::Flit {
+                        from,
+                        dir,
+                        len,
+                        pkt,
+                    } => {
+                        let mut f = head(len);
+                        f.packet = PacketId(pkt);
+                        match fs.on_link_flit(from, dir, &f) {
+                            LinkFate::Deliver => 0,
+                            LinkFate::Drop => 1,
+                            LinkFate::Corrupt => 2,
+                        }
+                    }
+                    Roll::Credit => 3 + fs.on_link_credit() as u64,
+                    Roll::Table => match fs.roll_table_corruption(5) {
+                        None => 5,
+                        Some((port, draw)) => 6 ^ (port as u64) ^ draw as u64,
+                    },
+                };
+                trace.push(outcome);
+            }
+            trace
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn restored_fault_state_continues_the_exact_fate_sequence(
+                seed in proptest::prelude::any::<u64>(),
+                prefix in prop::collection::vec(roll_strategy(), 0..200),
+                suffix in prop::collection::vec(roll_strategy(), 1..200),
+            ) {
+                let cfg = FaultConfig {
+                    link_drop_rate: 0.2,
+                    link_corrupt_rate: 0.1,
+                    credit_loss_rate: 0.05,
+                    table_corrupt_rate: 0.15,
+                    seed,
+                    ..FaultConfig::none()
+                };
+                let mut original = FaultState::new(cfg.clone());
+                play(&mut original, &prefix);
+
+                let snap = original.snapshot();
+                let json = serde_json::to_string(&snap).expect("serialize snapshot");
+                let decoded: FaultSnapshot =
+                    serde_json::from_str(&json).expect("deserialize snapshot");
+                prop_assert_eq!(
+                    serde_json::to_string(&decoded).expect("re-serialize"),
+                    json,
+                    "snapshot re-serialization is not byte-identical"
+                );
+
+                let mut restored = FaultState::new(FaultConfig {
+                    seed: seed ^ 0x5EED,
+                    ..cfg
+                });
+                restored.restore(decoded);
+                prop_assert_eq!(
+                    play(&mut original, &suffix),
+                    play(&mut restored, &suffix),
+                    "fate sequences diverged after the restore"
+                );
+            }
         }
     }
 }

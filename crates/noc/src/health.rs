@@ -145,6 +145,56 @@ pub struct HealthReport {
     /// block is absent — the default).
     #[serde(default)]
     pub adaptive: AdaptiveReport,
+    /// Wait-for-graph diagnosis: present only when the network is
+    /// stalled *and* the diagnoser found a genuine circular wait among
+    /// channel resources (see [`DeadlockReport`]). Boxed so the common
+    /// healthy report stays small.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadlock: Option<Box<DeadlockReport>>,
+}
+
+/// One resource in a detected wait-for cycle: a blocked input VC, what
+/// it holds and what it is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlockResource {
+    /// Router of the blocked input VC.
+    pub node: NodeId,
+    /// Input port of the blocked VC (0–3 network directions, 4+ local).
+    pub in_port: usize,
+    /// Input VC index — the buffer this packet *holds*.
+    pub vc: usize,
+    /// Head packet occupying the VC.
+    pub packet: Option<PacketId>,
+    /// Output port the head's route points at — the channel it *wants*.
+    pub wants_port: usize,
+    /// Output VC allocated to it, if VC allocation succeeded before the
+    /// wedge (the wait is then a credit wait; otherwise a VA wait).
+    pub out_vc: Option<usize>,
+    /// Credits left on the allocated output VC (0 in a credit wait).
+    pub credits: u32,
+    /// Circuit reservation pinning the wanted output port, if any — a
+    /// circuit hold participating in the cycle.
+    pub held_by_circuit: Option<CircuitKey>,
+}
+
+/// A cycle in the network's wait-for graph, built by the watchdog's
+/// deadlock diagnoser when a stall fires: nodes are input-VC channel
+/// resources, and an edge runs from a blocked VC to the resource it
+/// waits on (the downstream VC it needs credits from, or the same-router
+/// VC that owns its wanted output). A report is only attached when an
+/// actual cycle exists, so livelocks and lost-credit wedges — stalls
+/// with no circular wait — stay distinguishable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadlockReport {
+    /// The blocked resources forming the cycle, in wait order: each
+    /// entry waits on the next, and the last waits on the first. Capped
+    /// at [`WatchdogConfig::max_report_entries`].
+    pub resources: Vec<DeadlockResource>,
+    /// Full length of the detected cycle (exceeds `resources.len()`
+    /// when truncated).
+    pub cycle_len: usize,
+    /// `true` when `resources` was truncated to the cap.
+    pub truncated: bool,
 }
 
 impl HealthReport {
@@ -231,6 +281,33 @@ impl fmt::Display for HealthReport {
         }
         if self.overload.offered > 0 {
             writeln!(f, "  ingress: {}", self.overload)?;
+        }
+        if let Some(d) = &self.deadlock {
+            writeln!(
+                f,
+                "  DEADLOCK: circular wait over {} channel resources{}:",
+                d.cycle_len,
+                if d.truncated {
+                    " (listing truncated)"
+                } else {
+                    ""
+                }
+            )?;
+            for r in &d.resources {
+                write!(
+                    f,
+                    "    {}/in{}/vc{} holds {:?}, wants out{}",
+                    r.node, r.in_port, r.vc, r.packet, r.wants_port
+                )?;
+                match r.out_vc {
+                    Some(ov) => write!(f, " vc{ov} ({} credits)", r.credits)?,
+                    None => write!(f, " (no VC allocated)")?,
+                }
+                if let Some(k) = r.held_by_circuit {
+                    write!(f, ", pinned by circuit ({}, {:#x})", k.requestor, k.block)?;
+                }
+                writeln!(f)?;
+            }
         }
         if self.adaptive.decisions > 0 {
             writeln!(

@@ -187,7 +187,7 @@ impl fmt::Display for OverloadReport {
 }
 
 /// One queued external arrival.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct QueuedArrival {
     dst: NodeId,
     block: u64,
@@ -347,6 +347,41 @@ impl IngressState {
     pub(crate) fn report(&self) -> OverloadReport {
         self.report
     }
+
+    /// The full dynamic state, for checkpointing: per-edge queues and
+    /// token levels (in edge order) plus the cumulative ledger.
+    pub(crate) fn snapshot(&self) -> IngressSnapshot {
+        IngressSnapshot {
+            edges: self
+                .edges
+                .iter()
+                .map(|e| (e.queue.clone(), e.tokens))
+                .collect(),
+            report: self.report,
+        }
+    }
+
+    /// Overwrites the dynamic state from an [`IngressState::snapshot`]
+    /// taken under the same ingress configuration and edge list.
+    pub(crate) fn restore(&mut self, snap: IngressSnapshot) {
+        assert_eq!(
+            snap.edges.len(),
+            self.edges.len(),
+            "ingress snapshot edge count mismatch"
+        );
+        for (e, (queue, tokens)) in self.edges.iter_mut().zip(snap.edges) {
+            e.queue = queue;
+            e.tokens = tokens;
+        }
+        self.report = snap.report;
+    }
+}
+
+/// Complete dynamic state of the ingress layer, for checkpointing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct IngressSnapshot {
+    edges: Vec<(VecDeque<QueuedArrival>, u64)>,
+    report: OverloadReport,
 }
 
 #[cfg(test)]

@@ -56,9 +56,12 @@ pub mod traffic;
 pub use config::{NocConfig, VcLayout};
 pub use fault::{DeadLinkEvent, DeadRouterEvent, FaultConfig, FaultStats, StuckPortEvent};
 pub use flit::{Delivered, Flit, FlitKind, PacketId, PacketSpec};
-pub use health::{AdaptiveReport, HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
+pub use health::{
+    AdaptiveReport, DeadlockReport, DeadlockResource, HealthReport, LeakedCircuit, StuckMessage,
+    WatchdogConfig,
+};
 pub use ingress::{
     Admission, IngressConfig, OverloadReport, RejectReason, ReleasedArrival, ShedArrival,
 };
-pub use network::{Network, NetworkTelemetry};
+pub use network::{Network, NetworkSnapshot, NetworkTelemetry};
 pub use stats::{CircuitOutcome, MessageGroup, NocStats};

@@ -3,23 +3,28 @@
 //! circuit tables, input ports) and the always-on progress watchdog.
 
 use crate::config::NocConfig;
-use crate::fault::{FaultConfig, FaultState, FaultStats, LinkFate};
+use crate::fault::{FaultConfig, FaultSnapshot, FaultState, FaultStats, LinkFate};
 use crate::flit::{Delivered, Flit, PacketId, PacketSpec};
-use crate::health::{AdaptiveReport, HealthReport, LeakedCircuit, StuckMessage, WatchdogConfig};
-use crate::ingress::{
-    Admission, IngressConfig, IngressState, OverloadReport, ReleasedArrival, ShedArrival,
+use crate::health::{
+    AdaptiveReport, DeadlockReport, DeadlockResource, HealthReport, LeakedCircuit, StuckMessage,
+    WatchdogConfig,
 };
-use crate::ni::{Ni, NiOut};
-use crate::router::{Outgoing, Router};
+use crate::ingress::{
+    Admission, IngressConfig, IngressSnapshot, IngressState, OverloadReport, ReleasedArrival,
+    ShedArrival,
+};
+use crate::ni::{Ni, NiOut, NiSnapshot};
+use crate::router::{Outgoing, Router, RouterSnapshot, VcWaiter, WaitEdge};
 use crate::stats::{CircuitOutcome, NocStats};
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::routing::{path_is_healthy, Routing};
 use rcsim_core::{
-    shards_from_env, AdaptiveConfig, ConfigError, CongestionMap, Cycle, Direction, KernelMode,
-    MessageClass, NodeId, PolicyController, RegionMode, RegionSample, ShardPlan, Topology,
-    TopologyHealth, WakeTimes, PORT_LOCAL,
+    shards_from_env, AdaptiveConfig, ConfigError, CongestionMap, CongestionSnapshot, Cycle,
+    Direction, KernelMode, MessageClass, NodeId, PolicyController, RegionMode, RegionSample,
+    ShardPlan, Topology, TopologyHealth, TopologyHealthSnapshot, WakeTimes, PORT_LOCAL,
 };
 use rcsim_trace::{EventKind, TraceSink};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A whole-network occupancy snapshot, taken between cycles. Feeds the
@@ -45,7 +50,7 @@ fn opposite_port(port: usize) -> usize {
 }
 
 /// Messages in flight towards one router.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct RouterInbox {
     /// Flits per input port, with arrival cycle.
     flits: Vec<Vec<(Cycle, Flit)>>,
@@ -85,7 +90,7 @@ impl RouterInbox {
 }
 
 /// Messages in flight towards one NI.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct NiInbox {
     flits: Vec<(Cycle, Flit)>,
     credits: Vec<(Cycle, usize)>,
@@ -385,7 +390,7 @@ struct AdaptiveState {
 
 /// One injected packet, tracked until delivery or abandonment: the raw
 /// material for per-message watchdog ages and end-to-end retransmission.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Outstanding {
     src: NodeId,
     dst: NodeId,
@@ -2046,8 +2051,271 @@ impl Network {
             l1_reissues: 0,
             overload: self.overload_report(),
             adaptive: self.adaptive_report(),
+            deadlock: if self.stalled() {
+                self.deadlock_report()
+            } else {
+                None
+            },
         }
     }
+
+    /// The wait-for-graph deadlock diagnoser. Builds the blocked-VC
+    /// graph — nodes are input-VC channel resources, an edge runs from
+    /// a blocked VC to the resource it waits on (the downstream VC it
+    /// needs credits from, or the same-router VC owning its wanted
+    /// output) — then walks it with a deterministic DFS (routers in id
+    /// order, edges sorted) and reports the first cycle. Returns `None`
+    /// when no cycle exists, so a stall caused by livelock or lost
+    /// credits is not misreported as a deadlock.
+    pub fn deadlock_report(&self) -> Option<Box<DeadlockReport>> {
+        let ports = self.cfg.topology.ports();
+        let vcs = self.cfg.vc_layout().total();
+        let idx = |n: usize, p: usize, v: usize| (n * ports + p) * vcs + v;
+        let total = self.routers.len() * ports * vcs;
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut waiters: Vec<Option<(NodeId, VcWaiter)>> = vec![None; total];
+        let mut buf = Vec::new();
+        for (i, r) in self.routers.iter().enumerate() {
+            buf.clear();
+            r.waiters(self.now, &mut buf);
+            for w in buf.drain(..) {
+                let src = idx(i, w.in_port, w.vc);
+                for e in &w.edges {
+                    match *e {
+                        WaitEdge::Local { in_port, vc } => edges[src].push(idx(i, in_port, vc)),
+                        WaitEdge::Downstream { out_vc } => {
+                            let Some(nb) =
+                                self.cfg.topology.neighbor(NodeId(i as u16), w.wants_port)
+                            else {
+                                continue;
+                            };
+                            edges[src].push(idx(
+                                nb.0 as usize,
+                                opposite_port(w.wants_port),
+                                out_vc,
+                            ));
+                        }
+                    }
+                }
+                waiters[src] = Some((NodeId(i as u16), w));
+            }
+        }
+        // Deterministic iterative DFS with tree-edge parents; a back
+        // edge to a gray node closes the cycle.
+        let mut color = vec![0u8; total]; // 0 white, 1 gray, 2 black
+        let mut parent = vec![usize::MAX; total];
+        for start in 0..total {
+            if color[start] != 0 || waiters[start].is_none() {
+                continue;
+            }
+            color[start] = 1;
+            let mut stack = vec![(start, 0usize)];
+            while let Some(&mut (node, ref mut ei)) = stack.last_mut() {
+                if *ei >= edges[node].len() {
+                    color[node] = 2;
+                    stack.pop();
+                    continue;
+                }
+                let next = edges[node][*ei];
+                *ei += 1;
+                if waiters[next].is_none() {
+                    // Waiting on an idle or progressing VC: a dangling
+                    // edge, never part of a cycle.
+                    continue;
+                }
+                match color[next] {
+                    0 => {
+                        color[next] = 1;
+                        parent[next] = node;
+                        stack.push((next, 0));
+                    }
+                    1 => {
+                        // Walk the tree path next → … → node; with the
+                        // back edge node → next it is the cycle, in
+                        // wait order (each entry waits on the next).
+                        let mut cycle = Vec::new();
+                        let mut cur = node;
+                        while cur != next {
+                            cycle.push(cur);
+                            cur = parent[cur];
+                        }
+                        cycle.push(next);
+                        cycle.reverse();
+                        let cycle_len = cycle.len();
+                        let cap = self.watchdog.max_report_entries;
+                        let resources = cycle
+                            .iter()
+                            .take(cap)
+                            .map(|&ix| {
+                                let (node, w) =
+                                    waiters[ix].as_ref().expect("cycle nodes are waiters");
+                                DeadlockResource {
+                                    node: *node,
+                                    in_port: w.in_port,
+                                    vc: w.vc,
+                                    packet: w.packet,
+                                    wants_port: w.wants_port,
+                                    out_vc: w.out_vc,
+                                    credits: w.credits,
+                                    held_by_circuit: w.held_by_circuit,
+                                }
+                            })
+                            .collect();
+                        return Some(Box::new(DeadlockReport {
+                            resources,
+                            cycle_len,
+                            truncated: cycle_len > cap,
+                        }));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Captures every piece of dynamic network state. Must be taken
+    /// between ticks: the per-tick scratch and shard staging buffers are
+    /// empty there, which is what makes the snapshot identical across
+    /// `RC_KERNEL` and `RC_SHARDS` settings.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        let mut outstanding: Vec<(PacketId, Outstanding)> = self
+            .outstanding
+            .iter()
+            .map(|(id, rec)| (*id, rec.clone()))
+            .collect();
+        outstanding.sort_unstable_by_key(|&(id, _)| id);
+        let mut faulted_circuits: Vec<CircuitKey> = self.faulted_circuits.iter().copied().collect();
+        faulted_circuits.sort_unstable_by_key(|k| (k.requestor, k.block));
+        let mut dead_eating: Vec<PacketId> = self.dead_eating.iter().copied().collect();
+        dead_eating.sort_unstable();
+        NetworkSnapshot {
+            routers: self.routers.iter().map(Router::snapshot).collect(),
+            nis: self.nis.iter().map(Ni::snapshot).collect(),
+            router_inboxes: self.router_inboxes.clone(),
+            ni_inboxes: self.ni_inboxes.clone(),
+            delivered: self.delivered.clone(),
+            stats: self.stats.clone(),
+            now: self.now,
+            next_packet: self.next_packet,
+            faults: self.faults.as_ref().map(FaultState::snapshot),
+            topo: self.topo.snapshot(),
+            fault_cursor: self.fault_cursor,
+            outstanding,
+            retry_queue: self.retry_queue.clone(),
+            faulted_circuits,
+            dead_eating,
+            last_progress: self.last_progress,
+            ni_wake: self.ni_wake.clone(),
+            router_wake: self.router_wake.clone(),
+            ingress: self.ingress.as_deref().map(IngressState::snapshot),
+            adaptive: self.adaptive.as_deref().map(|a| AdaptiveSnapshot {
+                controller: a.controller.snapshot(),
+                report: a.report,
+                next_decision: a.next_decision,
+            }),
+            congestion: self.congestion.snapshot(),
+        }
+    }
+
+    /// Overwrites this network's dynamic state with a snapshot taken by
+    /// [`Network::snapshot`]. `self` must have been freshly constructed
+    /// from the *same* configuration (topology, mechanism, faults,
+    /// ingress, adaptive) that produced the snapshot: configuration-
+    /// derived objects — routing, the fault schedule, shard plans, trace
+    /// sinks — are kept and only dynamic state is replaced. Mismatched
+    /// shapes panic rather than limp along.
+    pub fn restore(&mut self, snap: &NetworkSnapshot) {
+        assert_eq!(
+            self.routers.len(),
+            snap.routers.len(),
+            "network snapshot router count mismatch"
+        );
+        for (r, s) in self.routers.iter_mut().zip(&snap.routers) {
+            r.restore(s.clone());
+        }
+        for (ni, s) in self.nis.iter_mut().zip(&snap.nis) {
+            ni.restore(s.clone());
+        }
+        self.router_inboxes = snap.router_inboxes.clone();
+        self.ni_inboxes = snap.ni_inboxes.clone();
+        self.delivered = snap.delivered.clone();
+        self.stats = snap.stats.clone();
+        self.now = snap.now;
+        self.next_packet = snap.next_packet;
+        match (&mut self.faults, &snap.faults) {
+            (Some(f), Some(s)) => f.restore(s.clone()),
+            (None, None) => {}
+            _ => panic!("network snapshot fault-state presence mismatch"),
+        }
+        self.topo = TopologyHealth::from_snapshot(&snap.topo);
+        self.fault_cursor = snap.fault_cursor;
+        self.outstanding = snap.outstanding.iter().cloned().collect();
+        self.retry_queue = snap.retry_queue.clone();
+        self.faulted_circuits = snap.faulted_circuits.iter().copied().collect();
+        self.dead_eating = snap.dead_eating.iter().copied().collect();
+        self.last_progress = snap.last_progress;
+        self.ni_wake = snap.ni_wake.clone();
+        self.router_wake = snap.router_wake.clone();
+        match (&mut self.ingress, &snap.ingress) {
+            (Some(i), Some(s)) => i.restore(s.clone()),
+            (None, None) => {}
+            _ => panic!("network snapshot ingress presence mismatch"),
+        }
+        match (&mut self.adaptive, &snap.adaptive) {
+            (Some(a), Some(s)) => {
+                a.controller.restore(&s.controller);
+                a.report = s.report;
+                a.next_decision = s.next_decision;
+            }
+            (None, None) => {}
+            _ => panic!("network snapshot adaptive presence mismatch"),
+        }
+        self.congestion.restore(&snap.congestion);
+        self.refresh_degraded();
+    }
+}
+
+/// Complete dynamic state of a [`Network`], captured between ticks by
+/// [`Network::snapshot`] and re-applied with [`Network::restore`] onto a
+/// freshly constructed, identically-configured network (DESIGN.md §15).
+/// Configuration-derived objects (routing tables, the fault schedule,
+/// shard plans, trace sinks, kernel mode) are deliberately excluded: they
+/// are rebuilt from the simulation config on resume, and only cursor and
+/// ownership state travels. Hash-map state is stored as sorted vectors so
+/// the serialized form is deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    routers: Vec<RouterSnapshot>,
+    nis: Vec<NiSnapshot>,
+    router_inboxes: Vec<RouterInbox>,
+    ni_inboxes: Vec<NiInbox>,
+    delivered: Vec<Vec<Delivered>>,
+    stats: NocStats,
+    now: Cycle,
+    next_packet: u64,
+    faults: Option<FaultSnapshot>,
+    topo: TopologyHealthSnapshot,
+    fault_cursor: usize,
+    outstanding: Vec<(PacketId, Outstanding)>,
+    retry_queue: Vec<(Cycle, PacketId)>,
+    faulted_circuits: Vec<CircuitKey>,
+    dead_eating: Vec<PacketId>,
+    last_progress: Cycle,
+    ni_wake: WakeTimes,
+    router_wake: WakeTimes,
+    ingress: Option<IngressSnapshot>,
+    adaptive: Option<AdaptiveSnapshot>,
+    congestion: CongestionSnapshot,
+}
+
+/// Dynamic slice of [`AdaptiveState`] (the config and region plan are
+/// rebuilt from the simulation config on resume).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AdaptiveSnapshot {
+    controller: Vec<(RegionMode, Option<Cycle>)>,
+    report: AdaptiveReport,
+    next_decision: Cycle,
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use rcsim_core::{
     TopologyHealth, Vnet,
 };
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The reply class (and its flit count) a circuit-building request expects.
@@ -29,7 +30,7 @@ pub(crate) fn expected_reply_flits(class: MessageClass, flit_bytes: u32) -> u32 
 }
 
 /// A packet waiting at (or streaming out of) the NI.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Pending {
     id: PacketId,
     src: NodeId,
@@ -52,20 +53,20 @@ struct Pending {
 }
 
 /// An in-flight outbound stream on one local-input VC (or the circuit path).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Stream {
     pending: Pending,
     next_seq: u32,
     vc: usize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Origin {
     handle: CircuitHandle,
     registered_at: Cycle,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct Assembly {
     head: Option<Flit>,
     received: u32,
@@ -947,4 +948,93 @@ impl Ni {
             + self.streams.iter().flatten().count()
             + usize::from(self.circuit_active.is_some())
     }
+
+    /// The full dynamic state, for checkpointing. Hash-keyed maps and
+    /// sets are flattened to deterministically ordered vectors (sorted by
+    /// key), so the snapshot bytes are a pure function of the simulation
+    /// state. `reply_path_order` is captured verbatim — it is the
+    /// eviction history, which legitimately holds keys already removed
+    /// from the map (a consumed reply path leaves its order slot behind)
+    /// and duplicates (a re-recorded path is pushed again), and the
+    /// bounded eviction's future pops depend on exactly that sequence.
+    pub(crate) fn snapshot(&self) -> NiSnapshot {
+        let mut origins: Vec<(CircuitKey, Origin)> =
+            self.origins.iter().map(|(k, o)| (*k, o.clone())).collect();
+        origins.sort_by_key(|(k, _)| (k.requestor, k.block));
+        let mut reply_paths: Vec<ReplyPathEntry> = self
+            .reply_paths
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        reply_paths.sort_by_key(|&((node, block), _)| (node, block));
+        let mut torn: Vec<CircuitKey> = self.torn.iter().copied().collect();
+        torn.sort_by_key(|k| (k.requestor, k.block));
+        let mut assembling: Vec<(PacketId, Assembly)> = self
+            .assembling
+            .iter()
+            .map(|(k, a)| (*k, a.clone()))
+            .collect();
+        assembling.sort_by_key(|(k, _)| k.0);
+        NiSnapshot {
+            queues: self.queues.clone(),
+            streams: self.streams.clone(),
+            credits: self.credits.clone(),
+            rr_stream: self.rr_stream.clone(),
+            vnet_rr: self.vnet_rr,
+            circuit_queue: self.circuit_queue.clone(),
+            circuit_active: self.circuit_active.clone(),
+            circuit_link_free_at: self.circuit_link_free_at,
+            origins,
+            reply_paths,
+            reply_path_order: self.reply_path_order.clone(),
+            torn,
+            assembling,
+            pending_undos: self.pending_undos.clone(),
+            circuits_suppressed: self.circuits_suppressed,
+        }
+    }
+
+    /// Overwrites the dynamic state from an [`Ni::snapshot`] taken on an
+    /// identically-configured NI.
+    pub(crate) fn restore(&mut self, snap: NiSnapshot) {
+        self.queues = snap.queues;
+        self.streams = snap.streams;
+        self.credits = snap.credits;
+        self.rr_stream = snap.rr_stream;
+        self.vnet_rr = snap.vnet_rr;
+        self.circuit_queue = snap.circuit_queue;
+        self.circuit_active = snap.circuit_active;
+        self.circuit_link_free_at = snap.circuit_link_free_at;
+        self.reply_path_order = snap.reply_path_order;
+        self.reply_paths = snap.reply_paths.into_iter().collect();
+        self.origins = snap.origins.into_iter().collect();
+        self.torn = snap.torn.into_iter().collect();
+        self.assembling = snap.assembling.into_iter().collect();
+        self.pending_undos = snap.pending_undos;
+        self.circuits_suppressed = snap.circuits_suppressed;
+    }
+}
+
+/// One saved reply path: `(requestor, block)` mapped to its recording
+/// cycle and hop list.
+type ReplyPathEntry = ((NodeId, u64), (u64, Vec<NodeId>));
+
+/// Complete dynamic state of one [`Ni`], for checkpointing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct NiSnapshot {
+    queues: [VecDeque<Pending>; 2],
+    streams: Vec<Option<Stream>>,
+    credits: Vec<u32>,
+    rr_stream: RoundRobin,
+    vnet_rr: usize,
+    circuit_queue: VecDeque<Pending>,
+    circuit_active: Option<Stream>,
+    circuit_link_free_at: Cycle,
+    origins: Vec<(CircuitKey, Origin)>,
+    reply_paths: Vec<ReplyPathEntry>,
+    reply_path_order: VecDeque<(NodeId, u64)>,
+    torn: Vec<CircuitKey>,
+    assembling: Vec<(PacketId, Assembly)>,
+    pending_undos: Vec<(CircuitKey, NodeId)>,
+    circuits_suppressed: u64,
 }

@@ -2,11 +2,12 @@
 
 use crate::flit::Flit;
 use rcsim_core::Cycle;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Pipeline state of one input virtual channel (the `G` field of the
 /// paper's Figure 2 router diagram).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VcState {
     /// No packet in flight.
     Idle,
@@ -20,7 +21,7 @@ pub enum VcState {
 
 /// One input virtual channel: flit buffer plus control state
 /// (`G`/`R`/`O` of Figure 2; the credit count lives at the output side).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InputVc {
     /// Pipeline state.
     pub state: VcState,
@@ -75,7 +76,7 @@ impl Default for InputVc {
 }
 
 /// One input port: its VCs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InputPort {
     /// Virtual channels, indexed by global VC id.
     pub vcs: Vec<InputVc>,

@@ -13,7 +13,7 @@ pub(crate) mod alloc;
 mod input;
 
 use crate::config::{NocConfig, VcLayout};
-use crate::flit::Flit;
+use crate::flit::{Flit, PacketId};
 use crate::stats::Activity;
 use alloc::RoundRobin;
 use input::{InputPort, VcState};
@@ -22,6 +22,7 @@ use rcsim_core::circuit::{CircuitKey, ReserveRequest, RouterCircuits};
 use rcsim_core::routing::Routing;
 use rcsim_core::{CircuitMode, Cycle, MechanismConfig, NodeId, Topology, Vnet, PORT_LOCAL};
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A message leaving the router this cycle, to be routed by the network.
@@ -65,7 +66,7 @@ pub enum Outgoing {
 }
 
 /// How one output VC is held by a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Owner {
     /// Free for VC allocation.
     Free,
@@ -76,7 +77,7 @@ enum Owner {
     Draining,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct OutputPort {
     credits: Vec<u32>,
     owner: Vec<Owner>,
@@ -96,7 +97,7 @@ enum BypassCheck {
 }
 
 /// A switch-allocation grant awaiting switch traversal next cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct StGrant {
     in_port: usize,
     in_vc: usize,
@@ -140,6 +141,11 @@ pub(crate) struct Router {
     /// refused and bypasses forced to the packet pipeline (DESIGN.md
     /// §10).
     degraded: bool,
+    /// Whether VC allocation walks *all* of an input port's waiting VCs
+    /// in age order (`true`, the default) or only the oldest one — the
+    /// retired legacy behaviour, kept reachable for deadlock-diagnoser
+    /// regressions (`NocConfig::va_hol_relief`).
+    va_hol_relief: bool,
     pub(crate) activity: Activity,
     /// Where trace events go; disabled by default.
     sink: TraceSink,
@@ -186,6 +192,7 @@ impl Router {
             va_scratch: Vec::with_capacity(total),
             bypass_retry: (0..ports).map(|_| VecDeque::new()).collect(),
             degraded: false,
+            va_hol_relief: cfg.va_hol_relief,
             activity: Activity::default(),
             sink: TraceSink::default(),
         }
@@ -784,6 +791,12 @@ impl Router {
                         }),
                 );
                 candidates.sort_unstable_by_key(|&(since, v, _, _)| (since, v));
+                if !self.va_hol_relief {
+                    // Legacy single-candidate sweep: only the oldest VC may
+                    // be allocated, recreating the head-of-line wedge the
+                    // deadlock diagnoser is regression-tested against.
+                    candidates.truncate(1);
+                }
                 for &(_, v, vnet, dst) in &candidates {
                     // Dateline deadlock avoidance: on wrap topologies a
                     // packet crossing a network link may only claim VCs of
@@ -991,6 +1004,213 @@ impl Router {
             }
         }
     }
+
+    /// The full dynamic state, for checkpointing. Taken at tick
+    /// boundaries, where the per-tick scratch vectors (`st_scratch`,
+    /// `sa_requests`, `sa_blocked`, `sa_nominee`, `arb_scratch`,
+    /// `va_scratch`) are dead and the `busy` flags stale — everything
+    /// else is configuration, rebuilt from the [`NocConfig`].
+    pub(crate) fn snapshot(&self) -> RouterSnapshot {
+        RouterSnapshot {
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            circuits: self.circuits.clone(),
+            st_pending: self.st_pending.clone(),
+            sa_rr_in: self.sa_rr_in.clone(),
+            sa_rr_out: self.sa_rr_out.clone(),
+            va_rr_out: self.va_rr_out.clone(),
+            bypass_retry: self.bypass_retry.clone(),
+            degraded: self.degraded,
+            activity: self.activity,
+        }
+    }
+
+    /// Overwrites the dynamic state from a [`Router::snapshot`] taken on
+    /// an identically-configured router.
+    pub(crate) fn restore(&mut self, snap: RouterSnapshot) {
+        self.inputs = snap.inputs;
+        self.outputs = snap.outputs;
+        self.circuits = snap.circuits;
+        self.st_pending = snap.st_pending;
+        self.sa_rr_in = snap.sa_rr_in;
+        self.sa_rr_out = snap.sa_rr_out;
+        self.va_rr_out = snap.va_rr_out;
+        self.bypass_retry = snap.bypass_retry;
+        self.degraded = snap.degraded;
+        self.activity = snap.activity;
+    }
+
+    /// Reports every input VC that is blocked on a channel resource,
+    /// with the exact resources it waits on — this router's slice of
+    /// the network-level wait-for graph (deadlock diagnosis). Mirrors
+    /// the allocator rules: a post-VA VC is blocked when its allocated
+    /// output VC has no credits; a `WaitVa` VC is blocked when *no* VC
+    /// in its allocatable class is free. Only runs on the cold
+    /// watchdog path, so it allocates freely.
+    pub(crate) fn waiters(&self, now: Cycle, out: &mut Vec<VcWaiter>) {
+        for (p, port) in self.inputs.iter().enumerate() {
+            for (v, vc) in port.vcs.iter().enumerate() {
+                if vc.is_idle() {
+                    continue;
+                }
+                let Some(route) = vc.route else { continue };
+                if route >= PORT_LOCAL {
+                    // Ejection waits never close a channel cycle.
+                    continue;
+                }
+                let Some(head) = vc.buffer.front() else {
+                    continue;
+                };
+                let o = &self.outputs[route];
+                let mut edges = Vec::new();
+                let credits = match vc.out_vc {
+                    Some(ov) => {
+                        if o.credits[ov] == 0 && !self.layout.is_circuit_vc(ov) {
+                            edges.push(WaitEdge::Downstream { out_vc: ov });
+                        }
+                        o.credits[ov]
+                    }
+                    None => {
+                        // Under the legacy oldest-only allocator a WaitVa
+                        // VC that is not the oldest same-route VC of its
+                        // input port is never even tried: it waits on the
+                        // shadowing VC, not on any output resource.
+                        let shadow = (!self.va_hol_relief)
+                            .then(|| {
+                                port.vcs
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, o)| {
+                                        o.state == VcState::WaitVa && o.route == Some(route)
+                                    })
+                                    .min_by_key(|(ov, o)| (o.state_since, *ov))
+                                    .map(|(ov, _)| ov)
+                            })
+                            .flatten()
+                            .filter(|&oldest| oldest != v);
+                        if let Some(oldest) = shadow {
+                            edges.push(WaitEdge::Local {
+                                in_port: p,
+                                vc: oldest,
+                            });
+                        } else if vc.state == VcState::WaitVa {
+                            let allocatable = if self.topology.has_wrap() && route < PORT_LOCAL {
+                                let downstream = self
+                                    .topology
+                                    .neighbor(self.node, route)
+                                    .expect("network port leads to a neighbor");
+                                let class = self.topology.vc_class(
+                                    downstream,
+                                    self.topology.router_of(head.dst),
+                                    route,
+                                );
+                                self.layout.allocatable_class_vcs(head.vnet, class as u8)
+                            } else {
+                                self.layout.allocatable_vcs(head.vnet)
+                            };
+                            let cands: Vec<usize> = allocatable.collect();
+                            if cands.iter().all(|&ovc| o.owner[ovc] != Owner::Free) {
+                                for &ovc in &cands {
+                                    match o.owner[ovc] {
+                                        Owner::Owned(hp, hv) => {
+                                            edges.push(WaitEdge::Local {
+                                                in_port: hp,
+                                                vc: hv,
+                                            });
+                                        }
+                                        Owner::Draining => {
+                                            edges.push(WaitEdge::Downstream { out_vc: ovc });
+                                        }
+                                        Owner::Free => {}
+                                    }
+                                }
+                            }
+                        }
+                        0
+                    }
+                };
+                if edges.is_empty() {
+                    continue;
+                }
+                edges.sort_unstable();
+                edges.dedup();
+                let held_by_circuit = self
+                    .circuits
+                    .stale_entries(now, 0)
+                    .into_iter()
+                    .find(|(_, e, _)| e.out_port == route)
+                    .map(|(_, e, _)| e.key);
+                out.push(VcWaiter {
+                    in_port: p,
+                    vc: v,
+                    packet: Some(head.packet),
+                    wants_port: route,
+                    out_vc: vc.out_vc,
+                    credits,
+                    held_by_circuit,
+                    edges,
+                });
+            }
+        }
+    }
+}
+
+/// How one blocked input VC waits on another resource, as reported by
+/// [`Router::waiters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum WaitEdge {
+    /// Waits for a same-router input VC to finish streaming: the wanted
+    /// output VC is owned by it.
+    Local {
+        /// Input port of the owning VC.
+        in_port: usize,
+        /// VC index of the owning VC.
+        vc: usize,
+    },
+    /// Waits for the downstream input VC to drain: the wanted output VC
+    /// has no credits left, or is draining back to idle.
+    Downstream {
+        /// The output VC waited on (equals the downstream input VC).
+        out_vc: usize,
+    },
+}
+
+/// One blocked input VC and everything it waits on — a node of the
+/// network's wait-for graph plus its outgoing edges.
+#[derive(Debug, Clone)]
+pub(crate) struct VcWaiter {
+    /// Input port of the blocked VC.
+    pub in_port: usize,
+    /// VC index of the blocked VC.
+    pub vc: usize,
+    /// Head packet buffered in it.
+    pub packet: Option<PacketId>,
+    /// Output port the route computation picked.
+    pub wants_port: usize,
+    /// Allocated output VC, if VC allocation already succeeded.
+    pub out_vc: Option<usize>,
+    /// Credits left on the allocated output VC (0 when credit-blocked
+    /// or still waiting for allocation).
+    pub credits: u32,
+    /// Circuit reservation pinning the wanted output port, if any.
+    pub held_by_circuit: Option<CircuitKey>,
+    /// Everything this VC is blocked behind (never empty).
+    pub edges: Vec<WaitEdge>,
+}
+
+/// Complete dynamic state of one [`Router`], for checkpointing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct RouterSnapshot {
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    circuits: RouterCircuits,
+    st_pending: Vec<StGrant>,
+    sa_rr_in: Vec<RoundRobin>,
+    sa_rr_out: Vec<RoundRobin>,
+    va_rr_out: Vec<RoundRobin>,
+    bypass_retry: Vec<VecDeque<Flit>>,
+    degraded: bool,
+    activity: Activity,
 }
 
 #[cfg(test)]

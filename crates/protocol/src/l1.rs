@@ -477,6 +477,39 @@ impl L1Cache {
             )
         })
     }
+
+    /// The full dynamic state, for checkpointing (the configuration and
+    /// trace sink are rebuilt by the caller on resume).
+    pub fn snapshot(&self) -> L1Snapshot {
+        let mut wb_buffer: Vec<(u64, u64)> = self.wb_buffer.iter().map(|(&b, &d)| (b, d)).collect();
+        wb_buffer.sort_unstable();
+        L1Snapshot {
+            array: self.array.clone(),
+            miss: self.miss,
+            wb_buffer,
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the dynamic state from an [`L1Cache::snapshot`] taken
+    /// on an identically-configured cache.
+    pub fn restore(&mut self, snap: L1Snapshot) {
+        self.array = snap.array;
+        self.miss = snap.miss;
+        self.wb_buffer = snap.wb_buffer.into_iter().collect();
+        self.stats = snap.stats;
+    }
+}
+
+/// Complete dynamic state of one [`L1Cache`], for checkpointing. The
+/// write-back buffer is stored as a sorted vector so the serialized form
+/// is deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct L1Snapshot {
+    array: CacheArray<L1Line>,
+    miss: Option<PendingMiss>,
+    wb_buffer: Vec<(u64, u64)>,
+    stats: L1Stats,
 }
 
 #[cfg(test)]

@@ -828,6 +828,57 @@ impl L2Bank {
     pub fn probe(&self, block: u64) -> Option<(Option<NodeId>, u64)> {
         self.array.peek(block).map(|l| (l.owner, l.sharers))
     }
+
+    /// The full dynamic state, for checkpointing (the configuration and
+    /// trace sink are rebuilt by the caller on resume).
+    pub fn snapshot(&self) -> L2Snapshot {
+        let mut mshrs: Vec<(u64, Mshr)> = self.mshrs.iter().map(|(&b, m)| (b, m.clone())).collect();
+        mshrs.sort_unstable_by_key(|&(b, _)| b);
+        let mut wb_pending: Vec<(u64, VecDeque<Msg>)> = self
+            .wb_pending
+            .iter()
+            .map(|(&b, q)| (b, q.clone()))
+            .collect();
+        wb_pending.sort_unstable_by_key(|&(b, _)| b);
+        let mut reserved_ways: Vec<(usize, usize)> =
+            self.reserved_ways.iter().map(|(&s, &n)| (s, n)).collect();
+        reserved_ways.sort_unstable();
+        L2Snapshot {
+            array: self.array.clone(),
+            mshrs,
+            wb_pending,
+            reserved_ways,
+            inbox: self.inbox.clone(),
+            stalled: self.stalled.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the dynamic state from an [`L2Bank::snapshot`] taken
+    /// on an identically-configured bank.
+    pub fn restore(&mut self, snap: L2Snapshot) {
+        self.array = snap.array;
+        self.mshrs = snap.mshrs.into_iter().collect();
+        self.wb_pending = snap.wb_pending.into_iter().collect();
+        self.reserved_ways = snap.reserved_ways.into_iter().collect();
+        self.inbox = snap.inbox;
+        self.stalled = snap.stalled;
+        self.stats = snap.stats;
+    }
+}
+
+/// Complete dynamic state of one [`L2Bank`], for checkpointing. Hash
+/// maps are stored as sorted vectors so the serialized form is
+/// deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct L2Snapshot {
+    array: CacheArray<L2Line>,
+    mshrs: Vec<(u64, Mshr)>,
+    wb_pending: Vec<(u64, VecDeque<Msg>)>,
+    reserved_ways: Vec<(usize, usize)>,
+    inbox: VecDeque<(Cycle, Msg)>,
+    stalled: VecDeque<Msg>,
+    stats: L2Stats,
 }
 
 #[cfg(test)]

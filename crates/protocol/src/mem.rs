@@ -106,6 +106,36 @@ impl MemoryController {
             }
         }
     }
+
+    /// The full dynamic state, for checkpointing.
+    pub fn snapshot(&self) -> MemSnapshot {
+        let mut store: Vec<(u64, u64)> = self.store.iter().map(|(&b, &d)| (b, d)).collect();
+        store.sort_unstable();
+        MemSnapshot {
+            store,
+            pending: self.pending.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the dynamic state from a
+    /// [`MemoryController::snapshot`] taken on an identically-configured
+    /// controller.
+    pub fn restore(&mut self, snap: MemSnapshot) {
+        self.store = snap.store.into_iter().collect();
+        self.pending = snap.pending;
+        self.stats = snap.stats;
+    }
+}
+
+/// Complete dynamic state of one [`MemoryController`], for
+/// checkpointing. The backing store is sorted so the serialized form is
+/// deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemSnapshot {
+    store: Vec<(u64, u64)>,
+    pending: VecDeque<(Cycle, Msg)>,
+    stats: MemStats,
 }
 
 #[cfg(test)]

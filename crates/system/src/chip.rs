@@ -3,18 +3,22 @@
 //! wired to the cycle-accurate NoC through an adapter implementing the
 //! protocol's [`Port`].
 
-use crate::core_model::{Core, CoreAction};
-use crate::open_loop::{OpenLoopConfig, OpenLoopState, EXT_TOKEN_BIT};
+use crate::core_model::{Core, CoreAction, CoreSnapshot};
+use crate::open_loop::{OpenLoopConfig, OpenLoopSnapshot, OpenLoopState, EXT_TOKEN_BIT};
 use crate::report::ExternalSummary;
 use rcsim_core::circuit::CircuitKey;
 use rcsim_core::{Cycle, KernelMode, MechanismConfig, MessageClass, NodeId, Topology};
 use rcsim_noc::{
-    CircuitOutcome, FaultConfig, HealthReport, Network, NocConfig, NocStats, PacketSpec,
-    WatchdogConfig,
+    CircuitOutcome, FaultConfig, HealthReport, Network, NetworkSnapshot, NocConfig, NocStats,
+    PacketSpec, WatchdogConfig,
 };
-use rcsim_protocol::{Access, L1Cache, L2Bank, MemoryController, Msg, Port, ProtocolConfig};
+use rcsim_protocol::{
+    Access, L1Cache, L1Snapshot, L2Bank, L2Snapshot, MemSnapshot, MemoryController, Msg, Port,
+    ProtocolConfig,
+};
 use rcsim_trace::{EventKind, TraceEvent, TraceSink};
 use rcsim_workload::Workload;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Bridges the protocol state machines to the NoC: attaches circuit keys
@@ -468,6 +472,13 @@ impl Chip {
         Ok(())
     }
 
+    /// `true` when the network watchdog has declared a stall — the cheap
+    /// per-tick check behind [`Chip::run`]; the full post-mortem is
+    /// [`Chip::health`].
+    pub fn stalled(&self) -> bool {
+        self.net.stalled()
+    }
+
     /// A liveness snapshot of the network (see [`Network::health`]),
     /// extended with the chip-level reissue counter.
     pub fn health(&self) -> HealthReport {
@@ -539,6 +550,74 @@ impl Chip {
         total
     }
 
+    /// The complete dynamic state of the chip, for checkpointing. Call
+    /// at a tick boundary (between [`Chip::tick`] calls): mid-tick
+    /// scratch is empty there, so the snapshot is identical under every
+    /// kernel and shard count. Configuration (topology, protocol
+    /// parameters, mechanism, kernel, trace wiring) is deliberately
+    /// excluded — a restore target is rebuilt from the same `SimConfig`
+    /// and the snapshot overwrites only what evolves.
+    pub fn snapshot(&self) -> ChipSnapshot {
+        let mut mcs: Vec<(usize, MemSnapshot)> =
+            self.mcs.iter().map(|(&i, mc)| (i, mc.snapshot())).collect();
+        mcs.sort_unstable_by_key(|&(i, _)| i);
+        let mut payloads: Vec<(u64, Msg)> = self.payloads.iter().map(|(&t, &m)| (t, m)).collect();
+        payloads.sort_unstable_by_key(|&(t, _)| t);
+        let mut undone: Vec<CircuitKey> = self.undone.iter().copied().collect();
+        undone.sort_unstable_by_key(|k| (k.requestor, k.block));
+        ChipSnapshot {
+            net: self.net.snapshot(),
+            cores: self.cores.iter().map(Core::snapshot).collect(),
+            l1s: self.l1s.iter().map(L1Cache::snapshot).collect(),
+            l2s: self.l2s.iter().map(L2Bank::snapshot).collect(),
+            mcs,
+            payloads,
+            next_token: self.next_token,
+            undone,
+            open_loop: self.open_loop.as_deref().map(OpenLoopState::snapshot),
+        }
+    }
+
+    /// Overwrites the chip's dynamic state from a [`Chip::snapshot`]
+    /// taken on an identically-configured chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's shape disagrees with this chip's
+    /// configuration (different core count, or open-loop presence
+    /// mismatch) — restoring across configurations is a caller bug.
+    pub fn restore(&mut self, snap: &ChipSnapshot) {
+        assert_eq!(
+            snap.cores.len(),
+            self.cores.len(),
+            "checkpoint is for a different core count"
+        );
+        self.net.restore(&snap.net);
+        for (core, s) in self.cores.iter_mut().zip(&snap.cores) {
+            core.restore(s);
+        }
+        for (l1, s) in self.l1s.iter_mut().zip(&snap.l1s) {
+            l1.restore(s.clone());
+        }
+        for (l2, s) in self.l2s.iter_mut().zip(&snap.l2s) {
+            l2.restore(s.clone());
+        }
+        for (i, s) in &snap.mcs {
+            self.mcs
+                .get_mut(i)
+                .expect("checkpoint has an MC on a non-MC tile")
+                .restore(s.clone());
+        }
+        self.payloads = snap.payloads.iter().copied().collect();
+        self.next_token = snap.next_token;
+        self.undone = snap.undone.iter().copied().collect();
+        match (self.open_loop.as_deref_mut(), &snap.open_loop) {
+            (Some(ol), Some(s)) => ol.restore(s),
+            (None, None) => {}
+            _ => panic!("checkpoint and chip disagree on open-loop traffic"),
+        }
+    }
+
     /// Checks the single-writer/multiple-reader invariant and directory
     /// consistency across all caches. Returns human-readable violations
     /// (empty = coherent).
@@ -588,4 +667,20 @@ impl Chip {
         }
         violations
     }
+}
+
+/// Complete dynamic state of a [`Chip`], for checkpointing (see
+/// [`Chip::snapshot`]). Hash-keyed collections are sorted so the
+/// serialized form is deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChipSnapshot {
+    net: NetworkSnapshot,
+    cores: Vec<CoreSnapshot>,
+    l1s: Vec<L1Snapshot>,
+    l2s: Vec<L2Snapshot>,
+    mcs: Vec<(usize, MemSnapshot)>,
+    payloads: Vec<(u64, Msg)>,
+    next_token: u64,
+    undone: Vec<CircuitKey>,
+    open_loop: Option<OpenLoopSnapshot>,
 }

@@ -3,9 +3,10 @@
 
 use rcsim_core::Cycle;
 use rcsim_workload::{CoreTrace, TraceOp};
+use serde::{Deserialize, Serialize};
 
 /// What the core is doing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum CoreState {
     /// Executing non-memory instructions until the given cycle, after
     /// which the pending memory reference accesses the L1.
@@ -132,6 +133,39 @@ impl Core {
             CoreState::Compute { until } => until,
         }
     }
+
+    /// The full dynamic state, for checkpointing. The trace itself is
+    /// config-derived (rebuilt from the workload name); only its RNG
+    /// position is captured.
+    pub(crate) fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            trace_rng: self.trace.rng_state(),
+            state: self.state,
+            pending: self.pending,
+            instructions: self.instructions,
+            write_counter: self.write_counter,
+        }
+    }
+
+    /// Overwrites the dynamic state from a [`Core::snapshot`] taken on a
+    /// core running the same trace.
+    pub(crate) fn restore(&mut self, snap: &CoreSnapshot) {
+        self.trace.set_rng_state(snap.trace_rng);
+        self.state = snap.state;
+        self.pending = snap.pending;
+        self.instructions = snap.instructions;
+        self.write_counter = snap.write_counter;
+    }
+}
+
+/// Complete dynamic state of one [`Core`], for checkpointing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CoreSnapshot {
+    trace_rng: (u64, u64),
+    state: CoreState,
+    pending: Option<TraceOp>,
+    instructions: u64,
+    write_counter: u64,
 }
 
 #[cfg(test)]

@@ -29,13 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod chip;
 mod core_model;
 mod open_loop;
 mod report;
 mod sim;
 
-pub use chip::Chip;
+pub use checkpoint::{run_sim_resumable, SessionSnapshot, SimSession, CHECKPOINT_FORMAT_VERSION};
+pub use chip::{Chip, ChipSnapshot};
 pub use core_model::Core;
 pub use open_loop::OpenLoopConfig;
 pub use rcsim_core::{shards_from_env, AdaptiveConfig, KernelMode};

@@ -32,7 +32,7 @@ use rcsim_core::circuit::CircuitKey;
 use rcsim_core::{Cycle, MessageClass, NodeId};
 use rcsim_noc::{Admission, IngressConfig, Network, PacketSpec, ReleasedArrival};
 use rcsim_stats::LatencyStat;
-use rcsim_workload::{ArrivalProcess, ArrivalStream};
+use rcsim_workload::{ArrivalProcess, ArrivalSnapshot, ArrivalStream};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -94,7 +94,7 @@ impl OpenLoopConfig {
 }
 
 /// Where an in-network external packet is headed.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 enum ExtPacket {
     /// Request travelling edge → server.
     Request { edge: NodeId, arrived_at: Cycle },
@@ -103,7 +103,7 @@ enum ExtPacket {
 }
 
 /// A transaction waiting out its service time at a server tile.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct InService {
     due: Cycle,
     server: NodeId,
@@ -113,7 +113,7 @@ struct InService {
 }
 
 /// A rejected arrival waiting out its retry-after backoff.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct PendingRetry {
     due: Cycle,
     edge: NodeId,
@@ -352,6 +352,57 @@ impl OpenLoopState {
         self.latency = ext_latency_stat();
     }
 
+    /// The full dynamic driver state, for checkpointing. Config-derived
+    /// fields (`cfg`, `edges`, `servers`, `circuits_enabled`) are rebuilt
+    /// by [`OpenLoopState::new`]; the per-tick `released_buf` is always
+    /// empty at tick boundaries and deliberately excluded.
+    pub(crate) fn snapshot(&self) -> OpenLoopSnapshot {
+        let mut in_net: Vec<(u64, ExtPacket)> = self.in_net.iter().map(|(&t, &p)| (t, p)).collect();
+        in_net.sort_unstable_by_key(|&(t, _)| t);
+        OpenLoopSnapshot {
+            streams: self.streams.iter().map(ArrivalStream::snapshot).collect(),
+            retries: self.retries.clone(),
+            in_service: self.in_service.clone(),
+            in_net,
+            next_token: self.next_token,
+            offered_first: self.offered_first,
+            reoffers: self.reoffers,
+            gave_up: self.gave_up,
+            completed: self.completed,
+            completed_measured: self.completed_measured,
+            completed_in_slo: self.completed_in_slo,
+            latency: self.latency.clone(),
+        }
+    }
+
+    /// Overwrites the dynamic state from an [`OpenLoopState::snapshot`]
+    /// taken on an identically-configured driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's edge count differs.
+    pub(crate) fn restore(&mut self, snap: &OpenLoopSnapshot) {
+        assert_eq!(
+            snap.streams.len(),
+            self.streams.len(),
+            "checkpoint has a different edge count"
+        );
+        for (stream, s) in self.streams.iter_mut().zip(&snap.streams) {
+            stream.restore(s);
+        }
+        self.retries = snap.retries.clone();
+        self.in_service = snap.in_service.clone();
+        self.in_net = snap.in_net.iter().copied().collect();
+        self.next_token = snap.next_token;
+        self.offered_first = snap.offered_first;
+        self.reoffers = snap.reoffers;
+        self.gave_up = snap.gave_up;
+        self.completed = snap.completed;
+        self.completed_measured = snap.completed_measured;
+        self.completed_in_slo = snap.completed_in_slo;
+        self.latency = snap.latency.clone();
+    }
+
     /// The external-traffic summary, including the conservation residue.
     pub(crate) fn summary(&self, net: &Network) -> crate::report::ExternalSummary {
         let ov = net.overload_report();
@@ -377,4 +428,23 @@ impl OpenLoopState {
             unaccounted: self.offered_first as i64 - accounted as i64,
         }
     }
+}
+
+/// Complete dynamic state of the open-loop driver, for checkpointing.
+/// The in-network map is sorted by token so the serialized form is
+/// deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct OpenLoopSnapshot {
+    streams: Vec<ArrivalSnapshot>,
+    retries: Vec<PendingRetry>,
+    in_service: Vec<InService>,
+    in_net: Vec<(u64, ExtPacket)>,
+    next_token: u64,
+    offered_first: u64,
+    reoffers: u64,
+    gave_up: u64,
+    completed: u64,
+    completed_measured: u64,
+    completed_in_slo: u64,
+    latency: LatencyStat,
 }

@@ -6,7 +6,7 @@ use rcsim_core::{shards_from_env, AdaptiveConfig, KernelMode, MechanismConfig, T
 use rcsim_noc::{FaultConfig, HealthReport, WatchdogConfig};
 use rcsim_power::{area_savings, EnergyModel};
 use rcsim_protocol::ProtocolConfig;
-use rcsim_trace::{LatencyBreakdown, MetricsRegistry, TraceEvent, TraceSink};
+use rcsim_trace::{LatencyBreakdown, MetricsRegistry, TraceEvent};
 use rcsim_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -257,6 +257,21 @@ fn run_sim_inner(
     kernel: KernelMode,
     shards: usize,
 ) -> Result<(RunResult, Option<TraceReport>), SimError> {
+    let mut session = crate::checkpoint::SimSession::new(cfg, trace, kernel, shards)?;
+    let total = session.total();
+    session.run_until(total)?;
+    Ok(session.finish())
+}
+
+/// Builds the chip a [`SimConfig`] describes, fully wired (open loop,
+/// adaptive policies) but not yet ticked. Shared by [`run_sim`] and the
+/// checkpoint layer so a restore target is constructed by exactly the
+/// same code path as a fresh run.
+pub(crate) fn build_chip(
+    cfg: &SimConfig,
+    kernel: KernelMode,
+    shards: usize,
+) -> Result<Chip, SimError> {
     // The spec picks the router grid: square for the paper's 16/64-core
     // chips, the most nearly square rectangle otherwise (scalability
     // sweeps at 32, 48, … cores).
@@ -290,41 +305,14 @@ fn run_sim_inner(
     if let Some(ad) = cfg.adaptive {
         chip.enable_adaptive(ad)?;
     }
+    Ok(chip)
+}
 
-    let sink = match trace {
-        Some(t) => {
-            let sink = TraceSink::ring(t.capacity);
-            chip.set_trace_sink(sink.clone());
-            chip.set_trace_epoch(t.epoch);
-            sink
-        }
-        None => TraceSink::Disabled,
-    };
-
-    chip.run(cfg.warmup_cycles)
-        .map_err(|report| SimError::Stalled { report })?;
-    chip.reset_stats();
-    // Discard warm-up events so the trace covers the measure window only
-    // (packets already in flight keep their enqueue/inject events, which
-    // the breakdown post-pass counts as unresolved).
-    sink.drain();
-    chip.run(cfg.measure_cycles)
-        .map_err(|report| SimError::Stalled { report })?;
-
-    let trace_report = trace.map(|_| {
-        let dropped = sink.dropped();
-        let events = sink.drain();
-        let breakdown = LatencyBreakdown::from_events(&events);
-        let mut metrics = MetricsRegistry::new();
-        metrics.tally_events(&events);
-        TraceReport {
-            events,
-            dropped,
-            breakdown,
-            metrics,
-        }
-    });
-
+/// Gathers every measured quantity from a chip that has completed its
+/// measure window (the tail of [`run_sim`], shared with the checkpoint
+/// layer's [`SimSession::finish`](crate::checkpoint::SimSession::finish)).
+pub(crate) fn assemble_result(cfg: &SimConfig, chip: &Chip) -> RunResult {
+    let topology = chip.topology();
     let stats = chip.noc_stats();
     let l1 = chip.l1_totals();
     let l2 = chip.l2_totals();
@@ -362,5 +350,5 @@ fn run_sim_inner(
         external: chip.external_summary(),
     };
     result.fill_noc_summaries(&stats);
-    Ok((result, trace_report))
+    result
 }

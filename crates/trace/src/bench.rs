@@ -22,7 +22,13 @@ use std::collections::BTreeMap;
 ///
 /// v4: rows carry `topology` (the interconnect label: `mesh`, `torus`,
 /// `cmesh-<c>`, `ring`) so topology sweeps stay diffable per shape.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: the checkpoint-cost sweep (`BENCH_checkpoint.json`) joins the
+/// suite; its rows carry snapshot cost (`snapshot_ms`,
+/// `snapshot_bytes`), resume cost (`resume_ms`) and the
+/// checkpointed-run wall overhead per interval (`overhead_frac_*`) in
+/// `extra`.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// One measured configuration (one workload × mechanism × core-count
 /// point) inside a bench summary.
@@ -210,7 +216,7 @@ mod tests {
 
     #[test]
     fn extra_defaults_when_absent_from_json() {
-        let json = r#"{"bench":"t","schema_version":4,"rows":[
+        let json = r#"{"bench":"t","schema_version":5,"rows":[
             {"label":"a","cores":4,"avg_latency":1.0,"p99_latency":2.0,"circuit_hit_rate":0.5}
         ]}"#;
         let s: BenchSummary = serde_json::from_str(json).unwrap();

@@ -7,7 +7,7 @@
 //! sits *below* `rcsim-core` in the dependency graph so every layer of the
 //! stack can emit into the same sink.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One traced occurrence, stamped with the simulation cycle it happened on.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -247,6 +247,134 @@ pub enum EventKind {
         /// Packets queued or streaming at the NIs.
         ni_backlog: u64,
     },
+}
+
+/// An owned, deserializable mirror of [`TraceEvent`] for checkpoint
+/// files. The live event borrows the message-class label as a
+/// `&'static str` (so emitting stays a couple of stores); the portable
+/// form owns it as a `String` so checkpoints can be read back. The two
+/// serialize identically, byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortableEvent {
+    /// Simulation cycle of the occurrence.
+    pub cycle: u64,
+    /// What happened (owned mirror of [`EventKind`]).
+    pub kind: PortableKind,
+}
+
+impl From<TraceEvent> for PortableEvent {
+    fn from(e: TraceEvent) -> Self {
+        Self {
+            cycle: e.cycle,
+            kind: e.kind.into(),
+        }
+    }
+}
+
+impl From<PortableEvent> for TraceEvent {
+    fn from(e: PortableEvent) -> Self {
+        Self {
+            cycle: e.cycle,
+            kind: e.kind.into(),
+        }
+    }
+}
+
+/// Returns the `'static` interned form of a message-class label read
+/// back from a checkpoint. Every label the simulator emits is known
+/// statically; an unrecognised one (a checkpoint from a newer build) is
+/// leaked once to satisfy the lifetime — bounded by ring capacity.
+fn intern_class(class: &str) -> &'static str {
+    const KNOWN: [&str; 13] = [
+        "Request",
+        "FwdRequest",
+        "Invalidation",
+        "WbData",
+        "MemRequest",
+        "MemWbData",
+        "L2_Reply",
+        "L1_DATA_ACK",
+        "L2_WB_ACK",
+        "L1_INV_ACK",
+        "MEMORY",
+        "L1_TO_L1",
+        "L1_REQ",
+    ];
+    for k in KNOWN {
+        if k == class {
+            return k;
+        }
+    }
+    Box::leak(class.to_owned().into_boxed_str())
+}
+
+/// Generates [`PortableKind`] plus both conversions. `NiEnqueue` is the
+/// one hand-written variant (its label becomes an owned `String`); every
+/// other variant is mirrored field for field.
+macro_rules! portable_kinds {
+    ( $( $variant:ident { $( $field:ident : $ty:ty ),* $(,)? } ),* $(,)? ) => {
+        /// Owned mirror of [`EventKind`] for checkpoint files — identical
+        /// shape and serialized form, with the class label owned.
+        #[allow(missing_docs)]
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        pub enum PortableKind {
+            NiEnqueue { packet: u64, src: u16, dst: u16, class: String },
+            $( $variant { $( $field : $ty ),* } ),*
+        }
+
+        impl From<EventKind> for PortableKind {
+            fn from(k: EventKind) -> Self {
+                match k {
+                    EventKind::NiEnqueue { packet, src, dst, class } => {
+                        PortableKind::NiEnqueue { packet, src, dst, class: class.to_owned() }
+                    }
+                    $( EventKind::$variant { $( $field ),* } =>
+                        PortableKind::$variant { $( $field ),* } ),*
+                }
+            }
+        }
+
+        impl From<PortableKind> for EventKind {
+            fn from(k: PortableKind) -> Self {
+                match k {
+                    PortableKind::NiEnqueue { packet, src, dst, class } => {
+                        EventKind::NiEnqueue { packet, src, dst, class: intern_class(&class) }
+                    }
+                    $( PortableKind::$variant { $( $field ),* } =>
+                        EventKind::$variant { $( $field ),* } ),*
+                }
+            }
+        }
+    };
+}
+
+portable_kinds! {
+    NiInject { packet: u64, node: u16 },
+    NiEject { packet: u64, node: u16, rode_circuit: bool, retries: u32 },
+    NiRetry { packet: u64, attempt: u32 },
+    PacketDropped { packet: u64, retries: u32 },
+    StageVa { packet: u64, node: u16 },
+    StageSa { packet: u64, node: u16 },
+    StageSt { packet: u64, node: u16 },
+    CircuitBypass { packet: u64, node: u16 },
+    CircuitReserve { node: u16, requestor: u16, block: u64 },
+    CircuitConflict { node: u16, requestor: u16, block: u64 },
+    CircuitConfirm { node: u16, requestor: u16, block: u64 },
+    CircuitTear { node: u16, requestor: u16, block: u64 },
+    L1MissStart { node: u16, block: u64 },
+    L1MissEnd { node: u16, block: u64 },
+    L2Access { node: u16, block: u64, hit: bool },
+    LinkDead { a: u16, b: u16 },
+    LinkHealed { a: u16, b: u16 },
+    RouterDead { node: u16 },
+    RouterHealed { node: u16 },
+    NiReroute { packet: u64, node: u16 },
+    L1Reissue { node: u16, block: u64, attempt: u32 },
+    IngressAdmit { node: u16, depth: u32 },
+    IngressReject { node: u16, queue_full: bool, retry_after: u64 },
+    IngressShed { node: u16, waited: u64 },
+    PolicySwitch { region: u16, hot: bool, score: u64 },
+    EpochSample { circuit_entries: u64, buffered_flits: u64, ni_backlog: u64 },
 }
 
 impl EventKind {

@@ -65,6 +65,27 @@ impl RingLog {
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         self.buf.iter().copied().collect()
     }
+
+    /// Rebuilds the ring from checkpointed state: `events` become the
+    /// held suffix (in emission order) and `dropped` the overwrite
+    /// count, so a resumed run's final drain matches the original's
+    /// byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` exceeds the ring's capacity (the checkpoint
+    /// came from a differently-configured ring).
+    pub fn restore(&mut self, events: Vec<TraceEvent>, dropped: u64) {
+        assert!(
+            events.len() <= self.capacity,
+            "ring snapshot ({} events) exceeds capacity {}",
+            events.len(),
+            self.capacity
+        );
+        self.buf.clear();
+        self.buf.extend(events);
+        self.dropped = dropped;
+    }
 }
 
 #[cfg(test)]

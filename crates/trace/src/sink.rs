@@ -99,6 +99,24 @@ impl TraceSink {
         }
     }
 
+    /// Restores the ring contents from checkpointed state (see
+    /// [`RingLog::restore`]). No-op for a disabled sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a staging buffer: buffers are per-tick transients and
+    /// are never checkpointed.
+    pub fn restore(&self, events: Vec<TraceEvent>, dropped: u64) {
+        match self {
+            TraceSink::Disabled => {}
+            TraceSink::Ring(ring) => ring
+                .lock()
+                .expect("trace ring poisoned")
+                .restore(events, dropped),
+            TraceSink::Buffer(_) => panic!("staging buffers are never checkpointed"),
+        }
+    }
+
     /// Events lost to ring overflow so far (buffers are unbounded and
     /// never drop).
     pub fn dropped(&self) -> u64 {

@@ -200,6 +200,41 @@ impl ArrivalStream {
     pub fn produced(&self) -> u64 {
         self.seq
     }
+
+    /// The full dynamic state, for checkpointing (the process itself is
+    /// configuration and travels with the run config, not the snapshot).
+    pub fn snapshot(&self) -> ArrivalSnapshot {
+        let (rng_state, rng_stream) = self.rng.state_words();
+        ArrivalSnapshot {
+            rng_state,
+            rng_stream,
+            burst: self.burst.as_ref().map(|b| (b.on, b.remaining)),
+            seq: self.seq,
+        }
+    }
+
+    /// Overwrites the dynamic state from an [`ArrivalStream::snapshot`],
+    /// continuing the exact stream the snapshot was taken from.
+    pub fn restore(&mut self, snap: &ArrivalSnapshot) {
+        self.rng = ChaCha8Rng::from_state_words(snap.rng_state, snap.rng_stream);
+        self.burst = snap
+            .burst
+            .map(|(on, remaining)| BurstState { on, remaining });
+        self.seq = snap.seq;
+    }
+}
+
+/// Serializable dynamic state of an [`ArrivalStream`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalSnapshot {
+    /// RNG state word.
+    pub rng_state: u64,
+    /// RNG stream word.
+    pub rng_stream: u64,
+    /// Burst modulation `(on, cycles remaining)`, for bursty processes.
+    pub burst: Option<(bool, u64)>,
+    /// Next arrival sequence number.
+    pub seq: u64,
 }
 
 #[cfg(test)]

@@ -34,7 +34,11 @@ echo "==> bench telemetry smoke (traced fig6 + summary validation)"
 # A tiny traced fig6 run must emit its machine-readable summary and a
 # Chrome trace; validate_bench then checks every BENCH_*.json written so
 # far against scripts/bench_schema.json. Catches a bench binary that
-# silently stops writing (or corrupts) its summary.
+# silently stops writing (or corrupts) its summary. Summaries left over
+# from runs predating the current BENCH_SCHEMA_VERSION would fail that
+# scan spuriously on incremental builders, so start from a clean slate —
+# every summary validated below is written by this CI run.
+rm -f target/experiments/BENCH_*.json
 RC_APPS=blackscholes RC_CYCLES=2000 RC_WARMUP=1000 RC_SMALL_CACHES=1 \
   RC_CORES=16 RC_MAX_CYCLES=10000 \
   $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null
@@ -264,5 +268,65 @@ for jobs in 1 4; do
   RC_JOBS=$jobs $CARGO test -q -p rcsim-power "$@"
   RC_JOBS=$jobs $CARGO test -q -p rcsim-noc --test traffic_patterns "$@"
 done
+
+echo "==> checkpoint smoke (kill-and-resume byte-identity, corrupt-file clean miss)"
+# Crash-resilience gate (DESIGN.md §15). The differential suite proves
+# save/restore byte-identity at arbitrary split cycles across kernels,
+# shards, topologies, faults, overload and adaptive runs; the diagnoser
+# suite pins the wait-for-graph cycle report on a real legacy-allocator
+# wedge. Then the crash drill: a checkpointed fig6 sweep is SIGKILLed
+# mid-run (the bench binary is invoked directly — killing a `cargo run`
+# wrapper would orphan the simulator), half of whatever checkpoints it
+# left behind are deliberately corrupted, and the rerun must finish
+# from the surviving on-disk state with rows byte-identical to an
+# uncheckpointed reference — a corrupt or stale checkpoint is a clean
+# miss (fresh start), never a crash. Finally rcsim-replay must reject a
+# stale-version checkpoint with a clean nonzero exit.
+$CARGO test -q -p rcsim-system --test checkpoint_diff "$@"
+$CARGO test -q -p rcsim-noc --test deadlock_diagnoser "$@"
+ckpt_smoke=(RC_APPS=blackscholes RC_CYCLES=8000 RC_WARMUP=2000
+            RC_SMALL_CACHES=1 RC_CORES=16 RC_MAX_CYCLES=40000
+            RC_JOBS=1 RC_NO_CACHE=1)
+ckpt_dir=target/experiments/ckpt-ci
+rm -rf "$ckpt_dir"
+env "${ckpt_smoke[@]}" \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+cp target/experiments/BENCH_fig6.json target/experiments/ci_fig6_nockpt.json
+env "${ckpt_smoke[@]}" RC_CKPT_DIR="$ckpt_dir" RC_CKPT_INTERVAL=500 \
+  target/release/fig6 > /dev/null 2> /dev/null &
+victim=$!
+sleep 0.4
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+echo "    SIGKILLed sweep left $(find "$ckpt_dir" -name '*.ckpt' 2> /dev/null | wc -l) checkpoint(s) in $ckpt_dir"
+i=0
+for f in "$ckpt_dir"/*.ckpt; do
+  [ -e "$f" ] || continue
+  if [ $((i % 2)) -eq 0 ]; then printf 'garbage' >> "$f"; fi
+  i=$((i + 1))
+done
+env "${ckpt_smoke[@]}" RC_CKPT_DIR="$ckpt_dir" RC_CKPT_INTERVAL=500 \
+  $CARGO run --release -q -p rcsim-bench --bin fig6 "$@" > /dev/null 2> /dev/null
+diff <(strip_telemetry target/experiments/ci_fig6_nockpt.json) \
+     <(strip_telemetry target/experiments/BENCH_fig6.json) \
+  || { echo "FAIL: BENCH_fig6.json rows differ after a SIGKILLed checkpointed sweep resumed"; exit 1; }
+if find "$ckpt_dir" -name '*.ckpt' | grep -q .; then
+  echo "FAIL: completed sweep left checkpoints behind in $ckpt_dir"; exit 1
+fi
+mkdir -p "$ckpt_dir"
+printf 'rcsim-checkpoint v0 0000000000000000\n{}' > "$ckpt_dir/stale.ckpt"
+if $CARGO run --release -q -p rcsim-bench --bin rcsim-replay "$ckpt_dir/stale.ckpt" > /dev/null 2> /dev/null; then
+  echo "FAIL: rcsim-replay accepted a stale-version checkpoint"; exit 1
+fi
+
+echo "==> checkpoint cost bench (BENCH_checkpoint.json + <5% default-interval gate)"
+# The cost sweep asserts internally that every checkpointed run is
+# byte-identical to the plain run and that default-interval overhead
+# stays under 5%; a short window keeps it quick.
+RC_CKPT_BENCH_CYCLES=2000 RC_CKPT_BENCH_REPS=2 \
+  RC_CKPT_NET_CORES=64 RC_CKPT_NET_CYCLES=600 \
+  $CARGO run --release -q -p rcsim-bench --bin checkpoint "$@" > /dev/null
+test -s target/experiments/BENCH_checkpoint.json
+$CARGO run --release -q -p rcsim-bench --bin validate_bench "$@"
 
 echo "CI gate passed."

@@ -57,8 +57,9 @@ pub mod prelude {
     pub use rcsim_power::{area_savings, EnergyModel, RouterArea};
     pub use rcsim_stats::{geometric_mean, Accumulator};
     pub use rcsim_system::{
-        run_sim, Chip, ExternalSummary, IngressConfig, OpenLoopConfig, OverloadReport, RunResult,
-        SimConfig, SimError,
+        run_sim, run_sim_resumable, Chip, ExternalSummary, IngressConfig, KernelMode,
+        OpenLoopConfig, OverloadReport, RunResult, SessionSnapshot, SimConfig, SimError,
+        SimSession,
     };
     pub use rcsim_workload::{workload_names, ArrivalProcess, Workload};
 }

@@ -10,6 +10,19 @@ pub struct ChaCha8Rng {
     stream: u64,
 }
 
+impl ChaCha8Rng {
+    /// The generator's full internal state, for checkpointing. Restoring
+    /// via [`ChaCha8Rng::from_state_words`] continues the exact stream.
+    pub fn state_words(&self) -> (u64, u64) {
+        (self.state, self.stream)
+    }
+
+    /// Rebuilds a generator from [`ChaCha8Rng::state_words`] output.
+    pub fn from_state_words(state: u64, stream: u64) -> Self {
+        ChaCha8Rng { state, stream }
+    }
+}
+
 impl RngCore for ChaCha8Rng {
     fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
